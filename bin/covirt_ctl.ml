@@ -1,0 +1,272 @@
+(* covirt-ctl: command-line driver for the Covirt simulation stack.
+
+   Subcommands:
+     experiment  regenerate a table/figure from the paper
+     faults      run the fault-injection tour
+     demo        boot a protected enclave, run a workload, show status
+     inspect     dump the machine/protection state of a demo run *)
+
+open Cmdliner
+
+(* --- shared arguments --- *)
+
+let quick =
+  let doc = "Use reduced problem sizes (seconds instead of minutes)." in
+  Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+
+let config_conv =
+  let parse s =
+    match List.assoc_opt s Covirt.Config.presets with
+    | Some c -> Ok c
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown config %S (expected: %s)" s
+                (String.concat ", " (List.map fst Covirt.Config.presets))))
+  in
+  let print ppf c = Format.pp_print_string ppf (Covirt.Config.name c) in
+  Arg.conv (parse, print)
+
+let config =
+  let doc =
+    "Protection configuration: native, none, mem, ipi or mem+ipi."
+  in
+  Arg.(value & opt config_conv Covirt.Config.mem_ipi & info [ "config"; "c" ] ~doc)
+
+(* --- experiment --- *)
+
+let experiment_names =
+  [ "table1"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8";
+    "ablate-coalesce"; "ablate-piv"; "ablate-sync"; "compare"; "kernels";
+    "noise"; "scale"; "campaign"; "isolation" ]
+
+let run_experiment name quick =
+  let open Covirt_harness in
+  match name with
+  | "table1" ->
+      let t =
+        Covirt_sim.Table.create
+          ~columns:[ "Benchmark Name"; "Version"; "Parameters" ]
+      in
+      List.iter (fun (n, v, p) -> Covirt_sim.Table.add_row t [ n; v; p ])
+        Experiments.table1;
+      Covirt_sim.Table.print t;
+      Ok ()
+  | "fig3" ->
+      let rows = Fig3.run ~quick () in
+      Covirt_sim.Table.print (Fig3.table rows);
+      Fig3.print_histograms rows;
+      Ok ()
+  | "fig4" ->
+      Covirt_sim.Table.print (Fig4.table (Fig4.run ~quick ()));
+      Ok ()
+  | "fig5" ->
+      let rows = Fig5.run ~quick () in
+      Covirt_sim.Table.print (Fig5.stream_table rows);
+      Covirt_sim.Table.print (Fig5.gups_table rows);
+      Ok ()
+  | "fig6" ->
+      Covirt_sim.Table.print (Fig6.table (Fig6.run ~quick ()));
+      Ok ()
+  | "fig7" ->
+      let rows = Fig7.run ~quick () in
+      Covirt_sim.Table.print (Fig7.table rows);
+      Format.printf "worst overhead: %.2f%%@." (100.0 *. Fig7.worst_overhead rows);
+      Ok ()
+  | "fig8" ->
+      Covirt_sim.Table.print (Fig8.table (Fig8.run ~quick ()));
+      Ok ()
+  | "ablate-coalesce" ->
+      Covirt_sim.Table.print (Ablate.coalescing_table (Ablate.coalescing ~quick ()));
+      Ok ()
+  | "ablate-piv" ->
+      Covirt_sim.Table.print (Ablate.piv_table (Ablate.piv_vs_full ()));
+      Ok ()
+  | "ablate-sync" ->
+      Covirt_sim.Table.print (Ablate.sync_table (Ablate.sync_vs_async ~quick ()));
+      Ok ()
+  | "compare" ->
+      Covirt_sim.Table.print (Compare_virt.ipc_table (Compare_virt.ipc ()));
+      Covirt_sim.Table.print
+        (Compare_virt.sharing_table (Compare_virt.sharing ~quick ()));
+      Ok ()
+  | "kernels" ->
+      Covirt_sim.Table.print (Kernels.table (Kernels.matrix ()));
+      Ok ()
+  | "noise" ->
+      Covirt_sim.Table.print (Noise_compare.table (Noise_compare.run ()));
+      Ok ()
+  | "scale" ->
+      Covirt_sim.Table.print (Scale.table (Scale.run ~quick ()));
+      Ok ()
+  | "campaign" ->
+      Covirt_sim.Table.print
+        (Campaign.table (Campaign.run ~trials:(if quick then 25 else 60) ()));
+      Ok ()
+  | "isolation" ->
+      Covirt_sim.Table.print (Isolation.table (Isolation.run ~quick ()));
+      Ok ()
+  | other ->
+      Error
+        (Printf.sprintf "unknown experiment %S (expected: %s)" other
+           (String.concat ", " experiment_names))
+
+let experiment_cmd =
+  let name_arg =
+    let doc = "Experiment to run: table1, fig3..fig8 or ablate-*." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let run name quick =
+    match run_experiment name quick with
+    | Ok () -> `Ok ()
+    | Error msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper")
+    Term.(ret (const run $ name_arg $ quick))
+
+(* --- demo --- *)
+
+let gib = Covirt_sim.Units.gib
+
+let run_demo config cores verbose =
+  let machine =
+    Covirt_hw.Machine.create ~zones:2 ~cores_per_zone:5 ~mem_per_zone:(32 * gib)
+      ()
+  in
+  let hobbes = Covirt_hobbes.Hobbes.create machine ~host_core:0 in
+  let covirt = Covirt.enable (Covirt_hobbes.Hobbes.pisces hobbes) ~config in
+  let core_ids = List.init cores (fun i -> i + 1) in
+  match
+    Covirt_hobbes.Hobbes.launch_enclave hobbes ~name:"demo" ~cores:core_ids
+      ~mem:[ (0, 7 * gib); (1, 7 * gib) ]
+      ()
+  with
+  | Error e -> `Error (false, e)
+  | Ok (enclave, kitten) ->
+      Format.printf "booted %a under config %s@." Covirt_pisces.Enclave.pp
+        enclave (Covirt.Config.name config);
+      let ctxs =
+        List.map
+          (fun core -> Covirt_kitten.Kitten.context kitten ~core)
+          (Covirt_kitten.Kitten.cores kitten)
+      in
+      (match Covirt_workloads.Stream.run ctxs ~elems:2_000_000 ~iters:3 () with
+      | Ok r ->
+          Format.printf "STREAM triad %.0f MB/s, copy %.0f MB/s@."
+            r.Covirt_workloads.Stream.triad_mb_s
+            r.Covirt_workloads.Stream.copy_mb_s
+      | Error e -> Format.printf "stream failed: %s@." e);
+      (match
+         Covirt_workloads.Hpcg.run ctxs ~nominal_dim:64 ~real_dim:14
+           ~iterations:20 ()
+       with
+      | Ok r ->
+          Format.printf "HPCG %.3f GF/s, residual %.2e@."
+            r.Covirt_workloads.Hpcg.gflops
+            r.Covirt_workloads.Hpcg.final_residual
+      | Error e -> Format.printf "hpcg failed: %s@." e);
+      Format.printf "@.%s@." (Covirt.protection_summary covirt);
+      if verbose then
+        Format.printf "--- trace tail ---@.%a" Covirt_sim.Trace.pp
+          machine.Covirt_hw.Machine.trace;
+      `Ok ()
+
+let demo_cmd =
+  let cores =
+    let doc = "Number of enclave cores (1-8)." in
+    Arg.(value & opt int 4 & info [ "cores"; "n" ] ~doc)
+  in
+  let verbose =
+    let doc = "Dump the machine trace at the end." in
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "demo"
+       ~doc:"Boot a protected enclave, run workloads, print protection status")
+    Term.(ret (const run_demo $ config $ cores $ verbose))
+
+(* --- faults --- *)
+
+let fault_names =
+  [ "wild-host"; "wild-sibling"; "phantom"; "errant-ipi"; "msr"; "reset-port";
+    "double-fault" ]
+
+let run_fault name config =
+  let open Covirt_kitten in
+  let machine =
+    Covirt_hw.Machine.create ~zones:2 ~cores_per_zone:3 ~mem_per_zone:(8 * gib)
+      ()
+  in
+  let hobbes = Covirt_hobbes.Hobbes.create machine ~host_core:0 in
+  let covirt = Covirt.enable (Covirt_hobbes.Hobbes.pisces hobbes) ~config in
+  let launch nm cs zone =
+    match
+      Covirt_hobbes.Hobbes.launch_enclave hobbes ~name:nm ~cores:cs
+        ~mem:[ (zone, 1 * gib) ] ()
+    with
+    | Ok pair -> pair
+    | Error e -> failwith e
+  in
+  let attacker, attacker_kitten = launch "attacker" [ 1 ] 0 in
+  let victim, _ = launch "victim" [ 3 ] 1 in
+  let ctx = Kitten.context attacker_kitten ~core:1 in
+  let mib = Covirt_sim.Units.mib in
+  let inject () =
+    match name with
+    | "wild-host" -> Kitten.store_addr ctx (2 * mib)
+    | "wild-sibling" ->
+        let target =
+          match Covirt_hw.Region.Set.to_list victim.Covirt_pisces.Enclave.memory with
+          | r :: _ -> r.Covirt_hw.Region.base + mib
+          | [] -> failwith "victim has no memory"
+        in
+        Kitten.store_addr ctx target
+    | "phantom" ->
+        let phantom = Covirt_hw.Region.make ~base:(6 * gib) ~len:(4 * mib) in
+        Kitten.inject_phantom_region attacker_kitten phantom;
+        Kitten.touch_believed_memory ctx phantom.Covirt_hw.Region.base
+    | "errant-ipi" ->
+        Kitten.send_ipi ctx ~dest:(Covirt_pisces.Enclave.bsp victim) ~vector:8
+    | "msr" -> Kitten.wrmsr_sensitive ctx
+    | "reset-port" -> Kitten.out_reset_port ctx
+    | "double-fault" -> Kitten.trigger_double_fault ctx
+    | other ->
+        failwith
+          (Printf.sprintf "unknown fault %S (expected: %s)" other
+             (String.concat ", " fault_names))
+  in
+  let pisces = Covirt_hobbes.Hobbes.pisces hobbes in
+  (match Covirt_pisces.Pisces.run_guarded pisces inject with
+  | exception Covirt_hw.Machine.Node_panic why ->
+      Format.printf "NODE PANIC: %s@." why
+  | exception Failure msg -> Format.printf "error: %s@." msg
+  | Error crash ->
+      Format.printf "contained: %a@." Covirt_pisces.Pisces.pp_crash crash
+  | Ok () ->
+      if Covirt.dropped_ipis covirt ~enclave_id:attacker.Covirt_pisces.Enclave.id > 0
+      then Format.printf "errant operation dropped by the hypervisor@."
+      else Format.printf "fault executed with no immediate effect@.");
+  List.iter
+    (fun r -> Format.printf "report: %a@." Covirt.Fault_report.pp r)
+    (Covirt.reports covirt ~enclave_id:attacker.Covirt_pisces.Enclave.id);
+  `Ok ()
+
+let faults_cmd =
+  let name_arg =
+    let doc =
+      "Fault to inject: wild-host, wild-sibling, phantom, errant-ipi, msr, \
+       reset-port or double-fault."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FAULT" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "faults" ~doc:"Inject a fault and report what happened")
+    Term.(ret (const run_fault $ name_arg $ config))
+
+(* --- top level --- *)
+
+let () =
+  let doc = "Covirt co-kernel fault-isolation simulator" in
+  let info = Cmd.info "covirt-ctl" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ experiment_cmd; demo_cmd; faults_cmd ]))

@@ -1,0 +1,97 @@
+(* Application composition across enclaves — the Hobbes use case that
+   motivates Covirt's design constraints: a simulation component in one
+   LWK enclave streams data through an XEMEM-backed IPC channel to an
+   analytics component in another, while forwarding I/O system calls to
+   the host OS/R.  All of it runs under full protection, and none of it
+   pays a hypervisor toll on the data path.
+
+   Run with: dune exec examples/composition.exe *)
+
+open Covirt_kitten
+
+let gib = Covirt_sim.Units.gib
+
+let () =
+  let machine =
+    Covirt_hw.Machine.create ~zones:2 ~cores_per_zone:3 ~mem_per_zone:(8 * gib)
+      ()
+  in
+  let hobbes = Covirt_hobbes.Hobbes.create machine ~host_core:0 in
+  let covirt =
+    Covirt.enable (Covirt_hobbes.Hobbes.pisces hobbes)
+      ~config:Covirt.Config.full
+  in
+  let launch name cores zone =
+    match
+      Covirt_hobbes.Hobbes.launch_enclave hobbes ~name ~cores
+        ~mem:[ (zone, 2 * gib) ] ()
+    with
+    | Ok pair -> pair
+    | Error e -> failwith e
+  in
+  let sim_enclave, _ = launch "simulation" [ 1; 2 ] 0 in
+  let ana_enclave, _ = launch "analytics" [ 3; 4 ] 1 in
+
+  let steps = 20 in
+  let app =
+    {
+      Covirt_hobbes.App.app_name = "insitu";
+      components =
+        [
+          Covirt_hobbes.App.component ~name:"simulation" sim_enclave
+            (fun ctx channels ->
+              (* a tiny MD run, streaming a frame per step *)
+              (match
+                 Covirt_workloads.Lammps.run [ ctx ]
+                   ~bench:Covirt_workloads.Lammps.Lj ~nominal_atoms:8192
+                   ~real_atoms:512 ~steps ()
+               with
+              | Ok r ->
+                  Format.printf "simulation: %d steps, loop %.4fs, KE %.1f@."
+                    r.Covirt_workloads.Lammps.steps
+                    r.Covirt_workloads.Lammps.loop_seconds
+                    r.Covirt_workloads.Lammps.final_kinetic_energy
+              | Error e -> failwith e);
+              List.iter
+                (fun ch ->
+                  for _ = 1 to steps do
+                    Covirt_hobbes.Ipc.send ch ctx ~words:512
+                  done)
+                channels;
+              (* checkpoint via syscall forwarding to the host OS/R *)
+              let written =
+                Kitten.syscall ctx ~number:Syscall.nr_write ~arg:4096
+              in
+              Format.printf "simulation: checkpoint write -> %d@." written);
+          Covirt_hobbes.App.component ~name:"analytics" ana_enclave
+            (fun ctx _channels ->
+              (* crunch whatever arrived *)
+              match
+                Covirt_workloads.Hpcg.run [ ctx ] ~nominal_dim:32 ~real_dim:10
+                  ~iterations:10 ()
+              with
+              | Ok r ->
+                  Format.printf "analytics: CG residual %.2e in %d iters@."
+                    r.Covirt_workloads.Hpcg.final_residual
+                    r.Covirt_workloads.Hpcg.iterations
+              | Error e -> failwith e);
+        ];
+      wires =
+        [
+          {
+            Covirt_hobbes.App.from_component = "simulation";
+            to_component = "analytics";
+            ring_bytes = 1024 * 1024;
+          };
+        ];
+    }
+  in
+  (match Covirt_hobbes.App.launch hobbes app with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  Format.printf "@.%s@." (Covirt.protection_summary covirt);
+  Format.printf "%a" Covirt_hobbes.Hobbes.pp_status hobbes;
+  Format.printf
+    "@.Note the dropped-IPI count is zero: the doorbell vector was@.\
+     granted through Hobbes, so the whitelist passes every send —@.\
+     the paper's zero-overhead IPC property.@."

@@ -1,0 +1,52 @@
+open Covirt_hw
+
+(* A virtio-style ring transfer: doorbell exit on the sender, the
+   hypervisor walks the descriptor and copies the payload (it cannot
+   share identity mappings between distinct guest physical address
+   spaces), then injects a completion interrupt into the receiver —
+   which, under full virtualization, is itself an exit pair on the
+   receiving vCPU. *)
+let ipc_message_cycles (m : Cost_model.t) ~words =
+  if words <= 0 then invalid_arg "Full_virt.ipc_message_cycles";
+  let exits = 2.0 (* sender doorbell + receiver interrupt window *) in
+  let exit_cost = float_of_int (m.Cost_model.vmexit_roundtrip + m.Cost_model.exit_dispatch) in
+  let copy =
+    (* the hypervisor copy touches each line twice (read + write) *)
+    let lines = float_of_int (max 1 (words * 8 / m.Cost_model.line_bytes)) in
+    2.0 *. lines *. float_of_int m.Cost_model.l3_hit
+  in
+  let inject = float_of_int m.Cost_model.vapic_inject in
+  (exits *. exit_cost) +. copy +. inject
+    +. float_of_int m.Cost_model.ipi_send_native
+
+(* Ballooning: the donor's balloon driver frees each 4K page and
+   reports it (guest-side allocator work per page), one exit per 2M
+   chunk hands batches to the hypervisor, the second-level mappings
+   are rewritten, and every vCPU of the recipient is paused/resumed to
+   install them — after which the recipient's balloon driver hands the
+   pages to its allocator, again per page.  Note what this does NOT
+   buy: a shared mapping.  The frames changed hands; actually sharing
+   data across the VM boundary still requires copying it through a
+   paravirtual channel on every use. *)
+let balloon_page_cycles (m : Cost_model.t) =
+  (* free + report on the donor, allocate + install on the recipient *)
+  (2 * m.Cost_model.page_list_per_page) + 60
+
+let memory_reassign_cycles (m : Cost_model.t) ~bytes ~vcpus =
+  if bytes <= 0 || vcpus <= 0 then invalid_arg "Full_virt.memory_reassign_cycles";
+  let pages = float_of_int (max 1 (bytes / Addr.page_size_4k)) in
+  let chunks = float_of_int (max 1 (bytes / Addr.page_size_2m)) in
+  let per_chunk =
+    float_of_int (m.Cost_model.vmexit_roundtrip + m.Cost_model.exit_dispatch)
+    +. float_of_int (512 * m.Cost_model.ept_entry_update)
+  in
+  let pause_resume =
+    float_of_int vcpus
+    *. float_of_int (m.Cost_model.nmi_roundtrip + m.Cost_model.vmcs_load)
+  in
+  (pages *. float_of_int (balloon_page_cycles m))
+  +. (chunks *. per_chunk) +. pause_resume
+
+let attach_equivalent_us (m : Cost_model.t) ~bytes ~vcpus =
+  Covirt_sim.Units.cycles_to_us ~ghz:m.Cost_model.ghz
+    (int_of_float (memory_reassign_cycles m ~bytes ~vcpus))

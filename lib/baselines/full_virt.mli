@@ -1,0 +1,33 @@
+(** Traditional full virtualization — the comparison point of Fig. 1b.
+
+    The paper's related-work argument: running each co-kernel in a
+    dedicated VM {e would} give isolation, but "IPC interfaces are
+    mediated by the underlying virtualization layer, requiring added
+    overhead for any communication spanning an OS/R boundary" — and
+    resource assignment is coarse and static.  This module is an
+    analytic model of that architecture, calibrated against the same
+    {!Covirt_hw.Cost_model}, so the bench harness can put concrete
+    numbers on the paper's qualitative claims:
+
+    - cross-VM IPC through a virtio-style device: the sender's
+      doorbell traps, the hypervisor copies the payload between
+      address spaces (no shared identity mappings exist), and the
+      receiver takes an injected interrupt (another exit pair);
+    - dynamic memory reassignment: a ballooning round trip that pauses
+      the VM, rewrites the second-level mappings and resumes — per
+      operation, orders of magnitude above Covirt's asynchronous EPT
+      update. *)
+
+open Covirt_hw
+
+val ipc_message_cycles : Cost_model.t -> words:int -> float
+(** Cycles for one cross-VM message of [words] 8-byte slots through a
+    paravirtual channel. *)
+
+val memory_reassign_cycles : Cost_model.t -> bytes:int -> vcpus:int -> float
+(** Cycles to move [bytes] between VMs via a balloon/remap cycle that
+    must pause all [vcpus]. *)
+
+val attach_equivalent_us : Cost_model.t -> bytes:int -> vcpus:int -> float
+(** The full-virtualization cost of what XEMEM attach does, in
+    microseconds (for the Fig. 4-style comparison). *)

@@ -1,0 +1,45 @@
+(** Covirt protection-feature configuration.
+
+    Covirt "implements a configurable and modular approach to resource
+    protection that allows runtime configuration of hypervisor
+    protection features" — should a feature cost too much for a given
+    workload, the operator disables it at enclave initialization.
+    These records are those switches; the five presets are the
+    configurations the paper's evaluation sweeps. *)
+
+open Covirt_hw
+
+type ipi_mode =
+  | Ipi_off
+  | Ipi_vapic_full  (** trap-and-emulate APIC; incoming interrupts exit *)
+  | Ipi_piv  (** posted-interrupt delivery; exitless incoming IPIs *)
+
+type t = {
+  enabled : bool;  (** false = boot natively, no hypervisor at all *)
+  memory : bool;  (** EPT protection *)
+  ipi : ipi_mode;
+  msr : bool;
+  io : bool;
+  max_ept_page : Addr.page_size;
+      (** coalescing cap; [Page_1g] normally, [Page_4k] for the
+          ablation *)
+}
+
+val native : t
+(** No Covirt: the baseline the paper calls "native". *)
+
+val none : t
+(** Hypervisor interposed, no protection features ("no-feature"). *)
+
+val mem : t
+val ipi : t
+val mem_ipi : t
+val full : t
+(** memory + IPI + MSR + I/O. *)
+
+val presets : (string * t) list
+(** The evaluation sweep, in paper order: native, none, mem, ipi,
+    mem+ipi. *)
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,227 @@
+open Covirt_hw
+open Covirt_pisces
+
+type instance = {
+  enclave : Enclave.t;
+  config : Config.t;
+  ept_mgr : Ept_manager.t option;
+  whitelist : Whitelist.t;
+  mutable hypervisors : (int * Hypervisor.t) list;
+  mutable reports : Fault_report.t list;
+}
+
+type t = {
+  pisces : Pisces.t;
+  default_config : Config.t;
+  overrides : (string, Config.t) Hashtbl.t;
+  mutable instances : (int * instance) list;
+  archived : (int, Fault_report.t list) Hashtbl.t;
+      (* reports survive enclave destruction: they are the master
+         control process's debugging record *)
+}
+
+let pisces t = t.pisces
+let default_config t = t.default_config
+let instances t = List.map snd t.instances
+
+let instance_for t ~enclave_id = List.assoc_opt enclave_id t.instances
+
+let reports_for t ~enclave_id =
+  match instance_for t ~enclave_id with
+  | Some i -> List.rev i.reports
+  | None ->
+      List.rev (Option.value ~default:[] (Hashtbl.find_opt t.archived enclave_id))
+
+let dropped_ipis t ~enclave_id =
+  match instance_for t ~enclave_id with
+  | Some i -> Whitelist.dropped i.whitelist
+  | None -> 0
+
+let total_flush_commands t =
+  List.fold_left
+    (fun acc (_, i) ->
+      List.fold_left (fun a (_, hv) -> a + Hypervisor.flushes hv) acc
+        i.hypervisors)
+    0 t.instances
+
+let config_for t enclave =
+  Option.value ~default:t.default_config
+    (Hashtbl.find_opt t.overrides enclave.Enclave.name)
+
+let set_override t ~enclave_name config =
+  Hashtbl.replace t.overrides enclave_name config
+
+(* ------------------------------------------------------------------ *)
+(* Hook implementations.                                               *)
+
+let on_created t enclave =
+  let config = config_for t enclave in
+  if config.Config.enabled then begin
+    let ept_mgr =
+      if config.Config.memory then
+        Some (Ept_manager.create ~max_page:config.Config.max_ept_page)
+      else None
+    in
+    let instance =
+      {
+        enclave;
+        config;
+        ept_mgr;
+        whitelist = Whitelist.create ~enclave_cores:enclave.Enclave.cores;
+        hypervisors = [];
+        reports = [];
+      }
+    in
+    (* Pre-build the identity map of the assigned memory before any
+       core can boot. *)
+    (match ept_mgr with
+    | Some mgr ->
+        let machine = Pisces.machine t.pisces in
+        Region.Set.iter
+          (fun region ->
+            Ept_manager.map machine ~host_cpu:(Pisces.host_cpu t.pisces) mgr
+              region)
+          enclave.Enclave.memory
+    | None -> ());
+    t.instances <- (enclave.Enclave.id, instance) :: t.instances
+  end
+
+let interpose t enclave (cpu : Cpu.t) ~bsp jump =
+  ignore bsp;
+  match instance_for t ~enclave_id:enclave.Enclave.id with
+  | None -> jump () (* native boot *)
+  | Some instance ->
+      let machine = Pisces.machine t.pisces in
+      let params =
+        match enclave.Enclave.boot_params with
+        | Some p -> p
+        | None -> invalid_arg "Covirt interposer: enclave has no boot params"
+      in
+      (* The controller writes the VMCS and the Covirt boot-parameter
+         structure before the CPU starts. *)
+      let vmcs =
+        Vmcs_builder.build ~enclave ~params ~core:cpu.Cpu.id
+          ~config:instance.config
+          ~ept:(Option.map Ept_manager.ept instance.ept_mgr)
+      in
+      let boot_params = Vmcs_builder.covirt_boot_params ~params in
+      let hv =
+        Hypervisor.create ~machine ~cpu ~vmcs ~boot_params
+          ~whitelist:instance.whitelist ~config:instance.config
+          ~report:(fun r -> instance.reports <- r :: instance.reports)
+      in
+      instance.hypervisors <- (cpu.Cpu.id, hv) :: instance.hypervisors;
+      Hypervisor.launch hv;
+      (* VM launch lands directly at the co-kernel entry point, with
+         the original Pisces boot parameters in a register. *)
+      jump ()
+
+let with_ept instance f =
+  match instance.ept_mgr with Some mgr -> f mgr | None -> ()
+
+let on_pre_map t enclave region =
+  match instance_for t ~enclave_id:enclave.Enclave.id with
+  | None -> ()
+  | Some instance ->
+      with_ept instance (fun mgr ->
+          let machine = Pisces.machine t.pisces in
+          (* Map first, transmit after: the enclave only learns of
+             memory that is already accessible.  No flush needed — no
+             core can hold a stale translation for a new mapping. *)
+          Ept_manager.map machine ~host_cpu:(Pisces.host_cpu t.pisces) mgr
+            region)
+
+let signal_all_cores t instance command =
+  let machine = Pisces.machine t.pisces in
+  List.iter
+    (fun (core, hv) ->
+      (match Command.enqueue (Hypervisor.queue hv) command with
+      | Ok () -> ()
+      | Error _ ->
+          (* A full ring means the core is wedged; drain by NMI first. *)
+          Machine.post_host_nmi machine ~dest:core;
+          Command.enqueue (Hypervisor.queue hv) command
+          |> Result.iter (fun () -> ()));
+      Machine.post_host_nmi machine ~dest:core)
+    instance.hypervisors
+
+let on_post_unmap t enclave region =
+  match instance_for t ~enclave_id:enclave.Enclave.id with
+  | None -> ()
+  | Some instance ->
+      with_ept instance (fun mgr ->
+          let machine = Pisces.machine t.pisces in
+          (* The co-kernel acked removal; pull the mapping, then force
+             every enclave core to flush before the frames can be
+             reused by anyone else. *)
+          Ept_manager.unmap machine ~host_cpu:(Pisces.host_cpu t.pisces) mgr
+            region;
+          signal_all_cores t instance (Command.Flush_tlb region);
+          (* The NMIs are synchronous in the simulation; assert the
+             protocol's postcondition anyway. *)
+          List.iter
+            (fun (_, hv) -> assert (Command.pending (Hypervisor.queue hv) = 0))
+            instance.hypervisors)
+
+let on_vector_grant t enclave ~vector ~peer_core =
+  match instance_for t ~enclave_id:enclave.Enclave.id with
+  | None -> ()
+  | Some instance ->
+      Whitelist.grant instance.whitelist ~vector ~dest:peer_core;
+      Cpu.charge (Pisces.host_cpu t.pisces) 150
+
+let on_vector_revoke t enclave ~vector =
+  match instance_for t ~enclave_id:enclave.Enclave.id with
+  | None -> ()
+  | Some instance ->
+      Whitelist.revoke instance.whitelist ~vector;
+      (* Revocation must synchronize: a core might be mid-decision. *)
+      signal_all_cores t instance Command.Whitelist_updated
+
+let on_destroyed t enclave =
+  (match instance_for t ~enclave_id:enclave.Enclave.id with
+  | Some i -> Hashtbl.replace t.archived enclave.Enclave.id i.reports
+  | None -> ());
+  t.instances <-
+    List.filter (fun (id, _) -> id <> enclave.Enclave.id) t.instances
+
+(* ------------------------------------------------------------------ *)
+
+let attach pisces ~config =
+  let t =
+    {
+      pisces;
+      default_config = config;
+      overrides = Hashtbl.create 4;
+      instances = [];
+      archived = Hashtbl.create 4;
+    }
+  in
+  let hooks = Pisces.hooks pisces in
+  hooks.Hooks.on_enclave_created <-
+    hooks.Hooks.on_enclave_created @ [ on_created t ];
+  hooks.Hooks.pre_memory_map <-
+    hooks.Hooks.pre_memory_map @ [ on_pre_map t ];
+  hooks.Hooks.post_memory_unmap <-
+    hooks.Hooks.post_memory_unmap @ [ on_post_unmap t ];
+  hooks.Hooks.pre_vector_grant <-
+    hooks.Hooks.pre_vector_grant
+    @ [ (fun e ~vector ~peer_core -> on_vector_grant t e ~vector ~peer_core) ];
+  hooks.Hooks.post_vector_revoke <-
+    hooks.Hooks.post_vector_revoke
+    @ [ (fun e ~vector -> on_vector_revoke t e ~vector) ];
+  hooks.Hooks.on_enclave_destroyed <-
+    hooks.Hooks.on_enclave_destroyed @ [ on_destroyed t ];
+  Hooks.set_boot_interposer hooks (fun e cpu ~bsp jump ->
+      interpose t e cpu ~bsp jump);
+  t
+
+let detach t =
+  let hooks = Pisces.hooks t.pisces in
+  hooks.Hooks.on_enclave_created <- [];
+  hooks.Hooks.pre_memory_map <- [];
+  hooks.Hooks.post_memory_unmap <- [];
+  hooks.Hooks.pre_vector_grant <- [];
+  hooks.Hooks.post_vector_revoke <- [];
+  hooks.Hooks.on_enclave_destroyed <- [];
+  Hooks.clear_boot_interposer hooks

@@ -1,0 +1,37 @@
+open Covirt_pisces
+
+module Config = Config
+module Command = Command
+module Whitelist = Whitelist
+module Fault_report = Fault_report
+module Ept_manager = Ept_manager
+module Vmcs_builder = Vmcs_builder
+module Hypervisor = Hypervisor
+module Controller = Controller
+
+let enable pisces ~config = Controller.attach pisces ~config
+let disable controller = Controller.detach controller
+let reports controller ~enclave_id = Controller.reports_for controller ~enclave_id
+let dropped_ipis controller ~enclave_id =
+  Controller.dropped_ipis controller ~enclave_id
+
+let protection_summary controller =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  List.iter
+    (fun (i : Controller.instance) ->
+      let n4k, n2m, n1g =
+        match i.Controller.ept_mgr with
+        | Some mgr -> Ept_manager.leaf_counts mgr
+        | None -> (0, 0, 0)
+      in
+      Format.fprintf ppf
+        "enclave %d (%s): config=%a ept-leaves=4K:%d/2M:%d/1G:%d \
+         dropped-ipis=%d reports=%d@."
+        i.Controller.enclave.Enclave.id i.Controller.enclave.Enclave.name
+        Config.pp i.Controller.config n4k n2m n1g
+        (Whitelist.dropped i.Controller.whitelist)
+        (List.length i.Controller.reports))
+    (Controller.instances controller);
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

@@ -1,0 +1,43 @@
+(** Covirt: lightweight fault isolation and resource protection for
+    co-kernels.
+
+    The public facade.  Typical use:
+
+    {[
+      let machine = Machine.create ~zones:2 ~cores_per_zone:4 ... () in
+      let hobbes = Hobbes.create machine ~host_core:0 in
+      let covirt = Covirt.enable (Hobbes.pisces hobbes) ~config:Covirt.Config.mem_ipi in
+      (* every enclave launched from here boots under the hypervisor *)
+    ]}
+
+    Protection is transparent: co-kernels boot and run unchanged, and
+    cross-enclave interfaces (XEMEM, IPC doorbells, syscall
+    forwarding) work exactly as natively — the controller keeps the
+    virtualization configuration synchronized with the resource
+    assignment underneath them. *)
+
+open Covirt_pisces
+
+module Config = Config
+module Command = Command
+module Whitelist = Whitelist
+module Fault_report = Fault_report
+module Ept_manager = Ept_manager
+module Vmcs_builder = Vmcs_builder
+module Hypervisor = Hypervisor
+module Controller = Controller
+
+val enable : Pisces.t -> config:Config.t -> Controller.t
+(** Attach the controller module to the co-kernel framework.  Applies
+    to enclaves created afterwards. *)
+
+val disable : Controller.t -> unit
+
+val reports : Controller.t -> enclave_id:int -> Fault_report.t list
+(** Fault reports collected by the enclave's hypervisors, oldest
+    first. *)
+
+val dropped_ipis : Controller.t -> enclave_id:int -> int
+
+val protection_summary : Controller.t -> string
+(** Human-readable status of all protected enclaves. *)

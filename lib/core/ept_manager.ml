@@ -1,0 +1,22 @@
+open Covirt_hw
+
+type t = { ept : Ept.t }
+
+let create ~max_page = { ept = Ept.create ~max_page () }
+let ept t = t.ept
+
+let charge_writes machine ~host_cpu t f =
+  let before = Ept.entry_writes t.ept in
+  f ();
+  let writes = Ept.entry_writes t.ept - before in
+  Cpu.charge host_cpu
+    (writes * machine.Machine.model.Cost_model.ept_entry_update)
+
+let map machine ~host_cpu t region =
+  charge_writes machine ~host_cpu t (fun () -> Ept.map_region t.ept region)
+
+let unmap machine ~host_cpu t region =
+  charge_writes machine ~host_cpu t (fun () -> Ept.unmap_region t.ept region)
+
+let mapped_bytes t = Region.Set.total_bytes (Ept.regions t.ept)
+let leaf_counts t = Ept.leaf_counts t.ept

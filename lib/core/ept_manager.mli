@@ -1,0 +1,30 @@
+(** Host-side EPT management.
+
+    The controller builds and mutates the enclave's nested page tables
+    directly — "configuration modifications are performed by the
+    controller by directly modifying the hardware-level data
+    structures associated with the co-kernel's virtualization
+    context".  All maps are identity with full permissions; contiguous
+    ranges coalesce into 2M/1G leaves up to the configured cap.
+
+    Every call charges the given host core for the EPT entry writes it
+    performed — these costs land on the {e controller's} core, not the
+    enclave's, which is the asynchronous-update property Fig. 4
+    depends on. *)
+
+open Covirt_hw
+
+type t
+
+val create : max_page:Addr.page_size -> t
+val ept : t -> Ept.t
+
+val map :
+  Machine.t -> host_cpu:Cpu.t -> t -> Region.t -> unit
+(** Identity-map a region (page-aligned; regions from the Pisces
+    allocator and XEMEM frame lists always are). *)
+
+val unmap : Machine.t -> host_cpu:Cpu.t -> t -> Region.t -> unit
+
+val mapped_bytes : t -> int
+val leaf_counts : t -> int * int * int

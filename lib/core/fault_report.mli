@@ -1,0 +1,25 @@
+(** Contained-fault reports.
+
+    When the hypervisor terminates an enclave (or silently drops an
+    errant operation) it produces a report for the master control
+    process — the paper's debugging-trace capability.  Reports are the
+    observable artifact fault-injection tests assert on. *)
+
+type kind =
+  | Memory_violation
+  | Errant_ipi
+  | Msr_violation
+  | Io_violation
+  | Abort_fault
+
+type t = {
+  enclave : int;
+  cpu : int;
+  tsc : int;
+  kind : kind;
+  fatal : bool;  (** true when the enclave was terminated *)
+  detail : string;
+}
+
+val kind_name : kind -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+open Covirt_hw
+open Covirt_pisces
+
+let piv_notification_vector = 0xf2
+
+let build ~enclave ~params ~core ~config ~ept =
+  (match (config.Config.memory, ept) with
+  | true, None -> invalid_arg "Vmcs_builder.build: memory protection needs EPT"
+  | false, Some _ -> invalid_arg "Vmcs_builder.build: EPT without protection"
+  | true, Some _ | false, None -> ());
+  let controls =
+    {
+      Vmcs.ept;
+      msr_bitmap =
+        (if config.Config.msr then Some (Msr.Bitmap.default_sensitive ())
+         else None);
+      io_bitmap =
+        (if config.Config.io then Some (Io_port.Bitmap.default_sensitive ())
+         else None);
+      vapic =
+        (match config.Config.ipi with
+        | Config.Ipi_off -> Vmcs.Vapic_off
+        | Config.Ipi_vapic_full -> Vmcs.Vapic_full
+        | Config.Ipi_piv ->
+            Vmcs.Vapic_piv { notification_vector = piv_notification_vector });
+    }
+  in
+  let guest =
+    {
+      Vmcs.entry_rip = params.Boot_params.entry_addr;
+      boot_params_gpa = params.Boot_params.entry_addr - Addr.page_size_4k;
+      long_mode = true;
+    }
+  in
+  Vmcs.create ~vcpu:core ~enclave:enclave.Enclave.id ~guest ~controls
+
+let covirt_boot_params ~params =
+  let first_region =
+    match params.Boot_params.assigned_memory with
+    | r :: _ -> r
+    | [] -> invalid_arg "Vmcs_builder.covirt_boot_params: no memory"
+  in
+  (* The Covirt structures live in the pages just below the co-kernel
+     image, inside the enclave's first region. *)
+  let base = first_region.Region.base in
+  {
+    Boot_params.pisces_params = params;
+    vmcs_addr = base + (2 * Addr.page_size_4k);
+    command_queue_addr = base + (3 * Addr.page_size_4k);
+    hypervisor_stack =
+      Region.make
+        ~base:(base + (4 * Addr.page_size_4k))
+        ~len:Boot_params.hypervisor_stack_bytes;
+  }

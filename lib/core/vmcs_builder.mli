@@ -1,0 +1,29 @@
+(** Constructing the guest context.
+
+    Covirt "configures the virtualization context to mirror the
+    hardware state that would have resulted if the co-kernel had been
+    booted normally by Pisces": entry at the co-kernel start address,
+    64-bit long mode, identity mappings, and the original Pisces
+    boot-parameter address in the launch register.  The controller
+    calls this before the core boots; the hypervisor merely loads the
+    result. *)
+
+open Covirt_hw
+open Covirt_pisces
+
+val build :
+  enclave:Enclave.t ->
+  params:Boot_params.pisces ->
+  core:int ->
+  config:Config.t ->
+  ept:Ept.t option ->
+  Vmcs.t
+(** [ept] must be [Some] exactly when [config.memory] is set
+    ([Invalid_argument] otherwise — a memory-protected VMCS without
+    tables would be a controller bug). *)
+
+val covirt_boot_params :
+  params:Boot_params.pisces -> Boot_params.covirt
+(** The replacement boot structure: VM configuration, command queue,
+    hypervisor stack, and the pointer to the unmodified Pisces
+    structure. *)

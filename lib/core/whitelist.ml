@@ -1,0 +1,29 @@
+open Covirt_hw
+
+type t = {
+  enclave_cores : int list;
+  mutable allowed : (int * int) list;
+  mutable dropped : int;
+}
+
+let create ~enclave_cores = { enclave_cores; allowed = []; dropped = 0 }
+
+let grant t ~vector ~dest =
+  if not (List.mem (vector, dest) t.allowed) then
+    t.allowed <- (vector, dest) :: t.allowed
+
+let revoke t ~vector =
+  t.allowed <- List.filter (fun (v, _) -> v <> vector) t.allowed
+
+let permits t ~icr =
+  let { Apic.dest; vector; kind } = icr in
+  let internal = List.mem dest t.enclave_cores in
+  match kind with
+  | Apic.Fixed -> internal || List.mem (vector, dest) t.allowed
+  | Apic.Nmi | Apic.Init | Apic.Startup ->
+      (* Reset-class and NMI IPIs never leave the enclave. *)
+      internal
+
+let note_dropped t = t.dropped <- t.dropped + 1
+let dropped t = t.dropped
+let grants t = t.allowed

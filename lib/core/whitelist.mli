@@ -1,0 +1,22 @@
+(** IPI transmission whitelist.
+
+    The hypervisor "compare[s] the destination CPU and vector against
+    a whitelist in order to verify that the IPI operation is
+    permitted, and any errant IPIs are simply dropped".  Intra-enclave
+    fixed IPIs are always permitted (the enclave owns those cores);
+    cross-enclave doorbells require an explicit (vector, destination)
+    grant, which the controller installs when Hobbes grants the
+    vector.  INIT/SIPI/NMI never cross the enclave boundary. *)
+
+open Covirt_hw
+
+type t
+
+val create : enclave_cores:int list -> t
+val grant : t -> vector:int -> dest:int -> unit
+val revoke : t -> vector:int -> unit
+val permits : t -> icr:Apic.icr -> bool
+val note_dropped : t -> unit
+val dropped : t -> int
+val grants : t -> (int * int) list
+(** Current (vector, dest) pairs. *)

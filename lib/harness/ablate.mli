@@ -1,0 +1,45 @@
+(** Ablation studies for Covirt's design decisions.
+
+    Each returns a rendered table quantifying what a design choice
+    buys:
+
+    - {!coalescing}: EPT large-page coalescing (the 2M/1G mappings of
+      Section IV-C) vs a naive 4K-only EPT, on RandomAccess — walk
+      depth and entry-count effects;
+    - {!piv_vs_full}: posted-interrupt (PIV) delivery vs full APIC
+      trap-and-emulate, on cross-enclave doorbell IPC — the cost of
+      exit-per-incoming-interrupt;
+    - {!sync_vs_async}: the split controller/hypervisor architecture's
+      asynchronous configuration updates vs a strawman that traps every
+      enclave core for each update, on XEMEM attach latency. *)
+
+type coalescing_row = {
+  ept_pages : string;
+  gups : float;
+  overhead_vs_native : float;
+  leaves : int;
+}
+
+val coalescing : ?quick:bool -> unit -> coalescing_row list
+val coalescing_table : coalescing_row list -> Covirt_sim.Table.t
+
+type ipi_row = {
+  mode : string;
+  cycles_per_doorbell : float;
+  incoming_exits : int;
+  cycles_per_device_rx : float;
+      (** external (device MSI) interrupt cost — exits even under PIV *)
+}
+
+val piv_vs_full : ?doorbells:int -> unit -> ipi_row list
+val piv_table : ipi_row list -> Covirt_sim.Table.t
+
+type sync_row = {
+  size_bytes : int;
+  async_us : float;
+  sync_us : float;
+  penalty : float;
+}
+
+val sync_vs_async : ?quick:bool -> unit -> sync_row list
+val sync_table : sync_row list -> Covirt_sim.Table.t

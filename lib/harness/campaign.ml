@@ -1,0 +1,141 @@
+open Covirt_hw
+open Covirt_pisces
+open Covirt_kitten
+
+type outcome = Contained | Node_down | Collateral | Latent
+
+type row = {
+  config : string;
+  trials : int;
+  contained : int;
+  node_down : int;
+  collateral : int;
+  latent : int;
+}
+
+let gib = Covirt_sim.Units.gib
+let mib = Covirt_sim.Units.mib
+
+type fault =
+  | Wild_write of Addr.t
+  | Phantom_touch of Addr.t
+  | Errant_ipi of { dest : int; vector : int }
+  | Msr_write
+  | Port_reset
+  | Double_fault
+
+let random_fault rng ~machine_mem ~victim_bsp =
+  match Covirt_sim.Rng.int rng ~bound:6 with
+  | 0 ->
+      (* anywhere in physical memory, 8-byte aligned *)
+      Wild_write (Covirt_sim.Rng.int rng ~bound:(machine_mem / 8) * 8)
+  | 1 ->
+      let page =
+        Covirt_sim.Rng.int rng ~bound:(machine_mem / Addr.page_size_2m)
+      in
+      Phantom_touch (page * Addr.page_size_2m)
+  | 2 ->
+      Errant_ipi
+        { dest = victim_bsp; vector = Covirt_sim.Rng.int rng ~bound:256 }
+  | 3 -> Msr_write
+  | 4 -> Port_reset
+  | 5 -> Double_fault
+  | _ -> assert false
+
+let one_trial ~config ~seed fault_of =
+  let machine =
+    Machine.create ~seed ~zones:2 ~cores_per_zone:3 ~mem_per_zone:(4 * gib) ()
+  in
+  let hobbes = Covirt_hobbes.Hobbes.create machine ~host_core:0 in
+  let _controller = Covirt.enable (Covirt_hobbes.Hobbes.pisces hobbes) ~config in
+  let launch name cores zone =
+    match
+      Covirt_hobbes.Hobbes.launch_enclave hobbes ~name ~cores
+        ~mem:[ (zone, 512 * mib) ] ()
+    with
+    | Ok pair -> pair
+    | Error e -> failwith e
+  in
+  let attacker, attacker_kitten = launch "attacker" [ 1 ] 0 in
+  let victim, victim_kitten = launch "victim" [ 3 ] 1 in
+  ignore attacker;
+  let ctx = Kitten.context attacker_kitten ~core:1 in
+  let fault = fault_of ~victim_bsp:(Enclave.bsp victim) in
+  let inject () =
+    match fault with
+    | Wild_write addr -> Kitten.store_addr ctx addr
+    | Phantom_touch addr ->
+        Kitten.inject_phantom_region attacker_kitten
+          (Region.make ~base:(Addr.page_down addr ~size:Addr.page_size_2m)
+             ~len:Addr.page_size_2m);
+        Kitten.store_addr ctx addr
+    | Errant_ipi { dest; vector } -> Kitten.send_ipi ctx ~dest ~vector
+    | Msr_write -> Kitten.wrmsr_sensitive ctx
+    | Port_reset -> Kitten.out_reset_port ctx
+    | Double_fault -> Kitten.trigger_double_fault ctx
+  in
+  match Pisces.run_guarded (Covirt_hobbes.Hobbes.pisces hobbes) inject with
+  | exception Machine.Node_panic _ -> Node_down
+  | Error _ -> Contained
+  | Ok () -> (
+      if Machine.panicked machine <> None then Node_down
+      else
+        match Kitten.health victim_kitten with
+        | `Corrupted _ -> Collateral
+        | `Ok -> (
+            (* a self-inflicted wound only hurts the attacker; a
+               dropped errant op is containment *)
+            match fault with
+            | Errant_ipi _ -> Contained (* delivered nowhere harmful or dropped *)
+            | Wild_write _ | Phantom_touch _ -> Latent
+            | Msr_write | Port_reset | Double_fault -> Latent))
+
+let run ?(trials = 60) ?(seed = 2026) () =
+  List.map
+    (fun (name, config) ->
+      let rng = Covirt_sim.Rng.create ~seed in
+      let tally = Hashtbl.create 4 in
+      let bump outcome =
+        Hashtbl.replace tally outcome
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tally outcome))
+      in
+      for i = 1 to trials do
+        let machine_mem = 8 * gib in
+        let outcome =
+          one_trial ~config ~seed:(seed + i) (fun ~victim_bsp ->
+              random_fault rng ~machine_mem ~victim_bsp)
+        in
+        bump outcome
+      done;
+      let count o = Option.value ~default:0 (Hashtbl.find_opt tally o) in
+      {
+        config = name;
+        trials;
+        contained = count Contained;
+        node_down = count Node_down;
+        collateral = count Collateral;
+        latent = count Latent;
+      })
+    (Covirt.Config.presets @ [ ("full(+msr+io)", Covirt.Config.full) ])
+
+let table rows =
+  let t =
+    Covirt_sim.Table.create
+      ~columns:
+        [ "config"; "trials"; "contained"; "node down"; "collateral"; "latent" ]
+  in
+  List.iter
+    (fun r ->
+      Covirt_sim.Table.add_row t
+        [
+          r.config;
+          string_of_int r.trials;
+          string_of_int r.contained;
+          string_of_int r.node_down;
+          string_of_int r.collateral;
+          string_of_int r.latent;
+        ])
+    rows;
+  t
+
+let containment_rate r = float_of_int r.contained /. float_of_int r.trials

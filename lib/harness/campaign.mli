@@ -1,0 +1,36 @@
+(** Randomized fault-injection campaign.
+
+    The statistical version of the containment story: inject a random
+    fault from the paper's taxonomy (wild writes at random addresses,
+    phantom-map touches, errant IPIs with random vectors/destinations,
+    MSR/port/abort events) into a fresh two-enclave stack, under each
+    protection configuration, many times — and tabulate what happened:
+
+    - {b contained}: the offending enclave was terminated (or the
+      operation dropped) and nothing else was harmed;
+    - {b node down}: the injected fault killed the simulated node;
+    - {b collateral}: some other tenant was corrupted or crashed;
+    - {b latent}: the fault executed with no detected consequence (a
+      write to free memory — a time bomb).
+
+    The expected shape: native contains nothing; each feature contains
+    exactly its fault classes; the full configuration contains
+    everything. *)
+
+type outcome = Contained | Node_down | Collateral | Latent
+
+type row = {
+  config : string;
+  trials : int;
+  contained : int;
+  node_down : int;
+  collateral : int;
+  latent : int;
+}
+
+val run : ?trials:int -> ?seed:int -> unit -> row list
+(** [trials] faults per configuration (default 60). *)
+
+val table : row list -> Covirt_sim.Table.t
+
+val containment_rate : row -> float

@@ -1,0 +1,110 @@
+open Covirt_hw
+
+open Covirt_kitten
+
+type ipc_row = { architecture : string; cycles_per_message : float }
+
+let mib = Covirt_sim.Units.mib
+let gib = Covirt_sim.Units.gib
+
+let measured_ipc ~words ~messages config =
+  let machine =
+    Machine.create ~zones:2 ~cores_per_zone:3 ~mem_per_zone:(4 * gib) ()
+  in
+  let hobbes = Covirt_hobbes.Hobbes.create machine ~host_core:0 in
+  let _controller = Covirt.enable (Covirt_hobbes.Hobbes.pisces hobbes) ~config in
+  let launch name cores zone =
+    match
+      Covirt_hobbes.Hobbes.launch_enclave hobbes ~name ~cores
+        ~mem:[ (zone, 512 * mib) ] ()
+    with
+    | Ok pair -> pair
+    | Error e -> failwith e
+  in
+  let producer = launch "p" [ 1 ] 0 in
+  let consumer = launch "c" [ 3 ] 1 in
+  let channel =
+    match
+      Covirt_hobbes.Ipc.connect hobbes ~producer ~consumer ~name:"cmp"
+        ~ring_bytes:(words * 8)
+    with
+    | Ok ch -> ch
+    | Error e -> failwith e
+  in
+  let ctx = Kitten.context (snd producer) ~core:1 in
+  let cons_cpu = Machine.cpu machine 3 in
+  let t0 = Cpu.rdtsc ctx.Kitten.cpu + Cpu.rdtsc cons_cpu in
+  for _ = 1 to messages do
+    Covirt_hobbes.Ipc.send channel ctx ~words
+  done;
+  let t1 = Cpu.rdtsc ctx.Kitten.cpu + Cpu.rdtsc cons_cpu in
+  float_of_int (t1 - t0) /. float_of_int messages
+
+let ipc ?(words = 64) ?(messages = 500) () =
+  [
+    {
+      architecture = "native co-kernels";
+      cycles_per_message = measured_ipc ~words ~messages Covirt.Config.native;
+    };
+    {
+      architecture = "Covirt (mem+ipi)";
+      cycles_per_message = measured_ipc ~words ~messages Covirt.Config.mem_ipi;
+    };
+    {
+      architecture = "full virtualization (model)";
+      cycles_per_message =
+        Covirt_baselines.Full_virt.ipc_message_cycles Cost_model.default ~words;
+    };
+  ]
+
+let ipc_table rows =
+  let t =
+    Covirt_sim.Table.create ~columns:[ "architecture"; "cycles/message" ]
+  in
+  List.iter
+    (fun r ->
+      Covirt_sim.Table.add_row t
+        [ r.architecture; Format.asprintf "%.0f" r.cycles_per_message ])
+    rows;
+  t
+
+type share_row = {
+  size_bytes : int;
+  covirt_attach_us : float;
+  full_virt_us : float;
+  ratio : float;
+}
+
+let sharing ?(quick = false) () =
+  let points = Fig4.run ~quick () in
+  List.map
+    (fun p ->
+      let full_virt_us =
+        Covirt_baselines.Full_virt.attach_equivalent_us Cost_model.default
+          ~bytes:p.Fig4.size_bytes ~vcpus:1
+      in
+      {
+        size_bytes = p.Fig4.size_bytes;
+        covirt_attach_us = p.Fig4.covirt_us;
+        full_virt_us;
+        ratio = full_virt_us /. p.Fig4.covirt_us;
+      })
+    points
+
+let sharing_table rows =
+  let t =
+    Covirt_sim.Table.create
+      ~columns:
+        [ "region size"; "covirt attach (us)"; "full-virt remap (us)"; "ratio" ]
+  in
+  List.iter
+    (fun r ->
+      Covirt_sim.Table.add_row t
+        [
+          Format.asprintf "%a" Covirt_sim.Units.pp_bytes r.size_bytes;
+          Covirt_sim.Table.cell_f r.covirt_attach_us;
+          Covirt_sim.Table.cell_f r.full_virt_us;
+          Format.asprintf "%.1fx" r.ratio;
+        ])
+    rows;
+  t

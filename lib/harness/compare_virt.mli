@@ -1,0 +1,28 @@
+(** Covirt vs traditional virtualization (the Fig. 1 architecture
+    comparison, quantified).
+
+    The paper's motivation for not just running co-kernels in VMs:
+    full virtualization mediates every cross-OS/R interaction.  These
+    runners measure Covirt's actual IPC and attach paths and set them
+    against the {!Covirt_baselines.Full_virt} model. *)
+
+type ipc_row = { architecture : string; cycles_per_message : float }
+
+val ipc : ?words:int -> ?messages:int -> unit -> ipc_row list
+(** Cross-enclave message cost: native co-kernels, Covirt-protected
+    co-kernels, and full virtualization. *)
+
+val ipc_table : ipc_row list -> Covirt_sim.Table.t
+
+type share_row = {
+  size_bytes : int;
+  covirt_attach_us : float;
+  full_virt_us : float;
+  ratio : float;
+}
+
+val sharing : ?quick:bool -> unit -> share_row list
+(** Dynamic memory sharing: XEMEM attach under Covirt vs the
+    balloon/remap round trip a VM boundary forces. *)
+
+val sharing_table : share_row list -> Covirt_sim.Table.t

@@ -1,0 +1,84 @@
+open Covirt_hw
+open Covirt_pisces
+open Covirt_kitten
+
+type layout = {
+  layout_name : string;
+  cores : int list;
+  mem : (Numa.zone * int) list;
+}
+
+let gib = Covirt_sim.Units.gib
+let enclave_mem_bytes = 14 * gib
+let half_mem = enclave_mem_bytes / 2
+
+(* Machine shape: 2 zones x 5 cores; core 0 is the host control core,
+   cores 1-4 are zone 0, cores 5-9 are zone 1. *)
+let cores_per_zone = 5
+
+let layout_1x1 =
+  { layout_name = "1 core / 1 zone"; cores = [ 1 ]; mem = [ (0, enclave_mem_bytes) ] }
+
+let layout_4x2 =
+  {
+    layout_name = "4 cores / 2 zones";
+    cores = [ 1; 2; 5; 6 ];
+    mem = [ (0, half_mem); (1, half_mem) ];
+  }
+
+let layout_4x1 =
+  {
+    layout_name = "4 cores / 1 zone";
+    cores = [ 1; 2; 3; 4 ];
+    mem = [ (0, enclave_mem_bytes) ];
+  }
+
+let layout_8x2 =
+  {
+    layout_name = "8 cores / 2 zones";
+    cores = [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+    mem = [ (0, half_mem); (1, half_mem) ];
+  }
+
+let scaling_layouts = [ layout_1x1; layout_4x2; layout_4x1; layout_8x2 ]
+
+type setup = {
+  machine : Machine.t;
+  hobbes : Covirt_hobbes.Hobbes.t;
+  controller : Covirt.Controller.t;
+  enclave : Enclave.t;
+  kitten : Kitten.t;
+  config : Covirt.Config.t;
+}
+
+let with_setup ~config ?(layout = layout_1x1) ?(seed = 42) ?(timer_hz = 10.0)
+    body =
+  let machine =
+    Machine.create ~seed ~zones:2 ~cores_per_zone ~mem_per_zone:(32 * gib) ()
+  in
+  let hobbes = Covirt_hobbes.Hobbes.create machine ~host_core:0 in
+  let controller =
+    Covirt.enable (Covirt_hobbes.Hobbes.pisces hobbes) ~config
+  in
+  match
+    Covirt_hobbes.Hobbes.launch_enclave hobbes ~name:"bench" ~cores:layout.cores
+      ~mem:layout.mem ~timer_hz ()
+  with
+  | Error e -> failwith ("Experiments.with_setup: " ^ e)
+  | Ok (enclave, kitten) ->
+      body { machine; hobbes; controller; enclave; kitten; config }
+
+let contexts setup =
+  List.map
+    (fun core -> Kitten.context setup.kitten ~core)
+    (Kitten.cores setup.kitten)
+
+let table1 =
+  [
+    ("Selfish Detour", "1.0.7", "None");
+    ("STREAM", "5.10", "None");
+    ("RandomAccess_OMP", "10/28/04", "25");
+    ("HPCG", "Revision 3.1", "104 104 104 330");
+    ("MiniFE", "2.0", "nx 250 ny 250 nz 250");
+    ("LAMMPS", "3 Mar 2020", "None");
+  ]

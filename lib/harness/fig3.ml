@@ -1,0 +1,101 @@
+open Covirt_workloads
+
+type row = {
+  config : string;
+  detour_count : int;
+  total_detour_us : float;
+  noise_fraction : float;
+  median_detour_us : float;
+  max_detour_us : float;
+  histogram : Covirt_sim.Histogram.t;
+  detours : (float * float) list;  (* (at_us, duration_us) *)
+}
+
+let run ?(quick = false) ?(seed = 42) () =
+  let duration_s = if quick then 0.5 else 2.0 in
+  List.map
+    (fun (name, config) ->
+      Experiments.with_setup ~config ~seed (fun setup ->
+          let ctx = List.hd (Experiments.contexts setup) in
+          let result = Selfish.run ctx ~duration_s () in
+          let durations =
+            Array.of_list
+              (List.map (fun d -> d.Selfish.duration_us) result.Selfish.detours)
+          in
+          {
+            config = name;
+            detour_count = List.length result.Selfish.detours;
+            total_detour_us = result.Selfish.total_detour_us;
+            noise_fraction = result.Selfish.noise_fraction;
+            median_detour_us =
+              (if Array.length durations = 0 then 0.0
+               else Covirt_sim.Stats.percentile durations ~p:50.0);
+            max_detour_us =
+              Array.fold_left Float.max 0.0 durations;
+            histogram = result.Selfish.histogram;
+            detours =
+              List.map
+                (fun d -> (d.Selfish.at_us, d.Selfish.duration_us))
+                result.Selfish.detours;
+          }))
+    Covirt.Config.presets
+
+let table rows =
+  let t =
+    Covirt_sim.Table.create
+      ~columns:
+        [ "config"; "detours"; "total noise (us)"; "noise fraction";
+          "median (us)"; "max (us)" ]
+  in
+  List.iter
+    (fun r ->
+      Covirt_sim.Table.add_row t
+        [
+          r.config;
+          string_of_int r.detour_count;
+          Covirt_sim.Table.cell_f r.total_detour_us;
+          Format.asprintf "%.5f%%" (r.noise_fraction *. 100.0);
+          Covirt_sim.Table.cell_f r.median_detour_us;
+          Covirt_sim.Table.cell_f r.max_detour_us;
+        ])
+    rows;
+  t
+
+let print_histograms rows =
+  List.iter
+    (fun r ->
+      Format.printf "-- %s --@.%a@." r.config Covirt_sim.Histogram.pp
+        r.histogram)
+    rows
+
+let print_scatter rows ~duration_s =
+  (* time on the x axis (columns), detour magnitude as a glyph: the
+     shape of the paper's Fig. 3 panels *)
+  let columns = 72 in
+  let duration_us = duration_s *. 1e6 in
+  List.iter
+    (fun row ->
+      let cells = Array.make columns ' ' in
+      List.iter
+        (fun (at_us, duration) ->
+          let col =
+            min (columns - 1)
+              (int_of_float (at_us /. duration_us *. float_of_int columns))
+          in
+          let glyph =
+            if duration < 1.0 then '.'
+            else if duration < 2.0 then ':'
+            else if duration < 4.0 then '*'
+            else '#'
+          in
+          (* keep the largest glyph per column *)
+          let rank c =
+            match c with '.' -> 1 | ':' -> 2 | '*' -> 3 | '#' -> 4 | _ -> 0
+          in
+          if rank glyph > rank cells.(col) then cells.(col) <- glyph)
+        row.detours;
+      Format.printf "%-8s |%s|@." row.config (String.init columns (Array.get cells)))
+    rows;
+  Format.printf "%-8s  %s@." "" (String.make columns '-');
+  Format.printf "%-8s  0s%*s@." "" (columns - 2)
+    (Format.asprintf "%.1fs" duration_s)

@@ -1,0 +1,105 @@
+open Covirt_hw
+open Covirt_pisces
+open Covirt_kitten
+
+type point = {
+  size_bytes : int;
+  native_us : float;
+  covirt_us : float;
+  overhead : float;
+}
+
+let mib = Covirt_sim.Units.mib
+
+(* One attach measurement: a second enclave exports a region of the
+   given size; the benchmark enclave attaches and we read its boot
+   core's TSC around the call. *)
+let measure_attach setup ~size =
+  let hobbes = setup.Experiments.hobbes in
+  match
+    Covirt_hobbes.Hobbes.launch_enclave hobbes ~name:"exporter" ~cores:[ 9 ]
+      ~mem:[ (1, (2 * Covirt_sim.Units.gib) + (2 * size)) ]
+      ()
+  with
+  | Error e -> failwith ("fig4 exporter: " ^ e)
+  | Ok (exporter_enclave, exporter_kitten) -> (
+      let name = Printf.sprintf "seg-%d" size in
+      (match Kitten.kalloc exporter_kitten ~bytes:size with
+      | Error e -> failwith ("fig4 kalloc: " ^ e)
+      | Ok base -> (
+          let xemem = Covirt_hobbes.Hobbes.xemem hobbes in
+          match
+            Covirt_xemem.Xemem.export xemem
+              ~exporter:
+                (Covirt_xemem.Name_service.Enclave_export
+                   exporter_enclave.Enclave.id)
+              ~name
+              ~pages:[ Region.make ~base ~len:size ]
+          with
+          | Error e -> failwith ("fig4 export: " ^ e)
+          | Ok _segid -> (
+              let caller =
+                Machine.cpu setup.Experiments.machine
+                  (Enclave.bsp setup.Experiments.enclave)
+              in
+              let t0 = Cpu.rdtsc caller in
+              match
+                Covirt_xemem.Xemem.attach xemem setup.Experiments.enclave ~name
+              with
+              | Error e -> failwith ("fig4 attach: " ^ e)
+              | Ok (_addr, _len) ->
+                  let dt = Cpu.rdtsc caller - t0 in
+                  let us =
+                    Covirt_sim.Units.cycles_to_us
+                      ~ghz:
+                        setup.Experiments.machine.Machine.model
+                          .Cost_model.ghz
+                      dt
+                  in
+                  (match
+                     Covirt_xemem.Xemem.detach xemem setup.Experiments.enclave
+                       ~name
+                   with
+                  | Ok () -> ()
+                  | Error e -> failwith ("fig4 detach: " ^ e));
+                  us))))
+
+let sizes ~quick =
+  let max_log2 = if quick then 6 else 10 in
+  List.init (max_log2 + 1) (fun i -> (1 lsl i) * mib)
+
+let run ?(quick = false) ?(seed = 42) () =
+  let measure config size =
+    Experiments.with_setup ~config ~layout:Experiments.layout_1x1 ~seed
+      (fun setup -> measure_attach setup ~size)
+  in
+  List.map
+    (fun size ->
+      let native_us = measure Covirt.Config.native size in
+      let covirt_us = measure Covirt.Config.mem_ipi size in
+      {
+        size_bytes = size;
+        native_us;
+        covirt_us;
+        overhead =
+          Covirt_sim.Stats.relative_overhead ~baseline:native_us
+            ~measured:covirt_us;
+      })
+    (sizes ~quick)
+
+let table points =
+  let t =
+    Covirt_sim.Table.create
+      ~columns:[ "region size"; "native (us)"; "covirt (us)"; "overhead" ]
+  in
+  List.iter
+    (fun p ->
+      Covirt_sim.Table.add_row t
+        [
+          Format.asprintf "%a" Covirt_sim.Units.pp_bytes p.size_bytes;
+          Covirt_sim.Table.cell_f p.native_us;
+          Covirt_sim.Table.cell_f p.covirt_us;
+          Covirt_sim.Table.cell_pct p.overhead;
+        ])
+    points;
+  t

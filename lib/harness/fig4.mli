@@ -1,0 +1,22 @@
+(** Fig. 4 — XEMEM attach delay vs region size, Covirt on/off.
+
+    "Operation latencies were measured by sampling the co-kernel's
+    hardware TSC counter immediately before and after an XEMEM attach
+    operation" for region sizes up to 1024 MB.  The expected result:
+    Covirt imposes little to no overhead, because the controller's EPT
+    update is coalesced into a handful of large-page entry writes and
+    is dwarfed by the per-frame page-list transmission both
+    configurations pay. *)
+
+type point = {
+  size_bytes : int;
+  native_us : float;
+  covirt_us : float;
+  overhead : float;  (** relative *)
+}
+
+val run : ?quick:bool -> ?seed:int -> unit -> point list
+(** Region sizes 1 MB .. 1024 MB in powers of two ([quick]: up to
+    64 MB). *)
+
+val table : point list -> Covirt_sim.Table.t

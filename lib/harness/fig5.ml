@@ -1,0 +1,91 @@
+open Covirt_workloads
+
+type row = {
+  config : string;
+  triad_mb_s : float;
+  copy_mb_s : float;
+  gups : float;
+  stream_overhead : float;
+  gups_overhead : float;
+}
+
+type raw = { r_triad : float; r_copy : float; r_gups : float }
+
+let measure ~quick ~seed config =
+  Experiments.with_setup ~config ~layout:Experiments.layout_1x1 ~seed
+    (fun setup ->
+      let ctxs = Experiments.contexts setup in
+      let elems = if quick then 1_000_000 else Stream.default_elems in
+      let iters = if quick then 3 else 10 in
+      let stream =
+        match Stream.run ctxs ~elems ~iters () with
+        | Ok r -> r
+        | Error e -> failwith ("fig5 stream: " ^ e)
+      in
+      let log2_table = if quick then 22 else Random_access.default_log2_table in
+      let gups =
+        match Random_access.run ctxs ~log2_table () with
+        | Ok r -> r
+        | Error e -> failwith ("fig5 gups: " ^ e)
+      in
+      assert (gups.Random_access.verify_errors = 0);
+      {
+        r_triad = stream.Stream.triad_mb_s;
+        r_copy = stream.Stream.copy_mb_s;
+        r_gups = gups.Random_access.gups;
+      })
+
+let run ?(quick = false) ?(seed = 42) () =
+  let raws =
+    List.map
+      (fun (name, config) -> (name, measure ~quick ~seed config))
+      Covirt.Config.presets
+  in
+  let baseline = List.assoc "native" raws in
+  List.map
+    (fun (name, raw) ->
+      {
+        config = name;
+        triad_mb_s = raw.r_triad;
+        copy_mb_s = raw.r_copy;
+        gups = raw.r_gups;
+        stream_overhead =
+          Covirt_sim.Stats.relative_slowdown_of_rates
+            ~baseline:baseline.r_triad ~measured:raw.r_triad;
+        gups_overhead =
+          Covirt_sim.Stats.relative_slowdown_of_rates ~baseline:baseline.r_gups
+            ~measured:raw.r_gups;
+      })
+    raws
+
+let stream_table rows =
+  let t =
+    Covirt_sim.Table.create
+      ~columns:[ "config"; "copy MB/s"; "triad MB/s"; "vs native" ]
+  in
+  List.iter
+    (fun r ->
+      Covirt_sim.Table.add_row t
+        [
+          r.config;
+          Covirt_sim.Table.cell_f r.copy_mb_s;
+          Covirt_sim.Table.cell_f r.triad_mb_s;
+          Covirt_sim.Table.cell_pct r.stream_overhead;
+        ])
+    rows;
+  t
+
+let gups_table rows =
+  let t =
+    Covirt_sim.Table.create ~columns:[ "config"; "GUPS"; "vs native" ]
+  in
+  List.iter
+    (fun r ->
+      Covirt_sim.Table.add_row t
+        [
+          r.config;
+          Format.asprintf "%.5f" r.gups;
+          Covirt_sim.Table.cell_pct r.gups_overhead;
+        ])
+    rows;
+  t

@@ -1,0 +1,19 @@
+(** Fig. 5 — STREAM (a) and RandomAccess (b) per configuration.
+
+    Single-core runs; the expected shape: STREAM is indistinguishable
+    from native in every configuration, RandomAccess degrades slightly
+    — ~1.8% with memory protection and at worst ~3.1% with memory+IPI
+    — because its TLB-hostile updates expose the nested page walk. *)
+
+type row = {
+  config : string;
+  triad_mb_s : float;
+  copy_mb_s : float;
+  gups : float;
+  stream_overhead : float;  (** triad slowdown vs native *)
+  gups_overhead : float;
+}
+
+val run : ?quick:bool -> ?seed:int -> unit -> row list
+val stream_table : row list -> Covirt_sim.Table.t
+val gups_table : row list -> Covirt_sim.Table.t

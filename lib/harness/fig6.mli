@@ -1,0 +1,13 @@
+(** Fig. 6 — MiniFE scaling over CPU-core/NUMA-zone layouts.
+
+    All four layouts x all five configurations.  Expected shape:
+    Covirt imposes "little to no overhead ... across all
+    configurations" — MiniFE's banded accesses never leave the
+    prefetch window, and its sparse synchronization keeps
+    interrupt-path costs invisible. *)
+
+type cell = { config : string; gflops : float; overhead : float }
+type row = { layout : string; cells : cell list }
+
+val run : ?quick:bool -> ?seed:int -> unit -> row list
+val table : row list -> Covirt_sim.Table.t

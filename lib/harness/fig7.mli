@@ -1,0 +1,14 @@
+(** Fig. 7 — HPCG scaling over CPU-core/NUMA-zone layouts.
+
+    Expected shape: "Covirt does impose minor overheads, but they stay
+    consistent across Covirt feature configurations and varying
+    hardware layout configurations ... in the worst case, Covirt only
+    degrades HPCG's performance by 1.4%." *)
+
+type cell = { config : string; gflops : float; overhead : float }
+type row = { layout : string; cells : cell list }
+
+val run : ?quick:bool -> ?seed:int -> unit -> row list
+val table : row list -> Covirt_sim.Table.t
+val worst_overhead : row list -> float
+(** Worst overhead across every layout and non-native config. *)

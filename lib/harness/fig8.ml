@@ -1,0 +1,73 @@
+open Covirt_workloads
+
+type cell = { config : string; loop_seconds : float; overhead : float }
+type row = { bench : string; cells : cell list }
+
+let measure ~quick ~seed ~bench config =
+  Experiments.with_setup ~config ~layout:Experiments.layout_8x2 ~seed
+    (fun setup ->
+      let ctxs = Experiments.contexts setup in
+      let real_atoms = if quick then 512 else 2048 in
+      let steps = if quick then 40 else 100 in
+      match Lammps.run ctxs ~bench ~real_atoms ~steps () with
+      | Ok r ->
+          assert r.Lammps.stable;
+          r.Lammps.loop_seconds
+      | Error e -> failwith ("fig8 lammps: " ^ e))
+
+let run ?(quick = false) ?(seed = 42) () =
+  List.map
+    (fun bench ->
+      let raws =
+        List.map
+          (fun (name, config) -> (name, measure ~quick ~seed ~bench config))
+          Covirt.Config.presets
+      in
+      let baseline = List.assoc "native" raws in
+      {
+        bench = Lammps.bench_name bench;
+        cells =
+          List.map
+            (fun (name, loop_seconds) ->
+              {
+                config = name;
+                loop_seconds;
+                overhead =
+                  Covirt_sim.Stats.relative_overhead ~baseline
+                    ~measured:loop_seconds;
+              })
+            raws;
+      })
+    Lammps.all_benches
+
+let table rows =
+  let configs = List.map fst Covirt.Config.presets in
+  let t =
+    Covirt_sim.Table.create
+      ~columns:("bench" :: List.concat_map (fun c -> [ c ^ " (s)"; "ovh" ]) configs)
+  in
+  List.iter
+    (fun row ->
+      Covirt_sim.Table.add_row t
+        (row.bench
+        :: List.concat_map
+             (fun cell ->
+               [
+                 Covirt_sim.Table.cell_f cell.loop_seconds;
+                 Covirt_sim.Table.cell_pct cell.overhead;
+               ])
+             row.cells))
+    rows;
+  t
+
+let worst_of row =
+  List.fold_left
+    (fun acc cell ->
+      if cell.config = "native" then acc else Float.max acc cell.overhead)
+    0.0 row.cells
+
+let chute_is_most_sensitive rows =
+  match List.partition (fun r -> r.bench = "chute") rows with
+  | [ chute ], others ->
+      List.for_all (fun other -> worst_of chute >= worst_of other) others
+  | _ -> false

@@ -1,0 +1,13 @@
+(** Fig. 8 — LAMMPS loop times per workload and configuration.
+
+    8-core enclave split across 2 NUMA zones, the four stock
+    benchmarks.  Expected shape: LJ, EAM and chain are flat across
+    configurations; chute is the most protection-sensitive, with
+    native and no-feature fastest. *)
+
+type cell = { config : string; loop_seconds : float; overhead : float }
+type row = { bench : string; cells : cell list }
+
+val run : ?quick:bool -> ?seed:int -> unit -> row list
+val table : row list -> Covirt_sim.Table.t
+val chute_is_most_sensitive : row list -> bool

@@ -1,0 +1,75 @@
+open Covirt_hw
+open Covirt_workloads
+
+type row = {
+  scenario : string;
+  native_mb_s : float;
+  covirt_mb_s : float;
+  interference_native : float;
+  interference_covirt : float;
+}
+
+(* STREAM on a single zone-0 core, with background pressure dialled
+   into the chosen zone before the run. *)
+let stream_with ~quick ~config ~pressure_zone ~pressure =
+  Experiments.with_setup ~config ~layout:Experiments.layout_1x1 (fun setup ->
+      (match pressure_zone with
+      | Some zone ->
+          Machine.set_background_streamers setup.Experiments.machine ~zone
+            pressure
+      | None -> ());
+      let ctxs = Experiments.contexts setup in
+      let elems = if quick then 1_000_000 else Stream.default_elems in
+      match Stream.run ctxs ~elems ~iters:(if quick then 3 else 10) () with
+      | Ok r -> r.Stream.triad_mb_s
+      | Error e -> failwith e)
+
+let run ?(quick = false) ?(pressure = 6) () =
+  let scenarios =
+    [
+      ("quiet node", None);
+      ("pressure in the other zone", Some 1);
+      ("pressure in the enclave's zone", Some 0);
+    ]
+  in
+  let measure config pressure_zone =
+    stream_with ~quick ~config ~pressure_zone ~pressure
+  in
+  let base_native = measure Covirt.Config.native None in
+  let base_covirt = measure Covirt.Config.mem_ipi None in
+  List.map
+    (fun (name, pressure_zone) ->
+      let native_mb_s = measure Covirt.Config.native pressure_zone in
+      let covirt_mb_s = measure Covirt.Config.mem_ipi pressure_zone in
+      {
+        scenario = name;
+        native_mb_s;
+        covirt_mb_s;
+        interference_native =
+          Covirt_sim.Stats.relative_slowdown_of_rates ~baseline:base_native
+            ~measured:native_mb_s;
+        interference_covirt =
+          Covirt_sim.Stats.relative_slowdown_of_rates ~baseline:base_covirt
+            ~measured:covirt_mb_s;
+      })
+    scenarios
+
+let table rows =
+  let t =
+    Covirt_sim.Table.create
+      ~columns:
+        [ "scenario"; "native MB/s"; "covirt MB/s"; "native slowdown";
+          "covirt slowdown" ]
+  in
+  List.iter
+    (fun r ->
+      Covirt_sim.Table.add_row t
+        [
+          r.scenario;
+          Covirt_sim.Table.cell_f r.native_mb_s;
+          Covirt_sim.Table.cell_f r.covirt_mb_s;
+          Covirt_sim.Table.cell_pct r.interference_native;
+          Covirt_sim.Table.cell_pct r.interference_covirt;
+        ])
+    rows;
+  t

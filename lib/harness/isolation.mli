@@ -1,0 +1,24 @@
+(** Performance isolation across the partition (the Pisces premise).
+
+    Co-kernels promise performance isolation through hardware
+    partitioning — but memory bandwidth is only partitioned if the
+    zones are.  This runner measures an enclave's STREAM bandwidth
+    while background pressure (host daemons, a noisy co-tenant's
+    streaming phase) runs in (a) no zone, (b) the {e other} NUMA zone,
+    and (c) the enclave's {e own} zone — under native and protected
+    configurations.  Expected shape: cross-zone pressure is free,
+    same-zone pressure hurts identically with and without Covirt
+    (protection neither causes nor cures bandwidth interference). *)
+
+type row = {
+  scenario : string;
+  native_mb_s : float;
+  covirt_mb_s : float;
+  interference_native : float;  (** slowdown vs the quiet scenario *)
+  interference_covirt : float;
+}
+
+val run : ?quick:bool -> ?pressure:int -> unit -> row list
+(** [pressure] background streamer count (default 6). *)
+
+val table : row list -> Covirt_sim.Table.t

@@ -1,0 +1,172 @@
+open Covirt_hw
+open Covirt_pisces
+
+type row = {
+  kernel : string;
+  integration : string;
+  boots_under_covirt : bool;
+  syscall_cycles : int option;
+  wild_write_contained : bool;
+  covirt_loc_for_support : int;
+}
+
+let mib = Covirt_sim.Units.mib
+
+let fresh_stack () =
+  let machine =
+    Machine.create ~seed:11 ~zones:2 ~cores_per_zone:2
+      ~mem_per_zone:(2 * Covirt_sim.Units.gib)
+      ~host_reserved_per_zone:(128 * mib) ()
+  in
+  let hobbes = Covirt_hobbes.Hobbes.create machine ~host_core:0 in
+  let _controller =
+    Covirt.enable (Covirt_hobbes.Hobbes.pisces hobbes)
+      ~config:Covirt.Config.mem_ipi
+  in
+  (machine, hobbes)
+
+let boot_generic pisces kernel =
+  let enclave =
+    Pisces.create_enclave pisces ~name:"k" ~cores:[ 1 ] ~mem:[ (0, 256 * mib) ] ()
+    |> Result.get_ok
+  in
+  (enclave, Pisces.boot pisces enclave ~kernel)
+
+let contained pisces inject =
+  match Pisces.run_guarded pisces inject with Error _ -> true | Ok _ -> false
+
+let kitten_row () =
+  let machine, hobbes = fresh_stack () in
+  ignore machine;
+  let pisces = Covirt_hobbes.Hobbes.pisces hobbes in
+  match
+    Covirt_hobbes.Hobbes.launch_enclave hobbes ~name:"kit" ~cores:[ 1 ]
+      ~mem:[ (0, 256 * mib) ] ()
+  with
+  | Error e -> failwith e
+  | Ok (enclave, kitten) ->
+      let ctx = Covirt_kitten.Kitten.context kitten ~core:1 in
+      let cpu = ctx.Covirt_kitten.Kitten.cpu in
+      let t0 = Cpu.rdtsc cpu in
+      ignore
+        (Covirt_kitten.Kitten.syscall ctx
+           ~number:Covirt_kitten.Syscall.nr_getpid ~arg:0);
+      let cost = Cpu.rdtsc cpu - t0 in
+      let booted = Enclave.is_running enclave in
+      let caught =
+        contained pisces (fun () -> Covirt_kitten.Kitten.store_addr ctx 0x3000)
+      in
+      {
+        kernel = "Kitten (Hobbes/Pisces)";
+        integration = "shared interfaces, local fast paths";
+        boots_under_covirt = booted;
+        syscall_cycles = Some cost;
+        wild_write_contained = caught;
+        covirt_loc_for_support = 0;
+      }
+
+let mckernel_row () =
+  let machine, hobbes = fresh_stack () in
+  let pisces = Covirt_hobbes.Hobbes.pisces hobbes in
+  let kernel, get = Covirt_mckernel.Mckernel.make_kernel () in
+  let enclave, boot = boot_generic pisces kernel in
+  (match boot with Ok () -> () | Error e -> failwith e);
+  let mck = Option.get (get ()) in
+  let cpu = Machine.cpu machine 1 in
+  let t0 = Cpu.rdtsc cpu in
+  ignore (Covirt_mckernel.Mckernel.syscall mck ~core:1 ~number:39 ~buffer:None);
+  let cost = Cpu.rdtsc cpu - t0 in
+  let booted = Enclave.is_running enclave in
+  let caught =
+    contained pisces (fun () ->
+        Covirt_mckernel.Mckernel.wild_write mck ~core:1 0x3000)
+  in
+  {
+    kernel = "McKernel (IHK)";
+    integration = "full delegation via proxy process";
+    boots_under_covirt = booted;
+    syscall_cycles = Some cost;
+    wild_write_contained = caught;
+    covirt_loc_for_support = 0;
+  }
+
+let nautilus_row () =
+  let _, hobbes = fresh_stack () in
+  let pisces = Covirt_hobbes.Hobbes.pisces hobbes in
+  let kernel, get = Covirt_nautilus.Nautilus.make_kernel () in
+  let enclave, boot = boot_generic pisces kernel in
+  (match boot with Ok () -> () | Error e -> failwith e);
+  let naut = Option.get (get ()) in
+  (* nautilus' wild write needs the porting-bug mapping first *)
+  Covirt_nautilus.Nautilus.map_extra naut
+    (Region.make ~base:0 ~len:(4 * mib));
+  let booted = Enclave.is_running enclave in
+  let caught =
+    contained pisces (fun () ->
+        Covirt_nautilus.Nautilus.wild_write naut ~core:1 0x3000)
+  in
+  {
+    kernel = "Nautilus (aerokernel)";
+    integration = "standalone, threads only";
+    boots_under_covirt = booted;
+    syscall_cycles = None;
+    wild_write_contained = caught;
+    covirt_loc_for_support = 0;
+  }
+
+let mos_row () =
+  let machine, hobbes = fresh_stack () in
+  let pisces = Covirt_hobbes.Hobbes.pisces hobbes in
+  let kernel, get =
+    Covirt_mos.Mos.make_kernel ~host_syscall:(fun ~number ~arg ->
+        number + arg)
+      ()
+  in
+  let enclave, boot = boot_generic pisces kernel in
+  (match boot with Ok () -> () | Error e -> failwith e);
+  let mos = Option.get (get ()) in
+  let cpu = Machine.cpu machine 1 in
+  let t0 = Cpu.rdtsc cpu in
+  ignore (Covirt_mos.Mos.syscall mos ~core:1 ~number:39 ~arg:0 : int);
+  let cost = Cpu.rdtsc cpu - t0 in
+  let booted = Enclave.is_running enclave in
+  let caught =
+    contained pisces (fun () -> Covirt_mos.Mos.wild_write mos ~core:1 0x3000)
+  in
+  {
+    kernel = "mOS (embedded LWK)";
+    integration = "compiled into the host, shared state";
+    boots_under_covirt = booted;
+    syscall_cycles = Some cost;
+    wild_write_contained = caught;
+    covirt_loc_for_support = 0;
+  }
+
+let matrix () =
+  [ kitten_row (); mckernel_row (); nautilus_row (); mos_row () ]
+
+let table rows =
+  let t =
+    Covirt_sim.Table.create
+      ~columns:
+        [
+          "kernel"; "integration model"; "boots under covirt";
+          "getpid-class cycles"; "wild write contained";
+          "kernel-specific covirt code";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Covirt_sim.Table.add_row t
+        [
+          r.kernel;
+          r.integration;
+          string_of_bool r.boots_under_covirt;
+          (match r.syscall_cycles with
+          | Some c -> string_of_int c
+          | None -> "n/a");
+          string_of_bool r.wild_write_contained;
+          Printf.sprintf "%d lines" r.covirt_loc_for_support;
+        ])
+    rows;
+  t

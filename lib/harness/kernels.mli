@@ -1,0 +1,24 @@
+(** The co-kernel architecture matrix.
+
+    "While each of these co-kernels represent a unique point in the
+    design space ... Covirt represents a unique capability that could
+    be adapted to suit the full range of co-kernel approaches."  This
+    runner boots all three implemented kernel architectures (Kitten,
+    Nautilus, McKernel) natively and under Covirt, measures their
+    characteristic syscall path, and verifies the same injected fault
+    is contained in each — with zero kernel-specific code in the
+    controller. *)
+
+type row = {
+  kernel : string;
+  integration : string;  (** where it sits on the paper's integration axis *)
+  boots_under_covirt : bool;
+  syscall_cycles : int option;
+      (** getpid-class call; [None] where the kernel has no syscall
+          interface (Nautilus) *)
+  wild_write_contained : bool;
+  covirt_loc_for_support : int;  (** always 0 — the point of the table *)
+}
+
+val matrix : unit -> row list
+val table : row list -> Covirt_sim.Table.t

@@ -1,0 +1,70 @@
+open Covirt_hw
+open Covirt_workloads
+
+type row = {
+  environment : string;
+  detours : int;
+  noise_fraction : float;
+  max_detour_us : float;
+}
+
+(* Linux-grade noise: a 250 Hz tick plus frequent daemon/softirq
+   activity (mean interarrival 2 ms, ~30 us apiece). *)
+let linux_timer_hz = 250.0
+let linux_background_mean_s = 0.002
+let linux_background_cost = 50_000
+
+let summarize environment (r : Selfish.result) =
+  {
+    environment;
+    detours = List.length r.Selfish.detours;
+    noise_fraction = r.Selfish.noise_fraction;
+    max_detour_us =
+      List.fold_left
+        (fun acc d -> Float.max acc d.Selfish.duration_us)
+        0.0 r.Selfish.detours;
+  }
+
+let host_row ~duration_s ~seed =
+  let machine =
+    Machine.create ~seed ~zones:1 ~cores_per_zone:2
+      ~mem_per_zone:(2 * Covirt_sim.Units.gib) ()
+  in
+  let cpu = Machine.cpu machine 1 in
+  Apic.set_timer_hz cpu.Cpu.apic linux_timer_hz;
+  summarize "host Linux core (250 Hz + daemons)"
+    (Selfish.run_on_cpu machine cpu ~duration_s
+       ~background_mean_s:linux_background_mean_s
+       ~background_cost_cycles:linux_background_cost ())
+
+let enclave_row ~duration_s ~seed ~config name =
+  Experiments.with_setup ~config ~layout:Experiments.layout_1x1 ~seed
+    (fun setup ->
+      let ctx = List.hd (Experiments.contexts setup) in
+      summarize name (Selfish.run ctx ~duration_s ()))
+
+let run ?(duration_s = 2.0) ?(seed = 42) () =
+  [
+    host_row ~duration_s ~seed;
+    enclave_row ~duration_s ~seed ~config:Covirt.Config.native
+      "Kitten enclave, native";
+    enclave_row ~duration_s ~seed ~config:Covirt.Config.mem_ipi
+      "Kitten enclave, Covirt mem+ipi";
+  ]
+
+let table rows =
+  let t =
+    Covirt_sim.Table.create
+      ~columns:[ "environment"; "detours"; "noise fraction"; "max detour (us)" ]
+  in
+  List.iter
+    (fun r ->
+      Covirt_sim.Table.add_row t
+        [
+          r.environment;
+          string_of_int r.detours;
+          Format.asprintf "%.5f%%" (r.noise_fraction *. 100.0);
+          Covirt_sim.Table.cell_f r.max_detour_us;
+        ])
+    rows;
+  t

@@ -1,0 +1,18 @@
+(** The co-kernel premise, measured: OS noise on a general-purpose host
+    core vs an LWK enclave vs a Covirt-protected LWK enclave.
+
+    The motivation for running HPC applications in LWK co-kernels at
+    all is the noise of a general-purpose OS (250 Hz ticks, daemons,
+    softirqs).  This runner puts the same Selfish-Detour probe on all
+    three environments and shows (a) the orders-of-magnitude gap the
+    LWK buys, and (b) that Covirt does not give it back. *)
+
+type row = {
+  environment : string;
+  detours : int;
+  noise_fraction : float;
+  max_detour_us : float;
+}
+
+val run : ?duration_s:float -> ?seed:int -> unit -> row list
+val table : row list -> Covirt_sim.Table.t

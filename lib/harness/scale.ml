@@ -1,0 +1,92 @@
+open Covirt_hw
+open Covirt_workloads
+
+type row = {
+  enclaves : int;
+  gups_each : float list;
+  worst_vs_solo : float;
+  total_ept_leaves : int;
+}
+
+let gib = Covirt_sim.Units.gib
+
+let run_n ~quick n =
+  let machine =
+    Machine.create ~seed:42 ~zones:2 ~cores_per_zone:(n + 1)
+      ~mem_per_zone:(16 * gib) ()
+  in
+  let hobbes = Covirt_hobbes.Hobbes.create machine ~host_core:0 in
+  let controller =
+    Covirt.enable (Covirt_hobbes.Hobbes.pisces hobbes)
+      ~config:Covirt.Config.mem_ipi
+  in
+  let log2_table = if quick then 22 else 25 in
+  let cores_per_zone = n + 1 in
+  let gups_each =
+    List.init n (fun i ->
+        (* place each enclave's core in the same zone as its memory
+           (core 0 of zone 0 is the host's) *)
+        let zone = i mod 2 in
+        let ordinal = i / 2 in
+        let core =
+          if zone = 0 then 1 + ordinal else cores_per_zone + ordinal
+        in
+        match
+          Covirt_hobbes.Hobbes.launch_enclave hobbes
+            ~name:(Printf.sprintf "scale-%d" i)
+            ~cores:[ core ]
+            ~mem:[ (zone, 2 * gib) ]
+            ()
+        with
+        | Error e -> failwith e
+        | Ok (_, kitten) -> (
+            let ctx = Covirt_kitten.Kitten.context kitten ~core in
+            match Random_access.run [ ctx ] ~log2_table () with
+            | Ok r -> r.Random_access.gups
+            | Error e -> failwith e))
+  in
+  let total_ept_leaves =
+    List.fold_left
+      (fun acc (i : Covirt.Controller.instance) ->
+        match i.Covirt.Controller.ept_mgr with
+        | Some mgr ->
+            let a, b, c = Covirt.Ept_manager.leaf_counts mgr in
+            acc + a + b + c
+        | None -> acc)
+      0
+      (Covirt.Controller.instances controller)
+  in
+  (gups_each, total_ept_leaves)
+
+let run ?(max_enclaves = 3) ?(quick = false) () =
+  let solo, _ = run_n ~quick 1 in
+  let solo_gups = List.hd solo in
+  List.init max_enclaves (fun i ->
+      let n = i + 1 in
+      let gups_each, total_ept_leaves = run_n ~quick n in
+      let worst_vs_solo =
+        List.fold_left
+          (fun acc g -> Float.max acc ((solo_gups -. g) /. solo_gups))
+          0.0 gups_each
+      in
+      { enclaves = n; gups_each; worst_vs_solo; total_ept_leaves })
+
+let table rows =
+  let t =
+    Covirt_sim.Table.create
+      ~columns:
+        [ "co-resident enclaves"; "per-enclave GUPS"; "worst vs solo";
+          "total EPT leaves" ]
+  in
+  List.iter
+    (fun r ->
+      Covirt_sim.Table.add_row t
+        [
+          string_of_int r.enclaves;
+          String.concat " / "
+            (List.map (fun g -> Format.asprintf "%.5f" g) r.gups_each);
+          Covirt_sim.Table.cell_pct r.worst_vs_solo;
+          string_of_int r.total_ept_leaves;
+        ])
+    rows;
+  t

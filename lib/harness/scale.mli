@@ -1,0 +1,18 @@
+(** Protection cost vs enclave count.
+
+    Co-kernel nodes run several enclaves at once; Covirt replicates the
+    hypervisor context per core and keeps one EPT per enclave, so the
+    per-enclave overhead should not grow with the number of co-resident
+    enclaves.  This runner boots 1..N protected enclaves, runs the same
+    RandomAccess workload in each, and reports per-enclave throughput
+    and the controller's aggregate footprint. *)
+
+type row = {
+  enclaves : int;
+  gups_each : float list;  (** per-enclave throughput, enclave order *)
+  worst_vs_solo : float;  (** worst per-enclave slowdown vs the 1-enclave run *)
+  total_ept_leaves : int;
+}
+
+val run : ?max_enclaves:int -> ?quick:bool -> unit -> row list
+val table : row list -> Covirt_sim.Table.t

@@ -1,0 +1,71 @@
+open Covirt_pisces
+open Covirt_kitten
+
+type component = {
+  component_name : string;
+  enclave : Enclave.t;
+  run : Kitten.context -> Ipc.channel list -> unit;
+}
+
+type wire = { from_component : string; to_component : string; ring_bytes : int }
+
+type t = { app_name : string; components : component list; wires : wire list }
+
+let component ~name enclave run = { component_name = name; enclave; run }
+
+let find_component t name =
+  List.find_opt (fun c -> c.component_name = name) t.components
+
+let launch hobbes t =
+  let kernel_of enclave =
+    match Hobbes.kernel_of hobbes enclave with
+    | Some k -> Ok k
+    | None ->
+        Error
+          (Printf.sprintf "enclave %d has no kitten instance"
+             enclave.Enclave.id)
+  in
+  let build_wire w =
+    match (find_component t w.from_component, find_component t w.to_component) with
+    | None, _ -> Error (Printf.sprintf "unknown component %S" w.from_component)
+    | _, None -> Error (Printf.sprintf "unknown component %S" w.to_component)
+    | Some producer, Some consumer -> (
+        match (kernel_of producer.enclave, kernel_of consumer.enclave) with
+        | Ok pk, Ok ck ->
+            Ipc.connect hobbes
+              ~producer:(producer.enclave, pk)
+              ~consumer:(consumer.enclave, ck)
+              ~name:
+                (Printf.sprintf "%s/%s->%s" t.app_name w.from_component
+                   w.to_component)
+              ~ring_bytes:w.ring_bytes
+            |> Result.map (fun ch -> (w.from_component, ch))
+        | Error e, _ | _, Error e -> Error e)
+  in
+  let rec build acc = function
+    | [] -> Ok (List.rev acc)
+    | w :: rest -> (
+        match build_wire w with
+        | Ok ch -> build (ch :: acc) rest
+        | Error _ as e -> e)
+  in
+  match build [] t.wires with
+  | Error e -> Error e
+  | Ok channels ->
+      let rec run_all = function
+        | [] -> Ok ()
+        | c :: rest -> (
+            match kernel_of c.enclave with
+            | Error e -> Error e
+            | Ok kernel ->
+                let ctx = Kitten.context kernel ~core:(Enclave.bsp c.enclave) in
+                let outgoing =
+                  List.filter_map
+                    (fun (from, ch) ->
+                      if from = c.component_name then Some ch else None)
+                    channels
+                in
+                c.run ctx outgoing;
+                run_all rest)
+      in
+      run_all t.components

@@ -1,0 +1,29 @@
+(** Composite applications.
+
+    Hobbes "enables composite applications that are agnostic to the
+    kernel(s) they are running on": an application is a set of
+    components, each pinned to an enclave, wired together with IPC
+    channels.  The launcher resolves enclaves, builds the channels and
+    runs each component with its Kitten context. *)
+
+open Covirt_pisces
+open Covirt_kitten
+
+type component = {
+  component_name : string;
+  enclave : Enclave.t;
+  run : Kitten.context -> Ipc.channel list -> unit;
+      (** receives the channels this component produces on *)
+}
+
+type wire = { from_component : string; to_component : string; ring_bytes : int }
+
+type t = { app_name : string; components : component list; wires : wire list }
+
+val launch : Hobbes.t -> t -> (unit, string) result
+(** Build every wire, then run components in declaration order (the
+    simulation is sequential; producers run before consumers when
+    declared so). *)
+
+val component : name:string -> Enclave.t ->
+  (Kitten.context -> Ipc.channel list -> unit) -> component

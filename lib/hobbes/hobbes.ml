@@ -1,0 +1,99 @@
+open Covirt_pisces
+open Covirt_kitten
+
+type t = {
+  pisces : Pisces.t;
+  xemem : Covirt_xemem.Xemem.t;
+  kernels : (int, Kitten.t) Hashtbl.t;
+  mutable free_vectors : int list;
+  mutable syscalls : int;
+}
+
+(* Application IPI vectors live between the syscall/exception space and
+   the system vectors (timer at 0xef, XEMEM doorbells etc. above). *)
+let app_vector_lo = 0x40
+let app_vector_hi = 0xdf
+
+let create machine ~host_core =
+  let pisces = Pisces.create machine ~host_core in
+  let t =
+    {
+      pisces;
+      xemem = Covirt_xemem.Xemem.create pisces;
+      kernels = Hashtbl.create 8;
+      free_vectors =
+        List.init (app_vector_hi - app_vector_lo + 1) (fun i ->
+            app_vector_lo + i);
+      syscalls = 0;
+    }
+  in
+  Pisces.set_syscall_handler pisces (fun ~number ~arg ->
+      t.syscalls <- t.syscalls + 1;
+      (* The general-purpose OS/R services the forwarded call; model a
+         successful completion echoing the argument size for
+         read/write. *)
+      ignore number;
+      arg);
+  t
+
+let pisces t = t.pisces
+let xemem t = t.xemem
+let machine t = Pisces.machine t.pisces
+
+let launch_enclave t ~name ~cores ~mem ?timer_hz () =
+  match Pisces.create_enclave t.pisces ~name ~cores ~mem ?timer_hz () with
+  | Error e -> Error e
+  | Ok enclave -> (
+      let kernel, get = Kitten.make_kernel () in
+      match Pisces.boot t.pisces enclave ~kernel with
+      | Error e -> Error e
+      | Ok () -> (
+          match get () with
+          | None -> Error "kitten did not initialize"
+          | Some kitten ->
+              Hashtbl.replace t.kernels enclave.Enclave.id kitten;
+              Kitten.set_host_poke kitten (fun () ->
+                  ignore (Pisces.service_channel t.pisces enclave));
+              Ok (enclave, kitten)))
+
+let kernel_of t enclave = Hashtbl.find_opt t.kernels enclave.Enclave.id
+
+let alloc_ipi_vector t =
+  match t.free_vectors with
+  | [] -> Error "application IPI vector space exhausted"
+  | v :: rest ->
+      t.free_vectors <- rest;
+      Ok v
+
+let free_ipi_vector t v =
+  if v < app_vector_lo || v > app_vector_hi then
+    invalid_arg "Hobbes.free_ipi_vector";
+  if not (List.mem v t.free_vectors) then t.free_vectors <- v :: t.free_vectors
+
+let grant_vector_pair t a b =
+  match (alloc_ipi_vector t, alloc_ipi_vector t) with
+  | Ok va, Ok vb -> (
+      let grant enclave vector peer =
+        Pisces.grant_ipi_vector t.pisces enclave ~vector
+          ~peer_core:(Enclave.bsp peer)
+      in
+      match (grant a va b, grant b vb a) with
+      | Ok (), Ok () -> Ok (va, vb)
+      | Error e, _ | _, Error e ->
+          free_ipi_vector t va;
+          free_ipi_vector t vb;
+          Error e)
+  | Error e, _ | _, Error e -> Error e
+
+let syscalls_serviced t = t.syscalls
+
+let pp_status ppf t =
+  Format.fprintf ppf "hobbes: %d enclaves, %d xemem segments, %d syscalls@."
+    (List.length (Pisces.enclaves t.pisces))
+    (List.length
+       (Covirt_xemem.Name_service.segments
+          (Covirt_xemem.Xemem.registry t.xemem)))
+    t.syscalls;
+  List.iter
+    (fun e -> Format.fprintf ppf "  %a@." Enclave.pp e)
+    (Pisces.enclaves t.pisces)

@@ -1,0 +1,49 @@
+(** The Hobbes OS/R runtime (master control process).
+
+    Ties the substrates together the way the Hobbes stack does on real
+    systems: Pisces partitions and boots, Kitten runs in the enclaves,
+    XEMEM carries shared memory, and this runtime owns the global
+    resource coordination — enclave registry, the application-IPI
+    vector space, system-call forwarding, and composite-application
+    launch.  Covirt's controller module integrates with the master
+    control process; it attaches to the {!Covirt_pisces.Hooks.t}
+    reachable through [Pisces.hooks (pisces t)]. *)
+
+open Covirt_hw
+open Covirt_pisces
+open Covirt_kitten
+
+type t
+
+val create : Machine.t -> host_core:int -> t
+val pisces : t -> Pisces.t
+val xemem : t -> Covirt_xemem.Xemem.t
+val machine : t -> Machine.t
+
+val launch_enclave :
+  t ->
+  name:string ->
+  cores:int list ->
+  mem:(Numa.zone * int) list ->
+  ?timer_hz:float ->
+  unit ->
+  (Enclave.t * Kitten.t, string) result
+(** Create a Pisces enclave, boot Kitten into it, wire the host-side
+    channel servicing and the default syscall handler. *)
+
+val kernel_of : t -> Enclave.t -> Kitten.t option
+
+val alloc_ipi_vector : t -> (int, string) result
+(** Carve a vector out of the globally allocatable application-IPI
+    space ("per-core IPI vectors are a globally allocatable
+    application resource"). *)
+
+val free_ipi_vector : t -> int -> unit
+
+val grant_vector_pair :
+  t -> Enclave.t -> Enclave.t -> (int * int, string) result
+(** Allocate and grant a doorbell vector in each direction between two
+    enclaves; returns [(vector_a_to_b, vector_b_to_a)]. *)
+
+val syscalls_serviced : t -> int
+val pp_status : Format.formatter -> t -> unit

@@ -1,0 +1,75 @@
+open Covirt_hw
+open Covirt_pisces
+open Covirt_kitten
+
+type channel = {
+  name : string;
+  producer : Enclave.t;
+  consumer : Enclave.t;
+  ring : Region.t;
+  doorbell : int;
+  mutable sends : int;
+  mutable receipts : int;
+}
+
+let connect hobbes ~producer:(prod_enclave, prod_kernel)
+    ~consumer:(cons_enclave, cons_kernel) ~name ~ring_bytes =
+  if ring_bytes <= 0 then invalid_arg "Ipc.connect: ring_bytes";
+  match Kitten.kalloc prod_kernel ~bytes:ring_bytes with
+  | Error e -> Error e
+  | Ok base -> (
+      let ring = Region.make ~base ~len:(Addr.page_up ring_bytes ~size:Addr.page_size_4k) in
+      let xemem = Hobbes.xemem hobbes in
+      match
+        Covirt_xemem.Xemem.export xemem
+          ~exporter:(Covirt_xemem.Name_service.Enclave_export prod_enclave.Enclave.id)
+          ~name ~pages:[ ring ]
+      with
+      | Error e -> Error e
+      | Ok _segid -> (
+          match Covirt_xemem.Xemem.attach xemem cons_enclave ~name with
+          | Error e -> Error e
+          | Ok (_addr, _len) -> (
+              match Hobbes.alloc_ipi_vector hobbes with
+              | Error e -> Error e
+              | Ok doorbell -> (
+                  match
+                    Pisces.grant_ipi_vector (Hobbes.pisces hobbes) prod_enclave
+                      ~vector:doorbell
+                      ~peer_core:(Enclave.bsp cons_enclave)
+                  with
+                  | Error e -> Error e
+                  | Ok () ->
+                      let channel =
+                        {
+                          name;
+                          producer = prod_enclave;
+                          consumer = cons_enclave;
+                          ring;
+                          doorbell;
+                          sends = 0;
+                          receipts = 0;
+                        }
+                      in
+                      Kitten.register_irq cons_kernel ~vector:doorbell
+                        (fun _ctx _vector ->
+                          channel.receipts <- channel.receipts + 1);
+                      Ok channel))))
+
+let send channel (ctx : Kitten.context) ~words =
+  if words <= 0 then invalid_arg "Ipc.send: words";
+  let slots = channel.ring.Region.len / 8 in
+  for i = 0 to min words slots - 1 do
+    Kitten.store_addr ctx (channel.ring.Region.base + (8 * i))
+  done;
+  channel.sends <- channel.sends + 1;
+  Kitten.send_ipi ctx
+    ~dest:(Enclave.bsp channel.consumer)
+    ~vector:channel.doorbell
+
+let receipts channel = channel.receipts
+
+let pp ppf c =
+  Format.fprintf ppf "channel %S: enclave %d -> %d, ring %a, doorbell 0x%x, %d/%d"
+    c.name c.producer.Enclave.id c.consumer.Enclave.id Region.pp c.ring
+    c.doorbell c.sends c.receipts

@@ -1,0 +1,37 @@
+type t = int
+
+let page_size_4k = 4096
+let page_size_2m = 2 * 1024 * 1024
+let page_size_1g = 1024 * 1024 * 1024
+
+type page_size = Page_4k | Page_2m | Page_1g
+
+let bytes_of_page_size = function
+  | Page_4k -> page_size_4k
+  | Page_2m -> page_size_2m
+  | Page_1g -> page_size_1g
+
+let pp_page_size ppf ps =
+  Format.pp_print_string ppf
+    (match ps with Page_4k -> "4K" | Page_2m -> "2M" | Page_1g -> "1G")
+
+let check_pow2 size =
+  assert (size > 0 && size land (size - 1) = 0)
+
+let page_down a ~size =
+  check_pow2 size;
+  a land lnot (size - 1)
+
+let page_up a ~size =
+  check_pow2 size;
+  (a + size - 1) land lnot (size - 1)
+
+let is_aligned a ~size =
+  check_pow2 size;
+  a land (size - 1) = 0
+
+let pfn a ~size =
+  check_pow2 size;
+  a / size
+
+let pp ppf a = Format.fprintf ppf "0x%x" a

@@ -1,0 +1,31 @@
+(** Physical/guest-physical addresses and page geometry.
+
+    The simulated machine uses identity mappings throughout (a design
+    pillar of both Pisces and Covirt), so a single address type serves
+    for host-physical, guest-physical and guest-virtual addresses.
+    Addresses are plain [int]s (63 bits is ample for a 64 GB node). *)
+
+type t = int
+
+val page_size_4k : int
+val page_size_2m : int
+val page_size_1g : int
+
+type page_size = Page_4k | Page_2m | Page_1g
+
+val bytes_of_page_size : page_size -> int
+val pp_page_size : Format.formatter -> page_size -> unit
+
+val page_down : t -> size:int -> t
+(** Round down to a [size]-aligned boundary. [size] must be a power of
+    two. *)
+
+val page_up : t -> size:int -> t
+(** Round up. *)
+
+val is_aligned : t -> size:int -> bool
+val pfn : t -> size:int -> int
+(** Page frame number at the given granularity. *)
+
+val pp : Format.formatter -> t -> unit
+(** Hex rendering ("0x1_0000_0000"-style without separators). *)

@@ -1,0 +1,285 @@
+type perms = { read : bool; write : bool; exec : bool }
+
+let rwx = { read = true; write = true; exec = true }
+let ro = { read = true; write = false; exec = true }
+
+type violation = {
+  gpa : Addr.t;
+  access : [ `Read | `Write | `Exec ];
+  reason : [ `Not_mapped | `Perm_denied ];
+}
+
+(* The radix is indexed by 9-bit slices of the guest-physical address:
+   level 4 = PML4 (512G per entry), 3 = PDPT (1G), 2 = PD (2M),
+   1 = PT (4K).  Leaves may sit at levels 3 (1G), 2 (2M) and 1 (4K). *)
+
+type node = { entries : (int, entry) Hashtbl.t }
+and entry = Table of node | Leaf of { page_size : Addr.page_size; perms : perms }
+
+type t = {
+  root : node;
+  max_page : Addr.page_size;
+  mutable index : Region.Set.t;
+  mutable writes : int;
+  mutable n4k : int;
+  mutable n2m : int;
+  mutable n1g : int;
+}
+
+let create ?(max_page = Addr.Page_1g) () =
+  {
+    root = { entries = Hashtbl.create 16 };
+    max_page;
+    index = Region.Set.empty;
+    writes = 0;
+    n4k = 0;
+    n2m = 0;
+    n1g = 0;
+  }
+
+let max_page t = t.max_page
+
+let level_shift = function 4 -> 39 | 3 -> 30 | 2 -> 21 | 1 -> 12 | _ -> assert false
+let slice addr level = (addr lsr level_shift level) land 0x1ff
+
+let page_size_of_level = function
+  | 3 -> Addr.Page_1g
+  | 2 -> Addr.Page_2m
+  | 1 -> Addr.Page_4k
+  | _ -> assert false
+
+let level_of_page_size = function
+  | Addr.Page_1g -> 3
+  | Addr.Page_2m -> 2
+  | Addr.Page_4k -> 1
+
+let count_delta t page_size d =
+  match page_size with
+  | Addr.Page_4k -> t.n4k <- t.n4k + d
+  | Addr.Page_2m -> t.n2m <- t.n2m + d
+  | Addr.Page_1g -> t.n1g <- t.n1g + d
+
+(* Install a leaf of [page_size] covering [addr] (which must be
+   aligned).  Any leaf already present at exactly that slot is
+   replaced; the caller is responsible for never asking to overwrite a
+   Table with a Leaf (map_region splits work so that cannot happen for
+   well-formed inputs). *)
+let install_leaf t addr ~page_size ~perms =
+  let target_level = level_of_page_size page_size in
+  let rec descend node level =
+    if level = target_level then begin
+      let idx = slice addr level in
+      (match Hashtbl.find_opt node.entries idx with
+      | Some (Leaf l) -> count_delta t l.page_size (-1)
+      | Some (Table _) ->
+          (* Mapping a large page over an existing finer table: drop
+             the subtree.  Count removal of its leaves. *)
+          let rec drop n =
+            Hashtbl.iter
+              (fun _ e ->
+                match e with
+                | Leaf l -> count_delta t l.page_size (-1)
+                | Table n' -> drop n')
+              n.entries
+          in
+          (match Hashtbl.find_opt node.entries idx with
+          | Some (Table n) -> drop n
+          | Some (Leaf _) | None -> ())
+      | None -> ());
+      Hashtbl.replace node.entries idx (Leaf { page_size; perms });
+      count_delta t page_size 1;
+      t.writes <- t.writes + 1
+    end
+    else
+      let idx = slice addr level in
+      let child =
+        match Hashtbl.find_opt node.entries idx with
+        | Some (Table n) -> n
+        | Some (Leaf _) ->
+            (* A larger leaf covers this range already; splitting is
+               handled by unmap/split paths, and map_region only emits
+               aligned chunks, so reaching here means the caller remaps
+               inside an existing large page.  Split it. *)
+            assert false
+        | None ->
+            let n = { entries = Hashtbl.create 16 } in
+            Hashtbl.replace node.entries idx (Table n);
+            n
+      in
+      descend child (level - 1)
+  in
+  descend t.root 4
+
+(* Split the leaf at slot [idx] of [node] (a level-[level] leaf) into
+   512 identity children one level down, preserving permissions. *)
+let split_leaf t node idx level ~perms =
+  let child = { entries = Hashtbl.create 512 } in
+  let child_ps = page_size_of_level (level - 1) in
+  for i = 0 to 511 do
+    Hashtbl.replace child.entries i (Leaf { page_size = child_ps; perms })
+  done;
+  count_delta t (page_size_of_level level) (-1);
+  count_delta t child_ps 512;
+  t.writes <- t.writes + 512;
+  Hashtbl.replace node.entries idx (Table child)
+
+let find_leaf t addr =
+  let rec descend node level =
+    if level = 0 then None
+    else
+      match Hashtbl.find_opt node.entries (slice addr level) with
+      | None -> None
+      | Some (Leaf { page_size; perms }) -> Some (page_size, perms)
+      | Some (Table n) -> descend n (level - 1)
+  in
+  descend t.root 4
+
+let translate t addr ~access =
+  match find_leaf t addr with
+  | None -> Error { gpa = addr; access; reason = `Not_mapped }
+  | Some (page_size, perms) ->
+      let ok =
+        match access with
+        | `Read -> perms.read
+        | `Write -> perms.write
+        | `Exec -> perms.exec
+      in
+      if ok then Ok page_size
+      else Error { gpa = addr; access; reason = `Perm_denied }
+
+let page_size_at t addr = Option.map fst (find_leaf t addr)
+
+(* Greedy aligned chunking: walk the region emitting the largest
+   permitted page that is aligned and fits. *)
+let chunks_of_region ~max_page region =
+  let open Region in
+  let sizes =
+    let all = [ Addr.page_size_1g; Addr.page_size_2m; Addr.page_size_4k ] in
+    let cap = Addr.bytes_of_page_size max_page in
+    List.filter (fun s -> s <= cap) all
+  in
+  let rec go addr acc =
+    if addr >= limit region then List.rev acc
+    else
+      let remaining = limit region - addr in
+      let size =
+        match
+          List.find_opt
+            (fun s -> Addr.is_aligned addr ~size:s && s <= remaining)
+            sizes
+        with
+        | Some s -> s
+        | None -> invalid_arg "Ept: region not 4K-aligned"
+      in
+      let ps =
+        if size = Addr.page_size_1g then Addr.Page_1g
+        else if size = Addr.page_size_2m then Addr.Page_2m
+        else Addr.Page_4k
+      in
+      go (addr + size) ((addr, ps) :: acc)
+  in
+  go region.base []
+
+let aligned_4k region =
+  Addr.is_aligned region.Region.base ~size:Addr.page_size_4k
+  && Addr.is_aligned region.Region.len ~size:Addr.page_size_4k
+
+(* Ensure no leaf straddles a boundary of [region]: any leaf that
+   overlaps the region without being fully contained in it is split
+   into children one level down, repeatedly, until every leaf is
+   either fully inside or fully outside.  Needed before unmapping (or
+   remapping) so removal can proceed leaf-by-leaf. *)
+let split_straddling t region point =
+  let rec once () =
+    let did_split = ref false in
+    let rec descend node level =
+      match Hashtbl.find_opt node.entries (slice point level) with
+      | None -> ()
+      | Some (Leaf l) ->
+          if level > 1 then begin
+            let bytes = Addr.bytes_of_page_size (page_size_of_level level) in
+            let base = Addr.page_down point ~size:bytes in
+            let contained =
+              Region.contains_range region ~base ~len:bytes
+            in
+            if not contained then begin
+              split_leaf t node (slice point level) level ~perms:l.perms;
+              did_split := true
+            end
+          end
+      | Some (Table n) -> descend n (level - 1)
+    in
+    descend t.root 4;
+    if !did_split then once ()
+  in
+  once ()
+
+let remove_leaves t region =
+  (* After boundary splitting, every leaf is either fully inside or
+     fully outside [region]; remove the inside ones. *)
+  let rec scrub node level base_of_slot =
+    let removals = ref [] in
+    Hashtbl.iter
+      (fun idx e ->
+        let slot_base = base_of_slot idx in
+        let slot_bytes = 1 lsl level_shift level in
+        let slot = Region.make ~base:slot_base ~len:slot_bytes in
+        if Region.overlaps slot region then
+          match e with
+          | Leaf l ->
+              if Region.contains_range region ~base:slot_base ~len:slot_bytes
+              then begin
+                count_delta t l.page_size (-1);
+                t.writes <- t.writes + 1;
+                removals := idx :: !removals
+              end
+          | Table n ->
+              scrub n (level - 1) (fun i ->
+                  slot_base + (i * (1 lsl level_shift (level - 1))));
+              if Hashtbl.length n.entries = 0 then removals := idx :: !removals)
+      node.entries;
+    List.iter (Hashtbl.remove node.entries) !removals
+  in
+  scrub t.root 4 (fun i -> i * (1 lsl level_shift 4))
+
+let map_region t ?(perms = rwx) region =
+  if not (aligned_4k region) then invalid_arg "Ept.map_region: unaligned";
+  (* Remapping over existing mappings: clear first so leaf installs
+     never collide with finer tables. *)
+  let covered = Region.Set.inter t.index (Region.Set.of_list [ region ]) in
+  Region.Set.iter
+    (fun r ->
+      split_straddling t r r.Region.base;
+      split_straddling t r (Region.limit r - Addr.page_size_4k);
+      remove_leaves t r)
+    covered;
+  List.iter
+    (fun (addr, ps) -> install_leaf t addr ~page_size:ps ~perms)
+    (chunks_of_region ~max_page:t.max_page region);
+  t.index <- Region.Set.add t.index region
+
+let unmap_region t region =
+  if not (aligned_4k region) then invalid_arg "Ept.unmap_region: unaligned";
+  let present = Region.Set.inter t.index (Region.Set.of_list [ region ]) in
+  Region.Set.iter
+    (fun r ->
+      split_straddling t r r.Region.base;
+      split_straddling t r (Region.limit r - Addr.page_size_4k);
+      remove_leaves t r)
+    present;
+  t.index <- Region.Set.remove t.index region
+
+let covers t ~base ~len = Region.Set.mem_range t.index ~base ~len
+let regions t = t.index
+let leaf_counts t = (t.n4k, t.n2m, t.n1g)
+let entry_writes t = t.writes
+
+let walk_levels = function
+  | Addr.Page_1g -> 2
+  | Addr.Page_2m -> 3
+  | Addr.Page_4k -> 4
+
+let pp ppf t =
+  let n4k, n2m, n1g = leaf_counts t in
+  Format.fprintf ppf "EPT{%a; leaves 4K=%d 2M=%d 1G=%d}" Region.Set.pp t.index
+    n4k n2m n1g

@@ -1,0 +1,66 @@
+(** Extended (nested) page tables.
+
+    A sparse 4-level radix table mapping guest-physical to
+    host-physical addresses.  Covirt builds identity maps, so leaves
+    record permissions and page size rather than a remapped target.
+    Contiguous ranges are coalesced into 2M and 1G leaves whenever
+    alignment allows ([max_page] caps this for the coalescing
+    ablation); partially unmapping a large leaf splits it into smaller
+    pages, as a real EPT manager must.
+
+    A [Region.Set] index mirrors the radix structure for O(regions)
+    bulk containment checks on the workload fast path; the radix table
+    is authoritative and the two are kept consistent (validated by
+    property tests). *)
+
+type perms = { read : bool; write : bool; exec : bool }
+
+val rwx : perms
+val ro : perms
+
+type violation = {
+  gpa : Addr.t;
+  access : [ `Read | `Write | `Exec ];
+  reason : [ `Not_mapped | `Perm_denied ];
+}
+
+type t
+
+val create : ?max_page:Addr.page_size -> unit -> t
+(** [max_page] defaults to [Page_1g]. *)
+
+val max_page : t -> Addr.page_size
+
+val map_region : t -> ?perms:perms -> Region.t -> unit
+(** Identity-map a page-aligned region (base and length must be
+    4K-aligned; [Invalid_argument] otherwise).  Remapping an
+    already-mapped range updates permissions. *)
+
+val unmap_region : t -> Region.t -> unit
+(** Unmap; unmapped space inside the range is ignored.  Large leaves
+    straddling the boundary are split. *)
+
+val translate : t -> Addr.t -> access:[ `Read | `Write | `Exec ] ->
+  (Addr.page_size, violation) result
+
+val covers : t -> base:Addr.t -> len:int -> bool
+(** Bulk check: the whole range is mapped (permissions not checked —
+    Covirt maps everything RWX, violations are containment events). *)
+
+val page_size_at : t -> Addr.t -> Addr.page_size option
+
+val regions : t -> Region.Set.t
+(** The mapped set, from the index. *)
+
+val leaf_counts : t -> int * int * int
+(** [(n4k, n2m, n1g)] live leaves — footprint/coalescing metric. *)
+
+val entry_writes : t -> int
+(** Total leaf installs+removals performed; the controller charges
+    [Cost_model.ept_entry_update] per write. *)
+
+val walk_levels : Addr.page_size -> int
+(** Levels touched by a hardware walk ending at a leaf of this size:
+    1G leaf -> 2, 2M -> 3, 4K -> 4. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+type t = (int, int64) Hashtbl.t
+
+let ia32_apic_base = 0x1b
+let ia32_efer = 0xc0000080
+let ia32_pat = 0x277
+let ia32_tsc_deadline = 0x6e0
+let ia32_smm_monitor_ctl = 0x9b
+
+let create () =
+  let t = Hashtbl.create 32 in
+  Hashtbl.replace t ia32_apic_base 0xfee00900L;
+  Hashtbl.replace t ia32_efer 0x500L (* LME|LMA: 64-bit long mode *);
+  Hashtbl.replace t ia32_pat 0x0007040600070406L;
+  t
+
+let read t msr = Option.value ~default:0L (Hashtbl.find_opt t msr)
+let write t msr v = Hashtbl.replace t msr v
+
+module Bitmap = struct
+  type t = (int, unit) Hashtbl.t
+
+  let create () = Hashtbl.create 16
+  let protect t msr = Hashtbl.replace t msr ()
+  let unprotect t msr = Hashtbl.remove t msr
+  let is_protected t msr = Hashtbl.mem t msr
+
+  let default_sensitive () =
+    let t = create () in
+    List.iter (protect t)
+      [ ia32_apic_base; ia32_efer; ia32_smm_monitor_ctl; ia32_tsc_deadline ];
+    t
+end

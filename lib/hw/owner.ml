@@ -1,0 +1,16 @@
+type t = Host | Enclave of int | Device of string | Free
+
+let equal a b =
+  match (a, b) with
+  | Host, Host | Free, Free -> true
+  | Enclave i, Enclave j -> i = j
+  | Device d, Device e -> String.equal d e
+  | (Host | Enclave _ | Device _ | Free), _ -> false
+
+let to_string = function
+  | Host -> "host"
+  | Enclave i -> Printf.sprintf "enclave-%d" i
+  | Device d -> Printf.sprintf "device-%s" d
+  | Free -> "free"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

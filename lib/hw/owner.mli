@@ -1,0 +1,12 @@
+(** Resource owners.
+
+    Every CPU core and physical memory region is owned by the host OS,
+    by an enclave, or (for memory) by a device's MMIO window; free
+    memory is owned by nobody.  Ownership is what Covirt enforces, so
+    it is a first-class notion of the simulated machine. *)
+
+type t = Host | Enclave of int | Device of string | Free
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

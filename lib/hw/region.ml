@@ -1,0 +1,108 @@
+type t = { base : Addr.t; len : int }
+
+let make ~base ~len =
+  if len <= 0 then invalid_arg "Region.make: len <= 0";
+  if base < 0 then invalid_arg "Region.make: negative base";
+  { base; len }
+
+let last r = r.base + r.len - 1
+let limit r = r.base + r.len
+let contains r a = a >= r.base && a < limit r
+
+let contains_range r ~base ~len =
+  len > 0 && base >= r.base && base + len <= limit r
+
+let overlaps a b = a.base < limit b && b.base < limit a
+let equal a b = a.base = b.base && a.len = b.len
+
+let compare a b =
+  match Int.compare a.base b.base with
+  | 0 -> Int.compare a.len b.len
+  | c -> c
+
+let pp ppf r =
+  Format.fprintf ppf "[%a, %a)" Addr.pp r.base Addr.pp (limit r)
+
+module Set = struct
+  type region = t
+
+  (* Invariant: sorted by base, pairwise disjoint, no two adjacent
+     regions touch (they would have been coalesced). *)
+  type nonrec t = region list
+
+  let empty = []
+  let to_list t = t
+  let is_empty t = t = []
+  let cardinal = List.length
+
+  let normalize regions =
+    let sorted = List.sort compare regions in
+    let rec merge acc = function
+      | [] -> List.rev acc
+      | r :: rest -> (
+          match acc with
+          | prev :: acc' when r.base <= limit prev ->
+              let merged =
+                { base = prev.base; len = max (limit prev) (limit r) - prev.base }
+              in
+              merge (merged :: acc') rest
+          | _ -> merge (r :: acc) rest)
+    in
+    merge [] sorted
+
+  let of_list regions = normalize regions
+  let add t r = normalize (r :: t)
+
+  let remove t hole =
+    let cut r =
+      if not (overlaps r hole) then [ r ]
+      else
+        let left =
+          if r.base < hole.base then [ { base = r.base; len = hole.base - r.base } ]
+          else []
+        in
+        let right =
+          if limit r > limit hole then
+            [ { base = limit hole; len = limit r - limit hole } ]
+          else []
+        in
+        left @ right
+    in
+    List.concat_map cut t
+
+  let find t a = List.find_opt (fun r -> contains r a) t
+  let mem t a = Option.is_some (find t a)
+
+  let mem_range t ~base ~len =
+    len > 0
+    &&
+    match find t base with
+    | None -> false
+    | Some r -> base + len <= limit r
+
+  let total_bytes t = List.fold_left (fun acc r -> acc + r.len) 0 t
+  let union a b = normalize (a @ b)
+  let diff a b = List.fold_left remove a b
+
+  let inter a b =
+    let clip r =
+      List.filter_map
+        (fun s ->
+          if overlaps r s then
+            let base = max r.base s.base in
+            let lim = min (limit r) (limit s) in
+            Some { base; len = lim - base }
+          else None)
+        b
+    in
+    normalize (List.concat_map clip a)
+
+  let iter f t = List.iter f t
+  let fold f acc t = List.fold_left f acc t
+  let equal a b = List.equal equal a b
+
+  let pp ppf t =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp)
+      t
+end

@@ -1,0 +1,61 @@
+(** Half-open physical memory regions [\[base, base+len)].
+
+    Regions are the currency of resource assignment: Pisces assigns
+    them to enclaves, XEMEM shares them between enclaves, and the
+    Covirt controller maps and unmaps them in EPTs.  The [Set]
+    submodule maintains a normalised (sorted, coalesced) set of
+    disjoint regions — the representation used for both enclave memory
+    maps and EPT region indexes. *)
+
+type t = { base : Addr.t; len : int }
+
+val make : base:Addr.t -> len:int -> t
+(** Raises [Invalid_argument] if [len <= 0] or [base < 0]. *)
+
+val last : t -> Addr.t
+(** Last byte address contained, i.e. [base + len - 1]. *)
+
+val limit : t -> Addr.t
+(** One past the end: [base + len]. *)
+
+val contains : t -> Addr.t -> bool
+val contains_range : t -> base:Addr.t -> len:int -> bool
+val overlaps : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Orders by base, then length. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Set : sig
+  type region = t
+  type t
+
+  val empty : t
+  val of_list : region list -> t
+  (** Overlapping inputs are unioned. *)
+
+  val to_list : t -> region list
+  (** Disjoint, sorted, maximally coalesced. *)
+
+  val add : t -> region -> t
+  val remove : t -> region -> t
+  (** Punch a hole; removing unmapped space is a no-op. *)
+
+  val mem : t -> Addr.t -> bool
+  val mem_range : t -> base:Addr.t -> len:int -> bool
+  (** Whole range covered (possibly spanning several contiguous
+      regions — coalescing makes this a single lookup). *)
+
+  val find : t -> Addr.t -> region option
+  val total_bytes : t -> int
+  val is_empty : t -> bool
+  val cardinal : t -> int
+  val inter : t -> t -> t
+  val union : t -> t -> t
+  val diff : t -> t -> t
+  val iter : (region -> unit) -> t -> unit
+  val fold : ('a -> region -> 'a) -> 'a -> t -> 'a
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,102 @@
+type entry = { vpn : int; page_size : Addr.page_size; epoch : int }
+
+type slot = entry option array
+
+type t = {
+  model : Cost_model.t;
+  rng : Covirt_sim.Rng.t;
+  slots_4k : slot;
+  slots_2m : slot;
+  slots_1g : slot;
+  mutable epoch : int;
+  mutable flushes : int;
+}
+
+let create ~model ~rng =
+  {
+    model;
+    rng;
+    slots_4k = Array.make Cost_model.(model.dtlb_entries_4k) None;
+    slots_2m = Array.make Cost_model.(model.dtlb_entries_2m) None;
+    slots_1g = Array.make Cost_model.(model.dtlb_entries_1g) None;
+    epoch = 0;
+    flushes = 0;
+  }
+
+let slots_for t = function
+  | Addr.Page_4k -> t.slots_4k
+  | Addr.Page_2m -> t.slots_2m
+  | Addr.Page_1g -> t.slots_1g
+
+let classes = [ Addr.Page_4k; Addr.Page_2m; Addr.Page_1g ]
+
+let lookup t addr =
+  let hit_in ps =
+    let vpn = Addr.pfn addr ~size:(Addr.bytes_of_page_size ps) in
+    let slots = slots_for t ps in
+    Array.fold_left
+      (fun acc e ->
+        match (acc, e) with
+        | (Some _ as found), _ -> found
+        | None, Some e when e.vpn = vpn && e.page_size = ps -> Some e
+        | None, _ -> None)
+      None slots
+  in
+  List.fold_left
+    (fun acc ps -> match acc with Some _ -> acc | None -> hit_in ps)
+    None classes
+
+let install t addr ~page_size =
+  let vpn = Addr.pfn addr ~size:(Addr.bytes_of_page_size page_size) in
+  let slots = slots_for t page_size in
+  let entry = Some { vpn; page_size; epoch = t.epoch } in
+  let n = Array.length slots in
+  let rec find_free i = if i >= n then None else
+      match slots.(i) with None -> Some i | Some _ -> find_free (i + 1)
+  in
+  let victim =
+    match find_free 0 with
+    | Some i -> i
+    | None -> Covirt_sim.Rng.int t.rng ~bound:n
+  in
+  slots.(victim) <- entry
+
+let flush_all t =
+  let wipe slots = Array.fill slots 0 (Array.length slots) None in
+  wipe t.slots_4k;
+  wipe t.slots_2m;
+  wipe t.slots_1g;
+  t.epoch <- t.epoch + 1;
+  t.flushes <- t.flushes + 1
+
+let flush_range t region =
+  let scrub ps =
+    let bytes = Addr.bytes_of_page_size ps in
+    let slots = slots_for t ps in
+    Array.iteri
+      (fun i e ->
+        match e with
+        | Some e when e.page_size = ps ->
+            let page = Region.make ~base:(e.vpn * bytes) ~len:bytes in
+            if Region.overlaps page region then slots.(i) <- None
+        | Some _ | None -> ())
+      slots
+  in
+  List.iter scrub classes
+
+let entry_count t =
+  let live slots =
+    Array.fold_left (fun n e -> if Option.is_some e then n + 1 else n) 0 slots
+  in
+  live t.slots_4k + live t.slots_2m + live t.slots_1g
+
+let flush_count t = t.flushes
+
+let bulk_miss_rate ~model ~page_size ~working_set =
+  if working_set <= 0 then invalid_arg "Tlb.bulk_miss_rate";
+  let reach = Cost_model.tlb_reach model ~page_size in
+  Float.max 0.0 (1.0 -. (float_of_int reach /. float_of_int working_set))
+
+let stream_miss_rate ~model ~page_size =
+  float_of_int model.Cost_model.line_bytes
+  /. float_of_int (Addr.bytes_of_page_size page_size)

@@ -1,0 +1,48 @@
+(** Translation lookaside buffer.
+
+    Two faces:
+
+    - a {e stateful} TLB used on the granular access path (fault
+      injection, control operations).  This is what makes the
+      unmap/flush ordering protocol observable: after the controller
+      removes an EPT mapping, a stale entry still translates until the
+      hypervisor processes a flush command — exactly the window
+      Covirt's unmap protocol closes before memory is reclaimed.
+
+    - {e analytic} miss-rate estimators used by the bulk workload
+      path, where simulating per-access entries would be absurdly
+      slow.
+
+    Entries are tagged with the page size they were installed at, so
+    EPT large-page coalescing changes both reach and walk cost. *)
+
+type entry = { vpn : int; page_size : Addr.page_size; epoch : int }
+
+type t
+
+val create : model:Cost_model.t -> rng:Covirt_sim.Rng.t -> t
+
+val lookup : t -> Addr.t -> entry option
+(** Hit if a valid entry covers the address. *)
+
+val install : t -> Addr.t -> page_size:Addr.page_size -> unit
+(** Install the translation covering [addr]; evicts a random victim
+    from the relevant entry class when full. *)
+
+val flush_all : t -> unit
+val flush_range : t -> Region.t -> unit
+(** Invalidate entries whose page overlaps the region. *)
+
+val entry_count : t -> int
+val flush_count : t -> int
+(** Number of full flushes performed (observability for tests). *)
+
+val bulk_miss_rate :
+  model:Cost_model.t -> page_size:Addr.page_size -> working_set:int -> float
+(** Expected miss probability for one access uniformly distributed in
+    [working_set], given the TLB reach at [page_size]. *)
+
+val stream_miss_rate :
+  model:Cost_model.t -> page_size:Addr.page_size -> float
+(** Miss probability per cacheline of a sequential stream: one miss
+    per page, i.e. [line_bytes / page_bytes]. *)

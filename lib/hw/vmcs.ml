@@ -1,0 +1,115 @@
+type vapic_mode =
+  | Vapic_off
+  | Vapic_full
+  | Vapic_piv of { notification_vector : int }
+
+type controls = {
+  ept : Ept.t option;
+  msr_bitmap : Msr.Bitmap.t option;
+  io_bitmap : Io_port.Bitmap.t option;
+  vapic : vapic_mode;
+}
+
+type guest_state = {
+  entry_rip : Addr.t;
+  boot_params_gpa : Addr.t;
+  long_mode : bool;
+}
+
+type exit_reason =
+  | Ept_violation of Ept.violation
+  | Icr_write of Apic.icr
+  | Msr_access of { msr : int; write : bool; value : int64 }
+  | Io_access of { port : int; write : bool; value : int }
+  | Cpuid
+  | Xsetbv
+  | Hlt
+  | External_interrupt of { vector : int }
+  | Nmi_exit
+  | Abort of { what : string }
+
+type action = Resume | Skip | Kill of { reason : string }
+
+type stats = {
+  mutable exits_total : int;
+  mutable exits_ept : int;
+  mutable exits_icr : int;
+  mutable exits_msr : int;
+  mutable exits_io : int;
+  mutable exits_interrupt : int;
+  mutable exits_nmi : int;
+  mutable exits_hlt : int;
+  mutable exits_emul : int;
+  mutable exits_abort : int;
+}
+
+type t = {
+  vcpu : int;
+  enclave : int;
+  guest : guest_state;
+  mutable controls : controls;
+  mutable exit_handler : (exit_reason -> action) option;
+  mutable launched : bool;
+  stats : stats;
+}
+
+let fresh_stats () =
+  {
+    exits_total = 0;
+    exits_ept = 0;
+    exits_icr = 0;
+    exits_msr = 0;
+    exits_io = 0;
+    exits_interrupt = 0;
+    exits_nmi = 0;
+    exits_hlt = 0;
+    exits_emul = 0;
+    exits_abort = 0;
+  }
+
+let create ~vcpu ~enclave ~guest ~controls =
+  {
+    vcpu;
+    enclave;
+    guest;
+    controls;
+    exit_handler = None;
+    launched = false;
+    stats = fresh_stats ();
+  }
+
+let no_controls =
+  { ept = None; msr_bitmap = None; io_bitmap = None; vapic = Vapic_off }
+
+let note_exit t reason =
+  let s = t.stats in
+  s.exits_total <- s.exits_total + 1;
+  match reason with
+  | Ept_violation _ -> s.exits_ept <- s.exits_ept + 1
+  | Icr_write _ -> s.exits_icr <- s.exits_icr + 1
+  | Msr_access _ -> s.exits_msr <- s.exits_msr + 1
+  | Io_access _ -> s.exits_io <- s.exits_io + 1
+  | External_interrupt _ -> s.exits_interrupt <- s.exits_interrupt + 1
+  | Nmi_exit -> s.exits_nmi <- s.exits_nmi + 1
+  | Hlt -> s.exits_hlt <- s.exits_hlt + 1
+  | Cpuid | Xsetbv -> s.exits_emul <- s.exits_emul + 1
+  | Abort _ -> s.exits_abort <- s.exits_abort + 1
+
+let pp_exit_reason ppf = function
+  | Ept_violation v ->
+      Format.fprintf ppf "EPT-violation(gpa=%a,%s)" Addr.pp v.Ept.gpa
+        (match v.Ept.reason with
+        | `Not_mapped -> "not-mapped"
+        | `Perm_denied -> "perm")
+  | Icr_write icr -> Format.fprintf ppf "ICR-write(%a)" Apic.pp_icr icr
+  | Msr_access { msr; write; _ } ->
+      Format.fprintf ppf "MSR-%s(0x%x)" (if write then "write" else "read") msr
+  | Io_access { port; write; _ } ->
+      Format.fprintf ppf "IO-%s(0x%x)" (if write then "out" else "in") port
+  | Cpuid -> Format.pp_print_string ppf "CPUID"
+  | Xsetbv -> Format.pp_print_string ppf "XSETBV"
+  | Hlt -> Format.pp_print_string ppf "HLT"
+  | External_interrupt { vector } ->
+      Format.fprintf ppf "external-interrupt(%d)" vector
+  | Nmi_exit -> Format.pp_print_string ppf "NMI"
+  | Abort { what } -> Format.fprintf ppf "abort(%s)" what

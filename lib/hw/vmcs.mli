@@ -1,0 +1,86 @@
+(** Virtual Machine Control Structure.
+
+    The per-core hardware context describing one guest: its entry
+    state (mirroring what the Pisces trampoline would have handed the
+    co-kernel), the execution controls selecting which operations trap,
+    and the exit plumbing.  The Covirt controller writes this structure
+    from the host side; the Covirt hypervisor loads it and handles its
+    exits — the split that gives the paper's architecture its
+    asynchronous-update property.
+
+    The exit handler is installed by the hypervisor at launch.  Exits
+    are delivered synchronously by {!Vmx} with entry/exit costs charged
+    to the guest's core. *)
+
+type vapic_mode =
+  | Vapic_off  (** no APIC virtualization: ICR writes go to hardware *)
+  | Vapic_full
+      (** trap-and-emulate: ICR writes exit, incoming interrupts exit *)
+  | Vapic_piv of { notification_vector : int }
+      (** ICR writes still exit (whitelisting), incoming IPIs are
+          posted exitlessly; external interrupts (timer) still exit *)
+
+type controls = {
+  ept : Ept.t option;  (** memory protection *)
+  msr_bitmap : Msr.Bitmap.t option;
+  io_bitmap : Io_port.Bitmap.t option;
+  vapic : vapic_mode;
+}
+
+type guest_state = {
+  entry_rip : Addr.t;  (** co-kernel start address *)
+  boot_params_gpa : Addr.t;  (** passed in a register at launch *)
+  long_mode : bool;  (** launched directly into 64-bit long mode *)
+}
+
+type exit_reason =
+  | Ept_violation of Ept.violation
+  | Icr_write of Apic.icr
+  | Msr_access of { msr : int; write : bool; value : int64 }
+  | Io_access of { port : int; write : bool; value : int }
+  | Cpuid
+  | Xsetbv
+  | Hlt
+  | External_interrupt of { vector : int }
+  | Nmi_exit
+  | Abort of { what : string }
+      (** double fault / triple fault class errors *)
+
+type action =
+  | Resume  (** retry / continue the guest (after emulation) *)
+  | Skip  (** suppress the trapped operation (e.g. drop an errant IPI) *)
+  | Kill of { reason : string }  (** terminate the enclave *)
+
+type stats = {
+  mutable exits_total : int;
+  mutable exits_ept : int;
+  mutable exits_icr : int;
+  mutable exits_msr : int;
+  mutable exits_io : int;
+  mutable exits_interrupt : int;
+  mutable exits_nmi : int;
+  mutable exits_hlt : int;
+  mutable exits_emul : int;  (** cpuid/xsetbv *)
+  mutable exits_abort : int;
+}
+
+type t = {
+  vcpu : int;  (** core this context is bound to *)
+  enclave : int;
+  guest : guest_state;
+  mutable controls : controls;
+  mutable exit_handler : (exit_reason -> action) option;
+  mutable launched : bool;
+  stats : stats;
+}
+
+val create :
+  vcpu:int -> enclave:int -> guest:guest_state -> controls:controls -> t
+
+val no_controls : controls
+(** Everything off: the "Covirt with no features" configuration. *)
+
+val note_exit : t -> exit_reason -> unit
+(** Update the per-reason counters. *)
+
+val pp_exit_reason : Format.formatter -> exit_reason -> unit

@@ -1,0 +1,33 @@
+exception
+  Vm_terminated of { cpu_id : int; enclave : int; reason : string }
+
+let vmlaunch ~model cpu vmcs =
+  if Cpu.in_guest cpu then invalid_arg "Vmx.vmlaunch: already in guest mode";
+  Cpu.charge cpu Cost_model.(model.vmcs_load + model.vmlaunch);
+  vmcs.Vmcs.launched <- true;
+  cpu.Cpu.mode <- Cpu.Guest_mode vmcs
+
+let vmexit_cost ~model = Cost_model.(model.vmexit_roundtrip + model.exit_dispatch)
+
+let deliver_exit ~model cpu vmcs reason =
+  Cpu.charge cpu (vmexit_cost ~model);
+  Vmcs.note_exit vmcs reason;
+  let action =
+    match vmcs.Vmcs.exit_handler with
+    | Some handler -> handler reason
+    | None ->
+        (* No hypervisor: nothing can make progress safely. *)
+        Vmcs.Kill { reason = "no exit handler installed" }
+  in
+  match action with
+  | Vmcs.Kill { reason = why } ->
+      cpu.Cpu.online <- false;
+      raise
+        (Vm_terminated
+           { cpu_id = cpu.Cpu.id; enclave = vmcs.Vmcs.enclave; reason = why })
+  | Vmcs.Resume -> `Resume
+  | Vmcs.Skip -> `Skip
+
+let teardown cpu =
+  cpu.Cpu.mode <- Cpu.Host_mode;
+  cpu.Cpu.online <- true

@@ -1,0 +1,33 @@
+(** VMX root/non-root transitions.
+
+    Launching a guest, delivering synchronous VM exits to the
+    installed handler with entry/exit costs charged, and tearing a
+    guest down.  The Covirt hypervisor is a client of this module: it
+    installs the exit handler and calls {!vmlaunch}; the machine's
+    access paths call {!deliver_exit} when a trapped operation occurs. *)
+
+exception
+  Vm_terminated of { cpu_id : int; enclave : int; reason : string }
+(** Raised when an exit handler returns [Kill] (or when no handler is
+    installed).  The co-kernel framework catches this to reclaim the
+    enclave — the fault is contained to the raising core's enclave. *)
+
+val vmlaunch : model:Cost_model.t -> Cpu.t -> Vmcs.t -> unit
+(** Load the VMCS onto the core and enter the guest: flips the core to
+    [Guest_mode], charges [vmcs_load + vmlaunch], marks the VMCS
+    launched.  [Invalid_argument] if the core is already in guest
+    mode. *)
+
+val deliver_exit : model:Cost_model.t -> Cpu.t -> Vmcs.t ->
+  Vmcs.exit_reason -> [ `Resume | `Skip ]
+(** Charge a full exit round trip plus dispatch, bump the exit
+    statistics, run the handler.  A [Kill] action raises
+    {!Vm_terminated} after marking the core offline (the paper's
+    "safely halting the CPU"), so only [`Resume] and [`Skip] are ever
+    returned. *)
+
+val vmexit_cost : model:Cost_model.t -> int
+(** The charged cost of one exit round trip including dispatch. *)
+
+val teardown : Cpu.t -> unit
+(** Return the core to host mode (used during reclamation). *)

@@ -1,0 +1,48 @@
+type t = {
+  queue : Process.t Queue.t;
+  mutable all : Process.t list; (* reversed *)
+  mutable next_pid : int;
+  mutable switches : int;
+}
+
+let context_switch_cycles = 1400
+(* A Kitten context switch is a register save/restore and a runqueue
+   pop; there is no address-space change (single kernel page table). *)
+
+let create () = { queue = Queue.create (); all = []; next_pid = 1; switches = 0 }
+
+let spawn t ~name entry =
+  let process = Process.create ~pid:t.next_pid ~name entry in
+  t.next_pid <- t.next_pid + 1;
+  Queue.push process t.queue;
+  t.all <- process :: t.all;
+  process
+
+let run t (ctx : Kitten.context) =
+  let ran = ref 0 in
+  let rec loop () =
+    match Queue.take_opt t.queue with
+    | None -> ()
+    | Some process ->
+        if !ran > 0 then begin
+          t.switches <- t.switches + 1;
+          Covirt_hw.Cpu.charge ctx.Kitten.cpu context_switch_cycles
+        end;
+        process.Process.state <- Process.Running;
+        let start = Covirt_hw.Cpu.rdtsc ctx.Kitten.cpu in
+        let code = Kitten.run_with_ticks ctx (fun () -> process.Process.entry ctx) in
+        process.Process.cpu_cycles <-
+          process.Process.cpu_cycles
+          + (Covirt_hw.Cpu.rdtsc ctx.Kitten.cpu - start);
+        process.Process.state <- Process.Exited code;
+        incr ran;
+        loop ()
+  in
+  loop ();
+  !ran
+
+let run_queue_length t = Queue.length t.queue
+let context_switches t = t.switches
+
+let processes t =
+  List.sort (fun a b -> compare a.Process.pid b.Process.pid) t.all

@@ -1,0 +1,25 @@
+(** Kitten's cooperative scheduler.
+
+    Run-to-completion FIFO scheduling on dedicated cores: the policy
+    that gives LWKs their "high performance and high repeatability".
+    There is no preemption — the timer tick only keeps time — so the
+    only scheduling costs are the context switches between queued
+    processes, and those are counted. *)
+
+type t
+
+val create : unit -> t
+
+val spawn : t -> name:string -> (Kitten.context -> int) -> Process.t
+(** Enqueue a new process; pids are assigned sequentially from 1. *)
+
+val run : t -> Kitten.context -> int
+(** Drain the run queue on the given core, charging a context-switch
+    cost between processes and accounting timer ticks over each
+    process's execution.  Returns the number of processes that ran.
+    A {!Kitten.Kernel_panic} or containment event propagates. *)
+
+val run_queue_length : t -> int
+val context_switches : t -> int
+val processes : t -> Process.t list
+(** Everything ever spawned, in pid order. *)

@@ -1,0 +1,35 @@
+type disposition = Local | Forwarded | Unsupported
+
+let nr_read = 0
+let nr_write = 1
+let nr_open = 2
+let nr_close = 3
+let nr_mmap = 9
+let nr_brk = 12
+let nr_getpid = 39
+let nr_gettimeofday = 96
+let nr_clock_gettime = 228
+let nr_exit = 60
+
+let disposition nr =
+  if nr = nr_brk || nr = nr_mmap || nr = nr_getpid || nr = nr_gettimeofday
+     || nr = nr_clock_gettime || nr = nr_exit
+  then Local
+  else if nr = nr_read || nr = nr_write || nr = nr_open || nr = nr_close then
+    Forwarded
+  else Unsupported
+
+let name nr =
+  if nr = nr_read then "read"
+  else if nr = nr_write then "write"
+  else if nr = nr_open then "open"
+  else if nr = nr_close then "close"
+  else if nr = nr_mmap then "mmap"
+  else if nr = nr_brk then "brk"
+  else if nr = nr_getpid then "getpid"
+  else if nr = nr_gettimeofday then "gettimeofday"
+  else if nr = nr_clock_gettime then "clock_gettime"
+  else if nr = nr_exit then "exit"
+  else Printf.sprintf "sys_%d" nr
+
+let local_cost_cycles = 250

@@ -1,0 +1,93 @@
+open Covirt_hw
+open Covirt_pisces
+
+type t = {
+  machine : Machine.t;
+  enclave : Enclave.t;
+  page_table : Guest_pt.t;  (* shared with the host: covers everything *)
+  host_syscall : number:int -> arg:int -> int;
+  mutable believed : Region.Set.t;  (* a field in shared state *)
+  mutable direct_calls : int;
+}
+
+let enclave_id t = t.enclave.Enclave.id
+let syscalls_direct t = t.direct_calls
+
+let handle_host_msg t msg =
+  (* mOS shares state instead of exchanging messages; under Pisces the
+     framework still sends them, and the embedded LWK just updates the
+     shared field and acks. *)
+  let bsp = Machine.cpu t.machine (Enclave.bsp t.enclave) in
+  match msg with
+  | Message.Syscall_reply _ -> ()
+  | other ->
+      (match other with
+      | Message.Add_memory { region; _ } ->
+          t.believed <- Region.Set.add t.believed region
+      | Message.Remove_memory { region; _ } ->
+          t.believed <- Region.Set.remove t.believed region
+      | Message.Xemem_map _ | Message.Xemem_unmap _
+      | Message.Grant_ipi_vector _ | Message.Revoke_ipi_vector _
+      | Message.Assign_device _ | Message.Revoke_device _
+      | Message.Shutdown _ | Message.Syscall_reply _ -> ());
+      Ctrl_channel.send_to_host t.machine ~enclave_cpu:bsp
+        t.enclave.Enclave.channel
+        (Message.Ack { seq = Message.seq_of_host_msg other })
+
+let boot_core_body ~host_syscall instance_ref machine enclave (cpu : Cpu.t)
+    ~bsp params =
+  (* No trampoline dance: the LWK side was compiled into the host
+     kernel; "booting" is flipping the core over.  Covirt still
+     interposes through the same Pisces hook. *)
+  Cpu.charge cpu 10_000;
+  if bsp then begin
+    let t =
+      {
+        machine;
+        enclave;
+        (* the host's direct map: the whole node is translatable *)
+        page_table =
+          Guest_pt.direct_map
+            ~total_mem:(Numa.total_mem machine.Machine.topology);
+        host_syscall;
+        believed = Region.Set.of_list params.Boot_params.assigned_memory;
+        direct_calls = 0;
+      }
+    in
+    instance_ref := Some t;
+    enclave.Enclave.msg_handler <- Some (handle_host_msg t);
+    Ctrl_channel.send_to_host machine ~enclave_cpu:cpu enclave.Enclave.channel
+      Message.Ready
+  end;
+  (match !instance_ref with
+  | Some t -> cpu.Cpu.guest_pt <- Some t.page_table
+  | None -> ())
+
+let make_kernel ~host_syscall () =
+  let instance_ref = ref None in
+  let kernel =
+    {
+      Pisces.kernel_name = "mos";
+      boot_core =
+        (fun machine enclave cpu ~bsp params ->
+          boot_core_body ~host_syscall instance_ref machine enclave cpu ~bsp
+            params);
+    }
+  in
+  (kernel, fun () -> !instance_ref)
+
+let syscall t ~core ~number ~arg =
+  let cpu = Machine.cpu t.machine core in
+  t.direct_calls <- t.direct_calls + 1;
+  (* a privilege-domain switch, then the shared implementation runs
+     right here — no channel, no proxy, no marshalling *)
+  Cpu.charge cpu 350;
+  t.host_syscall ~number ~arg
+
+let wild_write t ~core addr =
+  Machine.store t.machine (Machine.cpu t.machine core) addr
+
+let corrupt_shared_state t region =
+  t.believed <- Region.Set.add t.believed region
+
+let believes t addr = Region.Set.mem t.believed addr

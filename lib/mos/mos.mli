@@ -1,0 +1,55 @@
+(** The mOS architecture (LWK embedded in Linux).
+
+    mOS "sits at the extreme end of the integration axis ... fully
+    embedding the LWK code into Linux so that the LWK code runs on
+    cores picked at boot-time, so that state sharing between the two
+    OSes is high and LWK processes are nearly indistinguishable from
+    Linux processes."  The fourth and last co-kernel architecture from
+    the paper's related-work taxonomy, and the hardest case for
+    isolation arguments:
+
+    - no control channel, no message protocol — the LWK side calls
+      host services {e directly} (zero marshalling cost, maximal
+      coupling);
+    - the LWK shares the host's page tables: its direct map covers the
+      {e entire} node including host-kernel memory, by design;
+    - its believed resource set is a field in shared state that either
+      side can update (and therefore corrupt) without a protocol.
+
+    Running mOS under Pisces-style partitioning is exactly the
+    adaptation the paper hypothesizes ("Covirt represents a unique
+    capability that could be adapted to suit the full range of
+    co-kernel approaches"): the embedded LWK keeps its direct host
+    integration while the EPT underneath it enforces the boot-time
+    core/memory partition it was supposed to respect voluntarily. *)
+
+open Covirt_hw
+open Covirt_pisces
+
+type t
+
+val make_kernel :
+  host_syscall:(number:int -> arg:int -> int) ->
+  unit ->
+  Pisces.kernel * (unit -> t option)
+(** [host_syscall] is the direct entry into host services (no channel:
+    mOS calls Linux functions).  The Hobbes-level glue passes the same
+    handler the forwarding path would use. *)
+
+val enclave_id : t -> int
+val syscall : t -> core:int -> number:int -> arg:int -> int
+(** Direct dispatch into the shared host implementation: one function
+    call plus a privilege-domain switch, no marshalling. *)
+
+val syscalls_direct : t -> int
+
+val wild_write : t -> core:int -> Addr.t -> unit
+(** With a shared direct map this reaches anything on the node
+    natively — the architecture's whole risk profile in one call. *)
+
+val corrupt_shared_state : t -> Region.t -> unit
+(** The mOS-specific bug class: scribble the shared resource-set state
+    so the LWK believes the region is its own (no protocol existed to
+    prevent it). *)
+
+val believes : t -> Addr.t -> bool

@@ -1,0 +1,84 @@
+open Covirt_hw
+open Covirt_pisces
+
+type t = {
+  machine : Machine.t;
+  enclave : Enclave.t;
+  page_table : Guest_pt.t;
+  mutable threads : int;
+}
+
+let enclave_id t = t.enclave.Enclave.id
+let page_table t = t.page_table
+let threads_run t = t.threads
+
+let handle_host_msg t msg =
+  (* A freshly ported kernel: ack everything, implement nothing. *)
+  let bsp = Machine.cpu t.machine (Enclave.bsp t.enclave) in
+  match msg with
+  | Message.Syscall_reply _ -> ()
+  | other ->
+      (match other with
+      | Message.Add_memory { region; _ } -> Guest_pt.map_region t.page_table region
+      | Message.Remove_memory { region; _ } ->
+          Guest_pt.unmap_region t.page_table region;
+          List.iter
+            (fun core -> Tlb.flush_range (Machine.cpu t.machine core).Cpu.tlb region)
+            t.enclave.Enclave.cores
+      | Message.Assign_device { window; _ } ->
+          Guest_pt.map_region t.page_table window
+      | Message.Revoke_device { window; _ } ->
+          Guest_pt.unmap_region t.page_table window
+      | Message.Xemem_map _ | Message.Xemem_unmap _
+      | Message.Grant_ipi_vector _ | Message.Revoke_ipi_vector _
+      | Message.Shutdown _ | Message.Syscall_reply _ -> ());
+      Ctrl_channel.send_to_host t.machine ~enclave_cpu:bsp
+        t.enclave.Enclave.channel
+        (Message.Ack { seq = Message.seq_of_host_msg other })
+
+let boot_core_body instance_ref machine enclave (cpu : Cpu.t) ~bsp params =
+  Machine.cpuid machine cpu;
+  Machine.xsetbv machine cpu;
+  Cpu.charge cpu 30_000 (* aerokernel bring-up is lean *);
+  if bsp then begin
+    (* Precise mappings: exactly the assigned regions, nothing else. *)
+    let pt = Guest_pt.create () in
+    List.iter
+      (Guest_pt.map_region pt)
+      params.Boot_params.assigned_memory;
+    let t = { machine; enclave; page_table = pt; threads = 0 } in
+    instance_ref := Some t;
+    enclave.Enclave.msg_handler <- Some (handle_host_msg t);
+    Ctrl_channel.send_to_host machine ~enclave_cpu:cpu enclave.Enclave.channel
+      Message.Ready
+  end;
+  (match !instance_ref with
+  | Some t -> cpu.Cpu.guest_pt <- Some t.page_table
+  | None -> ());
+  Cpu.charge cpu 5_000
+
+let make_kernel () =
+  let instance_ref = ref None in
+  let kernel =
+    {
+      Pisces.kernel_name = "nautilus";
+      boot_core =
+        (fun machine enclave cpu ~bsp params ->
+          boot_core_body instance_ref machine enclave cpu ~bsp params);
+    }
+  in
+  (kernel, fun () -> !instance_ref)
+
+let spawn_thread t ~core f =
+  if not (List.mem core t.enclave.Enclave.cores) then
+    invalid_arg "Nautilus.spawn_thread: core not owned";
+  let cpu = Machine.cpu t.machine core in
+  Cpu.charge cpu 300 (* thread launch: an aerokernel's forte *);
+  t.threads <- t.threads + 1;
+  f cpu
+
+let map_extra t region = Guest_pt.map_region t.page_table region
+
+let wild_write t ~core addr =
+  let cpu = Machine.cpu t.machine core in
+  Machine.store t.machine cpu addr

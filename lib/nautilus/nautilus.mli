@@ -1,0 +1,45 @@
+(** The Nautilus aerokernel (a second co-kernel architecture).
+
+    The paper notes that Covirt was also used "to port other kernel
+    architectures (such as the Nautilus Aero-kernel) to the Pisces
+    framework", with the hypervisor containing the porting bugs that
+    otherwise crash the node.  This module is that second kernel — and
+    a deliberately {e different} one, to demonstrate that Covirt is
+    kernel-agnostic:
+
+    - single address space, kernel threads instead of processes;
+    - {e precise} page tables: Nautilus maps only the regions it was
+      assigned (no LWK-style full direct map).  Its own paging
+      therefore stops most wild accesses natively ... unless the
+      mapping code itself is the thing that is buggy, which during a
+      port it usually is.  The {!map_extra} injector reproduces
+      exactly that class: a porting bug maps a region the enclave does
+      not own, the kernel's tables happily translate it, and only
+      Covirt's EPT stands between the bug and the node.
+
+    Nautilus does not implement the XEMEM or syscall-forwarding
+    protocol (a freshly ported kernel would not); it acks resource
+    messages and runs threads. *)
+
+open Covirt_hw
+open Covirt_pisces
+
+type t
+
+val make_kernel : unit -> Pisces.kernel * (unit -> t option)
+val enclave_id : t -> int
+val page_table : t -> Guest_pt.t
+val threads_run : t -> int
+
+val spawn_thread : t -> core:int -> (Cpu.t -> unit) -> unit
+(** Run a kernel thread immediately on the core (aerokernels have no
+    scheduler queue to speak of; threads are the unit of work). *)
+
+(* Porting-bug injectors. *)
+
+val map_extra : t -> Region.t -> unit
+(** The porting bug: map a region into the kernel page tables without
+    owning it. *)
+
+val wild_write : t -> core:int -> Addr.t -> unit
+(** Store through the kernel's translation path. *)

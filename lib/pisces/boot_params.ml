@@ -1,0 +1,30 @@
+open Covirt_hw
+
+type pisces = {
+  enclave_id : int;
+  entry_addr : Addr.t;
+  assigned_cores : int list;
+  assigned_memory : Region.t list;
+  channel : Ctrl_channel.t;
+  timer_hz : float;
+}
+
+type covirt = {
+  pisces_params : pisces;
+  vmcs_addr : Addr.t;
+  command_queue_addr : Addr.t;
+  hypervisor_stack : Region.t;
+}
+
+let hypervisor_stack_bytes = 8 * 1024
+
+let make_pisces ~enclave_id ~entry_addr ~assigned_cores ~assigned_memory
+    ~channel ~timer_hz =
+  { enclave_id; entry_addr; assigned_cores; assigned_memory; channel; timer_hz }
+
+let pp_pisces ppf p =
+  Format.fprintf ppf "enclave %d entry=%a cores=[%s] mem=%a" p.enclave_id
+    Addr.pp p.entry_addr
+    (String.concat "," (List.map string_of_int p.assigned_cores))
+    Covirt_sim.Units.pp_bytes
+    (List.fold_left (fun acc r -> acc + r.Region.len) 0 p.assigned_memory)

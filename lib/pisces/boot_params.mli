@@ -1,0 +1,44 @@
+(** Boot-parameter structures.
+
+    Pisces passes a co-kernel its initial configuration through a
+    structure in memory whose address the trampoline hands over in a
+    register.  When Covirt interposes, it {e replaces} that structure
+    with its own — containing the VM configuration and the hypervisor
+    command queue — and tucks a pointer to the unmodified Pisces
+    structure inside, which is what the co-kernel ultimately receives
+    (Section IV-C, "Initializing Covirt").  Modelling both structures
+    separately keeps that transparency property testable: the
+    co-kernel sees an identical [pisces] structure whether or not
+    Covirt is underneath it. *)
+
+open Covirt_hw
+
+type pisces = {
+  enclave_id : int;
+  entry_addr : Addr.t;  (** where the trampoline jumps *)
+  assigned_cores : int list;
+  assigned_memory : Region.t list;
+  channel : Ctrl_channel.t;
+  timer_hz : float;
+}
+
+type covirt = {
+  pisces_params : pisces;  (** address passed to the co-kernel at VM launch *)
+  vmcs_addr : Addr.t;  (** where the controller wrote the VMCS *)
+  command_queue_addr : Addr.t;
+  hypervisor_stack : Region.t;  (** the preallocated 8KB stack *)
+}
+
+val hypervisor_stack_bytes : int
+(** 8 KiB, per the paper. *)
+
+val make_pisces :
+  enclave_id:int ->
+  entry_addr:Addr.t ->
+  assigned_cores:int list ->
+  assigned_memory:Region.t list ->
+  channel:Ctrl_channel.t ->
+  timer_hz:float ->
+  pisces
+
+val pp_pisces : Format.formatter -> pisces -> unit

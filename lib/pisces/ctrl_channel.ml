@@ -1,0 +1,56 @@
+open Covirt_hw
+
+type t = {
+  to_enclave : Message.host_to_enclave Queue.t;
+  to_host : Message.enclave_to_host Queue.t;
+  mutable sent : int;
+}
+
+let create () =
+  { to_enclave = Queue.create (); to_host = Queue.create (); sent = 0 }
+
+let charge machine cpu =
+  Cpu.charge cpu machine.Machine.model.Cost_model.ctrl_channel_msg
+
+let send_to_enclave machine ~host_cpu t msg =
+  charge machine host_cpu;
+  t.sent <- t.sent + 1;
+  Queue.push msg t.to_enclave
+
+let send_to_host machine ~enclave_cpu t msg =
+  charge machine enclave_cpu;
+  t.sent <- t.sent + 1;
+  Queue.push msg t.to_host
+
+let drain q =
+  let acc = ref [] in
+  while not (Queue.is_empty q) do
+    acc := Queue.pop q :: !acc
+  done;
+  List.rev !acc
+
+let drain_enclave_side t = drain t.to_enclave
+let drain_host_side t = drain t.to_host
+let peek_host_side t = Queue.peek_opt t.to_host
+
+let take_ack t ~seq =
+  (* Scan for the matching Ack/Nack, preserving other messages
+     (e.g. interleaved console output or syscall requests). *)
+  let others = Queue.create () in
+  let rec hunt () =
+    match Queue.take_opt t.to_host with
+    | None -> Error (Printf.sprintf "no ack for seq %d" seq)
+    | Some (Message.Ack { seq = s }) when s = seq -> Ok ()
+    | Some (Message.Nack { seq = s; why }) when s = seq -> Error why
+    | Some other ->
+        Queue.push other others;
+        hunt ()
+  in
+  let result = hunt () in
+  (* Put unrelated messages back in order, in front of the rest. *)
+  Queue.transfer t.to_host others;
+  Queue.transfer others t.to_host;
+  result
+
+let pending_to_enclave t = Queue.length t.to_enclave
+let messages_sent t = t.sent

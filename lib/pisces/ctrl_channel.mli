@@ -1,0 +1,36 @@
+(** The host/enclave control channel.
+
+    A pair of in-memory message queues living in a shared page that is
+    part of the boot-parameter structure.  Sends charge the executing
+    core the channel-message cost; delivery is by explicit drain (the
+    receiving kernel polls it from its message loop) or, for the
+    synchronous host-side operations, by the framework running the
+    enclave's registered handler inline. *)
+
+open Covirt_hw
+
+type t
+
+val create : unit -> t
+
+val send_to_enclave : Machine.t -> host_cpu:Cpu.t -> t ->
+  Message.host_to_enclave -> unit
+
+val send_to_host : Machine.t -> enclave_cpu:Cpu.t -> t ->
+  Message.enclave_to_host -> unit
+
+val drain_enclave_side : t -> Message.host_to_enclave list
+(** All pending host-to-enclave messages, in order. *)
+
+val drain_host_side : t -> Message.enclave_to_host list
+
+val peek_host_side : t -> Message.enclave_to_host option
+(** Without removing. *)
+
+val take_ack : t -> seq:int -> (unit, string) result
+(** Remove the Ack/Nack for [seq] from the host-side queue; an error
+    if the next ackable message is a [Nack] or no reply is pending
+    (the co-kernel never answered — a protocol bug). *)
+
+val pending_to_enclave : t -> int
+val messages_sent : t -> int

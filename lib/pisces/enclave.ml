@@ -1,0 +1,74 @@
+open Covirt_hw
+
+type state =
+  | Created
+  | Booting
+  | Running
+  | Crashed of string
+  | Stopped
+
+type t = {
+  id : int;
+  name : string;
+  mutable state : state;
+  mutable cores : int list;
+  mutable memory : Region.Set.t;
+  mutable shared : Region.Set.t;
+  mutable granted_vectors : (int * int) list;
+  mutable devices : (string * Region.t) list;
+  channel : Ctrl_channel.t;
+  mutable boot_params : Boot_params.pisces option;
+  mutable msg_handler : (Message.host_to_enclave -> unit) option;
+  mutable seq : int;
+  mutable timer_hz : float;
+}
+
+let make ~id ~name ~cores =
+  if cores = [] then invalid_arg "Enclave.make: no cores";
+  {
+    id;
+    name;
+    state = Created;
+    cores;
+    memory = Region.Set.empty;
+    shared = Region.Set.empty;
+    granted_vectors = [];
+    devices = [];
+    channel = Ctrl_channel.create ();
+    boot_params = None;
+    msg_handler = None;
+    seq = 0;
+    timer_hz = 10.0;
+  }
+
+let next_seq t =
+  t.seq <- t.seq + 1;
+  t.seq
+
+let bsp t =
+  match t.cores with
+  | c :: _ -> c
+  | [] -> invalid_arg "Enclave.bsp: no cores"
+
+let accessible t =
+  List.fold_left
+    (fun acc (_, window) -> Region.Set.add acc window)
+    (Region.Set.union t.memory t.shared)
+    t.devices
+let is_running t = t.state = Running
+
+let pp_state ppf = function
+  | Created -> Format.pp_print_string ppf "created"
+  | Booting -> Format.pp_print_string ppf "booting"
+  | Running -> Format.pp_print_string ppf "running"
+  | Crashed why -> Format.fprintf ppf "crashed(%s)" why
+  | Stopped -> Format.pp_print_string ppf "stopped"
+
+let pp ppf t =
+  Format.fprintf ppf "enclave %d (%s) %a cores=[%s] mem=%a shared=%a" t.id
+    t.name pp_state t.state
+    (String.concat "," (List.map string_of_int t.cores))
+    Covirt_sim.Units.pp_bytes
+    (Region.Set.total_bytes t.memory)
+    Covirt_sim.Units.pp_bytes
+    (Region.Set.total_bytes t.shared)

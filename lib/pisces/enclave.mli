@@ -1,0 +1,49 @@
+(** Enclave state (host-side view).
+
+    An enclave is a hardware partition — cores, memory, IPI vectors —
+    plus the lifecycle of the OS/R running in it.  The [memory] and
+    [shared] sets are the {e host's authoritative view} of what the
+    enclave may touch; the co-kernel keeps its own believed memory map
+    inside its kernel state, and the divergence between the two is
+    exactly the class of bug Covirt contains. *)
+
+open Covirt_hw
+
+type state =
+  | Created
+  | Booting
+  | Running
+  | Crashed of string
+  | Stopped
+
+type t = {
+  id : int;
+  name : string;
+  mutable state : state;
+  mutable cores : int list;  (** first element is the boot core *)
+  mutable memory : Region.Set.t;  (** owned RAM *)
+  mutable shared : Region.Set.t;  (** attached XEMEM frames (foreign-owned) *)
+  mutable granted_vectors : (int * int) list;  (** (vector, peer core) *)
+  mutable devices : (string * Region.t) list;
+      (** delegated device MMIO windows *)
+  channel : Ctrl_channel.t;
+  mutable boot_params : Boot_params.pisces option;
+  mutable msg_handler : (Message.host_to_enclave -> unit) option;
+      (** installed by the co-kernel at boot; runs on the boot core *)
+  mutable seq : int;  (** control-channel sequence counter *)
+  mutable timer_hz : float;  (** LWK tick rate chosen at creation *)
+}
+
+val make : id:int -> name:string -> cores:int list -> t
+val next_seq : t -> int
+val bsp : t -> int
+(** Boot core id. *)
+
+val accessible : t -> Region.Set.t
+(** [memory] union [shared] union delegated device windows: everything
+    the enclave is entitled to touch — the set Covirt's EPT must
+    mirror. *)
+
+val is_running : t -> bool
+val pp_state : Format.formatter -> state -> unit
+val pp : Format.formatter -> t -> unit

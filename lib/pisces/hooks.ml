@@ -1,0 +1,32 @@
+open Covirt_hw
+
+type t = {
+  mutable on_enclave_created : (Enclave.t -> unit) list;
+  mutable pre_memory_map : (Enclave.t -> Region.t -> unit) list;
+  mutable post_memory_unmap : (Enclave.t -> Region.t -> unit) list;
+  mutable pre_vector_grant : (Enclave.t -> vector:int -> peer_core:int -> unit) list;
+  mutable post_vector_revoke : (Enclave.t -> vector:int -> unit) list;
+  mutable on_enclave_destroyed : (Enclave.t -> unit) list;
+  mutable boot_interposer :
+    (Enclave.t -> Cpu.t -> bsp:bool -> (unit -> unit) -> unit) option;
+}
+
+let create () =
+  {
+    on_enclave_created = [];
+    pre_memory_map = [];
+    post_memory_unmap = [];
+    pre_vector_grant = [];
+    post_vector_revoke = [];
+    on_enclave_destroyed = [];
+    boot_interposer = None;
+  }
+
+let fire hooks arg = List.iter (fun f -> f arg) hooks
+
+let set_boot_interposer t f =
+  match t.boot_interposer with
+  | Some _ -> invalid_arg "Hooks.set_boot_interposer: already installed"
+  | None -> t.boot_interposer <- Some f
+
+let clear_boot_interposer t = t.boot_interposer <- None

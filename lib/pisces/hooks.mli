@@ -1,0 +1,45 @@
+(** Resource-management hook points.
+
+    Covirt's controller "places a series of callback routines into
+    various locations within the Hobbes infrastructure in order to
+    capture notifications when resource management operations are
+    performed" (Section IV-C).  These are those locations.  The hook
+    ordering encodes the paper's consistency protocol:
+
+    - [pre_memory_map] runs {e before} a page-frame list is
+      transmitted to the co-kernel, so new memory is mapped in the
+      virtualization context before the kernel can possibly touch it;
+    - [post_memory_unmap] runs {e after} the co-kernel has
+      acknowledged removal but {e before} the memory is released to
+      the host, so frames leave the virtualization context (with TLB
+      flushes completed) before anyone can reuse them.
+
+    [boot_interposer] is the enclave-initialization hook: Covirt
+    replaces the direct jump into the co-kernel with hypervisor
+    setup + VM launch. *)
+
+open Covirt_hw
+
+type t = {
+  mutable on_enclave_created : (Enclave.t -> unit) list;
+  mutable pre_memory_map : (Enclave.t -> Region.t -> unit) list;
+  mutable post_memory_unmap : (Enclave.t -> Region.t -> unit) list;
+  mutable pre_vector_grant : (Enclave.t -> vector:int -> peer_core:int -> unit) list;
+  mutable post_vector_revoke : (Enclave.t -> vector:int -> unit) list;
+  mutable on_enclave_destroyed : (Enclave.t -> unit) list;
+  mutable boot_interposer :
+    (Enclave.t -> Cpu.t -> bsp:bool -> (unit -> unit) -> unit) option;
+}
+
+val create : unit -> t
+(** All hook lists empty, no interposer. *)
+
+val fire : ('a -> unit) list -> 'a -> unit
+(** Run hooks in registration order. *)
+
+val set_boot_interposer :
+  t -> (Enclave.t -> Cpu.t -> bsp:bool -> (unit -> unit) -> unit) -> unit
+(** [Invalid_argument] if one is already installed (only one Covirt
+    instance can own an enclave's boot path). *)
+
+val clear_boot_interposer : t -> unit

@@ -1,0 +1,64 @@
+open Covirt_hw
+
+type host_to_enclave =
+  | Add_memory of { seq : int; region : Region.t }
+  | Remove_memory of { seq : int; region : Region.t }
+  | Xemem_map of { seq : int; segid : int; pages : Region.t list }
+  | Xemem_unmap of { seq : int; segid : int; pages : Region.t list }
+  | Grant_ipi_vector of { seq : int; vector : int; peer_core : int }
+  | Revoke_ipi_vector of { seq : int; vector : int }
+  | Assign_device of { seq : int; device : string; window : Region.t }
+  | Revoke_device of { seq : int; device : string; window : Region.t }
+  | Syscall_reply of { seq : int; ret : int }
+  | Shutdown of { seq : int }
+
+type enclave_to_host =
+  | Ready
+  | Ack of { seq : int }
+  | Nack of { seq : int; why : string }
+  | Syscall_request of { seq : int; number : int; arg : int }
+  | Console of string
+
+let seq_of_host_msg = function
+  | Add_memory { seq; _ }
+  | Remove_memory { seq; _ }
+  | Xemem_map { seq; _ }
+  | Xemem_unmap { seq; _ }
+  | Grant_ipi_vector { seq; _ }
+  | Revoke_ipi_vector { seq; _ }
+  | Assign_device { seq; _ }
+  | Revoke_device { seq; _ }
+  | Syscall_reply { seq; _ }
+  | Shutdown { seq } ->
+      seq
+
+let pp_host_msg ppf = function
+  | Add_memory { seq; region } ->
+      Format.fprintf ppf "add-memory#%d %a" seq Region.pp region
+  | Remove_memory { seq; region } ->
+      Format.fprintf ppf "remove-memory#%d %a" seq Region.pp region
+  | Xemem_map { seq; segid; pages } ->
+      Format.fprintf ppf "xemem-map#%d seg%d (%d frames)" seq segid
+        (List.length pages)
+  | Xemem_unmap { seq; segid; pages } ->
+      Format.fprintf ppf "xemem-unmap#%d seg%d (%d frames)" seq segid
+        (List.length pages)
+  | Grant_ipi_vector { seq; vector; peer_core } ->
+      Format.fprintf ppf "grant-ipi#%d vec%d core%d" seq vector peer_core
+  | Revoke_ipi_vector { seq; vector } ->
+      Format.fprintf ppf "revoke-ipi#%d vec%d" seq vector
+  | Assign_device { seq; device; window } ->
+      Format.fprintf ppf "assign-device#%d %s %a" seq device Region.pp window
+  | Revoke_device { seq; device; window } ->
+      Format.fprintf ppf "revoke-device#%d %s %a" seq device Region.pp window
+  | Syscall_reply { seq; ret } ->
+      Format.fprintf ppf "syscall-reply#%d ret=%d" seq ret
+  | Shutdown { seq } -> Format.fprintf ppf "shutdown#%d" seq
+
+let pp_enclave_msg ppf = function
+  | Ready -> Format.pp_print_string ppf "ready"
+  | Ack { seq } -> Format.fprintf ppf "ack#%d" seq
+  | Nack { seq; why } -> Format.fprintf ppf "nack#%d (%s)" seq why
+  | Syscall_request { seq; number; arg } ->
+      Format.fprintf ppf "syscall#%d nr=%d arg=%d" seq number arg
+  | Console s -> Format.fprintf ppf "console %S" s

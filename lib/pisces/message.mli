@@ -1,0 +1,35 @@
+(** Messages exchanged over the Pisces control channel.
+
+    Pisces coordinates with its co-kernels through an in-memory
+    channel: resource assignment updates flow host-to-enclave, acks
+    and forwarded system calls flow back.  XEMEM page-frame lists
+    ("memory lists of page frame information", Section IV-C) ride the
+    same channel — the Covirt controller intercepts them before or
+    after transmission depending on direction. *)
+
+open Covirt_hw
+
+type host_to_enclave =
+  | Add_memory of { seq : int; region : Region.t }
+  | Remove_memory of { seq : int; region : Region.t }
+  | Xemem_map of { seq : int; segid : int; pages : Region.t list }
+      (** attach: make a foreign segment's frames usable *)
+  | Xemem_unmap of { seq : int; segid : int; pages : Region.t list }
+  | Grant_ipi_vector of { seq : int; vector : int; peer_core : int }
+  | Revoke_ipi_vector of { seq : int; vector : int }
+  | Assign_device of { seq : int; device : string; window : Region.t }
+      (** delegate a device's MMIO window to the enclave *)
+  | Revoke_device of { seq : int; device : string; window : Region.t }
+  | Syscall_reply of { seq : int; ret : int }
+  | Shutdown of { seq : int }
+
+type enclave_to_host =
+  | Ready
+  | Ack of { seq : int }
+  | Nack of { seq : int; why : string }
+  | Syscall_request of { seq : int; number : int; arg : int }
+  | Console of string
+
+val seq_of_host_msg : host_to_enclave -> int
+val pp_host_msg : Format.formatter -> host_to_enclave -> unit
+val pp_enclave_msg : Format.formatter -> enclave_to_host -> unit

@@ -1,0 +1,104 @@
+type geometry =
+  | Log of { base : float; lo : float; hi : float; nbuckets : int }
+  | Linear of { width : float; lo : float; hi : float; nbuckets : int }
+
+type t = {
+  geometry : geometry;
+  counts : int array; (* counts.(0) = underflow, counts.(n+1) = overflow *)
+  mutable total : int;
+}
+
+let nbuckets_of = function
+  | Log { nbuckets; _ } | Linear { nbuckets; _ } -> nbuckets
+
+let create_log ~base ~lo ~hi =
+  if base <= 1.0 then invalid_arg "Histogram.create_log: base <= 1";
+  if lo <= 0.0 || hi <= lo then invalid_arg "Histogram.create_log: bad range";
+  let nbuckets = int_of_float (ceil (log (hi /. lo) /. log base)) in
+  let nbuckets = max nbuckets 1 in
+  {
+    geometry = Log { base; lo; hi; nbuckets };
+    counts = Array.make (nbuckets + 2) 0;
+    total = 0;
+  }
+
+let create_linear ~bucket_width ~lo ~hi =
+  if bucket_width <= 0.0 then invalid_arg "Histogram.create_linear: width";
+  if hi <= lo then invalid_arg "Histogram.create_linear: bad range";
+  let nbuckets = int_of_float (ceil ((hi -. lo) /. bucket_width)) in
+  let nbuckets = max nbuckets 1 in
+  {
+    geometry = Linear { width = bucket_width; lo; hi; nbuckets };
+    counts = Array.make (nbuckets + 2) 0;
+    total = 0;
+  }
+
+let bucket_index t v =
+  let n = nbuckets_of t.geometry in
+  match t.geometry with
+  | Log { base; lo; hi; _ } ->
+      if v < lo then 0
+      else if v >= hi then n + 1
+      else 1 + int_of_float (log (v /. lo) /. log base)
+  | Linear { width; lo; hi; _ } ->
+      if v < lo then 0
+      else if v >= hi then n + 1
+      else 1 + int_of_float ((v -. lo) /. width)
+
+let add t v =
+  let i = bucket_index t v in
+  let i = min i (Array.length t.counts - 1) in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1
+
+let count t = t.total
+
+let bucket_bounds t i =
+  (* [i] is a 1-based interior bucket index. *)
+  match t.geometry with
+  | Log { base; lo; _ } ->
+      let l = lo *. (base ** float_of_int (i - 1)) in
+      (l, l *. base)
+  | Linear { width; lo; _ } ->
+      let l = lo +. (width *. float_of_int (i - 1)) in
+      (l, l +. width)
+
+let buckets t =
+  let n = nbuckets_of t.geometry in
+  let acc = ref [] in
+  if t.counts.(n + 1) > 0 then
+    acc := (fst (bucket_bounds t (n + 1)), infinity, t.counts.(n + 1)) :: !acc;
+  for i = n downto 1 do
+    if t.counts.(i) > 0 then
+      let lo, hi = bucket_bounds t i in
+      acc := (lo, hi, t.counts.(i)) :: !acc
+  done;
+  if t.counts.(0) > 0 then
+    acc := (neg_infinity, fst (bucket_bounds t 1), t.counts.(0)) :: !acc;
+  !acc
+
+let same_geometry a b =
+  match (a, b) with
+  | Log g1, Log g2 ->
+      g1.base = g2.base && g1.lo = g2.lo && g1.hi = g2.hi
+      && g1.nbuckets = g2.nbuckets
+  | Linear g1, Linear g2 ->
+      g1.width = g2.width && g1.lo = g2.lo && g1.hi = g2.hi
+      && g1.nbuckets = g2.nbuckets
+  | Log _, Linear _ | Linear _, Log _ -> false
+
+let merge_into ~dst src =
+  if not (same_geometry dst.geometry src.geometry) then
+    invalid_arg "Histogram.merge_into: geometry mismatch";
+  Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+  dst.total <- dst.total + src.total
+
+let pp ppf t =
+  let bar c =
+    let len = int_of_float (8.0 *. log (1.0 +. float_of_int c)) in
+    String.make (min len 60) '#'
+  in
+  List.iter
+    (fun (lo, hi, c) ->
+      Format.fprintf ppf "[%10.3g, %10.3g) %8d %s@." lo hi c (bar c))
+    (buckets t)

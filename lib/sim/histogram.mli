@@ -1,0 +1,31 @@
+(** Logarithmically bucketed histograms.
+
+    The Selfish-Detour figure (Fig. 3) plots a noise profile: detour
+    duration on a log axis against occurrence count.  This module
+    provides the log-scale histogram backing that plot, plus a linear
+    variant for latency distributions. *)
+
+type t
+
+val create_log : base:float -> lo:float -> hi:float -> t
+(** [create_log ~base ~lo ~hi] buckets values by [log_base]; values
+    outside [\[lo, hi\]] land in saturating under/overflow buckets.
+    Requires [base > 1.0] and [0 < lo < hi]. *)
+
+val create_linear : bucket_width:float -> lo:float -> hi:float -> t
+
+val add : t -> float -> unit
+val count : t -> int
+(** Total number of samples added. *)
+
+val buckets : t -> (float * float * int) list
+(** [(lo, hi, count)] per bucket, in increasing order, empty buckets
+    omitted.  Under/overflow appear with infinite bounds. *)
+
+val merge_into : dst:t -> t -> unit
+(** Add all of the source's bucket counts into [dst]; the two must have
+    identical bucket geometry ([Invalid_argument] otherwise). *)
+
+val pp : Format.formatter -> t -> unit
+(** ASCII rendering: one line per non-empty bucket with a bar whose
+    length is proportional to [log (1 + count)]. *)

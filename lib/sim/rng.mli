@@ -1,0 +1,42 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic element of the simulation draws from an explicit
+    generator so that experiments are reproducible bit-for-bit.  The
+    implementation is splitmix64, which is fast, has a 64-bit state and
+    passes BigCrush; determinism matters more here than cryptographic
+    quality. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] makes a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Used to give each CPU / workload its own stream so adding draws in
+    one component does not perturb another. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> bound:int -> int
+(** [int t ~bound] is uniform in [\[0, bound)].  [bound] must be
+    positive. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> p:float -> bool
+(** [bool t ~p] is [true] with probability [p]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample with the given mean; used for
+    inter-arrival times of asynchronous noise events. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normally distributed sample (Box-Muller). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,64 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let check_nonempty name a =
+  if Array.length a = 0 then invalid_arg (name ^ ": empty sample array")
+
+let mean a =
+  check_nonempty "Stats.mean" a;
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let stddev a =
+  check_nonempty "Stats.stddev" a;
+  let n = Array.length a in
+  if n = 1 then 0.0
+  else
+    let m = mean a in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 a in
+    sqrt (ss /. float_of_int (n - 1))
+
+let percentile a ~p =
+  check_nonempty "Stats.percentile" a;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = int_of_float (ceil rank) in
+    if lo = hi then sorted.(lo)
+    else
+      let frac = rank -. float_of_int lo in
+      (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let summarize a =
+  check_nonempty "Stats.summarize" a;
+  {
+    n = Array.length a;
+    mean = mean a;
+    stddev = stddev a;
+    min = Array.fold_left Float.min a.(0) a;
+    max = Array.fold_left Float.max a.(0) a;
+    median = percentile a ~p:50.0;
+  }
+
+let relative_overhead ~baseline ~measured =
+  if baseline = 0.0 then invalid_arg "Stats.relative_overhead: zero baseline";
+  (measured -. baseline) /. baseline
+
+let relative_slowdown_of_rates ~baseline ~measured =
+  if baseline = 0.0 then
+    invalid_arg "Stats.relative_slowdown_of_rates: zero baseline";
+  (baseline -. measured) /. baseline
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.4g sd=%.3g min=%.4g med=%.4g max=%.4g" s.n
+    s.mean s.stddev s.min s.median s.max

@@ -1,0 +1,37 @@
+(** Descriptive statistics over float samples.
+
+    Used by the bench harness to summarise repeated runs, mirroring the
+    paper's "all benchmarks were run ten times" methodology. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float array -> summary
+(** [summarize samples] computes a full summary.  Raises
+    [Invalid_argument] on an empty array. *)
+
+val mean : float array -> float
+val stddev : float array -> float
+
+val percentile : float array -> p:float -> float
+(** [percentile samples ~p] with [p] in [\[0, 100\]], linear
+    interpolation between closest ranks.  Raises [Invalid_argument] on
+    an empty array or out-of-range [p]. *)
+
+val relative_overhead : baseline:float -> measured:float -> float
+(** [(measured - baseline) / baseline], the "% overhead vs native"
+    metric used throughout the paper's evaluation.  For
+    higher-is-better metrics (bandwidth, GUPS) callers should swap the
+    arguments' roles via {!relative_slowdown_of_rates}. *)
+
+val relative_slowdown_of_rates : baseline:float -> measured:float -> float
+(** Overhead when the metric is a rate (higher is better):
+    [(baseline - measured) / baseline]. *)
+
+val pp_summary : Format.formatter -> summary -> unit

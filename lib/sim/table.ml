@@ -1,0 +1,71 @@
+type row = Cells of string list | Rule
+
+type t = { columns : string list; mutable rows : row list (* reversed *) }
+
+let create ~columns = { columns; rows = [] }
+
+let add_row t cells =
+  let ncols = List.length t.columns in
+  let n = List.length cells in
+  if n > ncols then invalid_arg "Table.add_row: too many cells";
+  let padded = cells @ List.init (ncols - n) (fun _ -> "") in
+  t.rows <- Cells padded :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all_cell_rows =
+    t.columns :: List.filter_map (function Cells c -> Some c | Rule -> None) rows
+  in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  let note_widths cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  List.iter note_widths all_cell_rows;
+  let buf = Buffer.create 1024 in
+  let pad i s = s ^ String.make (widths.(i) - String.length s) ' ' in
+  let emit_cells cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad i c))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let emit_rule () =
+    Array.iteri
+      (fun i w ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (String.make w '-'))
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  emit_cells t.columns;
+  emit_rule ();
+  List.iter (function Cells c -> emit_cells c | Rule -> emit_rule ()) rows;
+  Buffer.contents buf
+
+let render_tsv t =
+  let buf = Buffer.create 512 in
+  let emit cells = Buffer.add_string buf (String.concat "\t" cells ^ "\n") in
+  emit t.columns;
+  List.iter
+    (function Cells c -> emit c | Rule -> ())
+    (List.rev t.rows);
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let tsv_mode = ref false
+let set_tsv_mode v = tsv_mode := v
+
+let print_auto t =
+  if !tsv_mode then print_string (render_tsv t)
+  else print t
+
+let cell_f v = Format.asprintf "%.4g" v
+let cell_pct r = Format.asprintf "%.1f%%" (r *. 100.0)

@@ -1,0 +1,36 @@
+(** ASCII table rendering for the bench harness.
+
+    Every figure/table in the evaluation is regenerated as a text
+    table; this module renders aligned columns so the output matches
+    the rows/series the paper reports. *)
+
+type t
+
+val create : columns:string list -> t
+(** [create ~columns] starts a table with the given header. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded; longer rows raise
+    [Invalid_argument]. *)
+
+val add_rule : t -> unit
+(** Insert a horizontal rule. *)
+
+val render : t -> string
+val render_tsv : t -> string
+(** Tab-separated (header row included, rules omitted) — the
+    machine-readable form for plotting pipelines. *)
+
+val print : t -> unit
+(** [render] then write to stdout, followed by a newline. *)
+
+val set_tsv_mode : bool -> unit
+val print_auto : t -> unit
+(** [print], or TSV when {!set_tsv_mode} was turned on (the bench
+    harness's [--tsv] flag). *)
+
+val cell_f : float -> string
+(** Format a float for a cell: 4 significant digits. *)
+
+val cell_pct : float -> string
+(** Format a ratio as a percentage cell, e.g. [0.031] -> "3.1%". *)

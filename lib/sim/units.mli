@@ -1,0 +1,24 @@
+(** Unit conversions and human-readable formatting.
+
+    The simulated machine counts in cycles; the paper reports
+    microseconds, MB/s, GUPS and loop seconds.  All conversions funnel
+    through this module so a single clock-frequency constant governs
+    them. *)
+
+val kib : int
+val mib : int
+val gib : int
+
+val cycles_to_seconds : ghz:float -> int -> float
+val cycles_to_us : ghz:float -> int -> float
+val cycles_to_ns : ghz:float -> int -> float
+val seconds_to_cycles : ghz:float -> float -> int
+
+val bytes_per_sec_to_mb_s : float -> float
+(** STREAM-style MB/s (decimal megabytes, as STREAM reports). *)
+
+val pp_bytes : Format.formatter -> int -> unit
+(** "4.0KiB", "14.0GiB", ... *)
+
+val pp_cycles : ghz:float -> Format.formatter -> int -> unit
+(** Render a cycle count as the most readable time unit. *)

@@ -1,0 +1,70 @@
+open Covirt_hw
+open Covirt_kitten
+
+type buffer = {
+  base : Addr.t;
+  nominal_bytes : int;
+  data : float array;
+}
+
+let default_backing_cap = 1 lsl 18
+
+let page_size = Addr.Page_2m
+(* Kitten identity-maps its contiguous allocations with 2M pages. *)
+
+let alloc (ctx : Kitten.context) ?(backing_cap = default_backing_cap) ~bytes () =
+  if bytes <= 0 then invalid_arg "Exec.alloc";
+  match
+    Kitten.kalloc ~near_core:ctx.Kitten.cpu.Cpu.id ctx.Kitten.kernel ~bytes
+  with
+  | Error e -> Error e
+  | Ok base ->
+      let elems = min (bytes / 8) backing_cap in
+      let buffer =
+        { base; nominal_bytes = bytes; data = Array.make (max elems 1) 0.0 }
+      in
+      Machine.check_range ctx.Kitten.machine ctx.Kitten.cpu ~base ~len:bytes
+        ~access:`Write;
+      Ok buffer
+
+let stream_pass (ctx : Kitten.context) buffers ~sharers =
+  List.iter
+    (fun b ->
+      Machine.charge_stream ctx.Kitten.machine ctx.Kitten.cpu ~base:b.base
+        ~bytes:b.nominal_bytes ~sharers ~page_size)
+    buffers
+
+let random_ops (ctx : Kitten.context) buffer ~ops ~sharers =
+  Machine.charge_random ctx.Kitten.machine ctx.Kitten.cpu ~ops ~base:buffer.base
+    ~working_set:buffer.nominal_bytes ~sharers ~page_size
+
+let flops (ctx : Kitten.context) n =
+  Machine.charge_flops ctx.Kitten.machine ctx.Kitten.cpu n
+
+let barrier ctxs =
+  match ctxs with
+  | [] | [ _ ] -> ()
+  | _ ->
+      let latest =
+        List.fold_left
+          (fun acc (c : Kitten.context) -> max acc (Cpu.rdtsc c.Kitten.cpu))
+          0 ctxs
+      in
+      List.iter
+        (fun (c : Kitten.context) ->
+          let wait = latest - Cpu.rdtsc c.Kitten.cpu in
+          (* Spin-wait plus the cache-line bounce of the arrival word. *)
+          Cpu.charge c.Kitten.cpu (wait + 120))
+        ctxs
+
+let elapsed_seconds (ctx : Kitten.context) ~since =
+  Covirt_sim.Units.cycles_to_seconds
+    ~ghz:ctx.Kitten.machine.Machine.model.Cost_model.ghz
+    (Cpu.rdtsc ctx.Kitten.cpu - since)
+
+let shard ~elems ~ways ~index =
+  if ways <= 0 || index < 0 || index >= ways then invalid_arg "Exec.shard";
+  let per = elems / ways in
+  let offset = index * per in
+  let len = if index = ways - 1 then elems - offset else per in
+  (offset, len)

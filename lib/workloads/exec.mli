@@ -1,0 +1,54 @@
+(** Workload execution support.
+
+    Buffers and cost-charged operations for the benchmark kernels.  A
+    buffer occupies {e nominal} bytes of simulated physical memory
+    (allocated from the kernel heap, charged through the analytic
+    cache/TLB/EPT models at nominal size) and carries a smaller real
+    [float array] backing so kernels perform genuine arithmetic whose
+    results tests can check.  This keeps the paper-scale working sets
+    (a 256 MB GUPS table, 14 GB enclaves) affordable while preserving
+    both the access-pattern cost behaviour and computational
+    correctness.
+
+    All operations run on a {!Covirt_kitten.Kitten.context} and charge
+    that core; in guest mode the machine applies the
+    virtualization-dependent translation costs — that is where
+    Covirt's overhead (or lack of it) comes from. *)
+
+open Covirt_hw
+open Covirt_kitten
+
+type buffer = {
+  base : Addr.t;
+  nominal_bytes : int;
+  data : float array;  (** real backing, [<= nominal_bytes/8] elements *)
+}
+
+val default_backing_cap : int
+(** 2^18 elements (2 MiB of real memory per buffer). *)
+
+val alloc :
+  Kitten.context -> ?backing_cap:int -> bytes:int -> unit ->
+  (buffer, string) result
+(** Allocate from the kernel heap and touch the range (the touch is a
+    bulk containment check: under EPT an unassigned range faults
+    here, exactly like first use on hardware). *)
+
+val stream_pass : Kitten.context -> buffer list -> sharers:int -> unit
+(** Charge one sequential sweep over each buffer's nominal size. *)
+
+val random_ops : Kitten.context -> buffer -> ops:int -> sharers:int -> unit
+(** Charge [ops] independent accesses uniform over the buffer. *)
+
+val flops : Kitten.context -> int -> unit
+
+val barrier : Kitten.context list -> unit
+(** Synchronize the cores of a parallel phase: every core's TSC
+    advances to the group maximum (spin-wait on shared memory — an LWK
+    busy-waits on dedicated cores, so no HLT and no exit). *)
+
+val elapsed_seconds : Kitten.context -> since:int -> float
+(** Simulated wall time on the context's core since a [rdtsc] mark. *)
+
+val shard : elems:int -> ways:int -> index:int -> int * int
+(** [(offset, len)] of the [index]-th of [ways] contiguous shards. *)

@@ -1,0 +1,392 @@
+open Covirt_kitten
+
+type bench = Lj | Eam | Chain | Chute
+
+type result = {
+  loop_seconds : float;
+  steps : int;
+  atoms : int;
+  final_kinetic_energy : float;
+  stable : bool;
+}
+
+let bench_name = function
+  | Lj -> "lj"
+  | Eam -> "eam"
+  | Chain -> "chain"
+  | Chute -> "chute"
+
+let all_benches = [ Lj; Eam; Chain; Chute ]
+
+(* ------------------------------------------------------------------ *)
+(* Real MD engine (reduced units).                                     *)
+
+module Md = struct
+  type atoms = {
+    n : int;
+    x : float array;
+    y : float array;
+    z : float array;
+    vx : float array;
+    vy : float array;
+    vz : float array;
+    fx : float array;
+    fy : float array;
+    fz : float array;
+  }
+
+  let create n =
+    {
+      n;
+      x = Array.make n 0.0;
+      y = Array.make n 0.0;
+      z = Array.make n 0.0;
+      vx = Array.make n 0.0;
+      vy = Array.make n 0.0;
+      vz = Array.make n 0.0;
+      fx = Array.make n 0.0;
+      fy = Array.make n 0.0;
+      fz = Array.make n 0.0;
+    }
+
+  (* Simple-cubic lattice fill inside a cube of side [box]. *)
+  let lattice atoms ~box ~rng =
+    let per_side =
+      int_of_float (ceil (float_of_int atoms.n ** (1.0 /. 3.0)))
+    in
+    let spacing = box /. float_of_int per_side in
+    for i = 0 to atoms.n - 1 do
+      let ix = i mod per_side in
+      let iy = i / per_side mod per_side in
+      let iz = i / (per_side * per_side) in
+      atoms.x.(i) <- (float_of_int ix +. 0.5) *. spacing;
+      atoms.y.(i) <- (float_of_int iy +. 0.5) *. spacing;
+      atoms.z.(i) <- (float_of_int iz +. 0.5) *. spacing;
+      atoms.vx.(i) <- Covirt_sim.Rng.gaussian rng ~mu:0.0 ~sigma:0.3;
+      atoms.vy.(i) <- Covirt_sim.Rng.gaussian rng ~mu:0.0 ~sigma:0.3;
+      atoms.vz.(i) <- Covirt_sim.Rng.gaussian rng ~mu:0.0 ~sigma:0.3
+    done
+
+  let zero_forces a =
+    Array.fill a.fx 0 a.n 0.0;
+    Array.fill a.fy 0 a.n 0.0;
+    Array.fill a.fz 0 a.n 0.0
+
+  (* Cell-list neighbour search with minimum-image periodic boundaries
+     in x/y (z stays open for the chute's floor), like the real
+     benchmarks: bin atoms into cutoff-sized cells, then only the 27
+     neighbouring cells are searched per atom. *)
+  type cells = {
+    ncell : int;  (* per side *)
+    heads : int array;  (* head-of-chain per cell, -1 = empty *)
+    next : int array;  (* linked list through atoms *)
+  }
+
+  let build_cells a ~box ~cutoff =
+    let ncell = max 1 (int_of_float (box /. cutoff)) in
+    let cell_size = box /. float_of_int ncell in
+    let cells =
+      {
+        ncell;
+        heads = Array.make (ncell * ncell * ncell) (-1);
+        next = Array.make a.n (-1);
+      }
+    in
+    let clamp v = (v mod ncell + ncell) mod ncell in
+    for i = 0 to a.n - 1 do
+      let cx = clamp (int_of_float (a.x.(i) /. cell_size)) in
+      let cy = clamp (int_of_float (a.y.(i) /. cell_size)) in
+      let cz = clamp (int_of_float (a.z.(i) /. cell_size)) in
+      let c = (cz * ncell * ncell) + (cy * ncell) + cx in
+      cells.next.(i) <- cells.heads.(c);
+      cells.heads.(c) <- i
+    done;
+    cells
+
+  (* minimum-image displacement in a periodic dimension *)
+  let min_image d ~box =
+    if d > box /. 2.0 then d -. box
+    else if d < -.(box /. 2.0) then d +. box
+    else d
+
+  let lj_forces ?(box = 0.0) a ~cutoff ~eps ~sigma =
+    zero_forces a;
+    let c2 = cutoff *. cutoff in
+    let s2 = sigma *. sigma in
+    let pair i j =
+      if i < j then begin
+        let dx = a.x.(i) -. a.x.(j) in
+        let dy = a.y.(i) -. a.y.(j) in
+        let dz = a.z.(i) -. a.z.(j) in
+        let dx = if box > 0.0 then min_image dx ~box else dx in
+        let dy = if box > 0.0 then min_image dy ~box else dy in
+        let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+        if r2 < c2 && r2 > 1e-12 then begin
+          let sr2 = s2 /. r2 in
+          let sr6 = sr2 *. sr2 *. sr2 in
+          let f = 24.0 *. eps *. sr6 *. ((2.0 *. sr6) -. 1.0) /. r2 in
+          a.fx.(i) <- a.fx.(i) +. (f *. dx);
+          a.fy.(i) <- a.fy.(i) +. (f *. dy);
+          a.fz.(i) <- a.fz.(i) +. (f *. dz);
+          a.fx.(j) <- a.fx.(j) -. (f *. dx);
+          a.fy.(j) <- a.fy.(j) -. (f *. dy);
+          a.fz.(j) <- a.fz.(j) -. (f *. dz)
+        end
+      end
+    in
+    if box > 0.0 && a.n > 64 then begin
+      let cells = build_cells a ~box ~cutoff in
+      let nc = cells.ncell in
+      let wrap v = (v mod nc + nc) mod nc in
+      for cz = 0 to nc - 1 do
+        for cy = 0 to nc - 1 do
+          for cx = 0 to nc - 1 do
+            let c = (cz * nc * nc) + (cy * nc) + cx in
+            let rec walk_i i =
+              if i >= 0 then begin
+                for dz = -1 to 1 do
+                  for dy = -1 to 1 do
+                    for dx = -1 to 1 do
+                      let cz' = cz + dz in
+                      if cz' >= 0 && cz' < nc then begin
+                        let c' =
+                          (cz' * nc * nc) + (wrap (cy + dy) * nc) + wrap (cx + dx)
+                        in
+                        let rec walk_j j =
+                          if j >= 0 then begin
+                            pair i j;
+                            walk_j cells.next.(j)
+                          end
+                        in
+                        walk_j cells.heads.(c')
+                      end
+                    done
+                  done
+                done;
+                walk_i cells.next.(i)
+              end
+            in
+            walk_i cells.heads.(c)
+          done
+        done
+      done
+    end
+    else
+      (* small systems: direct double loop *)
+      for i = 0 to a.n - 1 do
+        for j = i + 1 to a.n - 1 do
+          pair i j
+        done
+      done
+
+  (* EAM-ish embedding: density from pair distances, embedding force
+     proportional to d(sqrt rho). *)
+  let eam_embed a ~cutoff =
+    let c2 = cutoff *. cutoff in
+    let rho = Array.make a.n 0.0 in
+    for i = 0 to a.n - 1 do
+      for j = i + 1 to a.n - 1 do
+        let dx = a.x.(i) -. a.x.(j)
+        and dy = a.y.(i) -. a.y.(j)
+        and dz = a.z.(i) -. a.z.(j) in
+        let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+        if r2 < c2 && r2 > 1e-12 then begin
+          let contrib = (c2 -. r2) /. c2 in
+          rho.(i) <- rho.(i) +. contrib;
+          rho.(j) <- rho.(j) +. contrib
+        end
+      done
+    done;
+    (* embedding energy F(rho) = -sqrt(rho): stabilizing cohesion *)
+    Array.iteri
+      (fun i r ->
+        let scale = if r > 1e-9 then -0.5 /. sqrt r else 0.0 in
+        a.fx.(i) <- a.fx.(i) *. (1.0 -. (0.05 *. scale));
+        a.fy.(i) <- a.fy.(i) *. (1.0 -. (0.05 *. scale));
+        a.fz.(i) <- a.fz.(i) *. (1.0 -. (0.05 *. scale)))
+      rho
+
+  (* FENE bonds along consecutive atoms of each chain of length 32. *)
+  let chain_forces a =
+    let k = 30.0 and r0 = 1.5 in
+    let chain_len = 32 in
+    for i = 0 to a.n - 2 do
+      if (i + 1) mod chain_len <> 0 then begin
+        let dx = a.x.(i) -. a.x.(i + 1)
+        and dy = a.y.(i) -. a.y.(i + 1)
+        and dz = a.z.(i) -. a.z.(i + 1) in
+        let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+        let r2 = Float.min r2 (r0 *. r0 *. 0.96) in
+        let f = -.k /. (1.0 -. (r2 /. (r0 *. r0))) in
+        a.fx.(i) <- a.fx.(i) +. (f *. dx);
+        a.fy.(i) <- a.fy.(i) +. (f *. dy);
+        a.fz.(i) <- a.fz.(i) +. (f *. dz);
+        a.fx.(i + 1) <- a.fx.(i + 1) -. (f *. dx);
+        a.fy.(i + 1) <- a.fy.(i + 1) -. (f *. dy);
+        a.fz.(i + 1) <- a.fz.(i + 1) -. (f *. dz)
+      end
+    done
+
+  (* Granular chute: gravity along -z, damped floor contact. *)
+  let chute_forces a =
+    let g = 1.0 and floor_k = 100.0 and damp = 0.5 in
+    for i = 0 to a.n - 1 do
+      a.fz.(i) <- a.fz.(i) -. g;
+      if a.z.(i) < 0.5 then begin
+        a.fz.(i) <- a.fz.(i) +. (floor_k *. (0.5 -. a.z.(i)));
+        a.fx.(i) <- a.fx.(i) -. (damp *. a.vx.(i));
+        a.fy.(i) <- a.fy.(i) -. (damp *. a.vy.(i));
+        a.fz.(i) <- a.fz.(i) -. (damp *. a.vz.(i))
+      end
+    done
+
+  let integrate a ~dt =
+    for i = 0 to a.n - 1 do
+      a.vx.(i) <- a.vx.(i) +. (dt *. a.fx.(i));
+      a.vy.(i) <- a.vy.(i) +. (dt *. a.fy.(i));
+      a.vz.(i) <- a.vz.(i) +. (dt *. a.fz.(i));
+      a.x.(i) <- a.x.(i) +. (dt *. a.vx.(i));
+      a.y.(i) <- a.y.(i) +. (dt *. a.vy.(i));
+      a.z.(i) <- a.z.(i) +. (dt *. a.vz.(i))
+    done
+
+  let kinetic_energy a =
+    let acc = ref 0.0 in
+    for i = 0 to a.n - 1 do
+      acc :=
+        !acc
+        +. (0.5
+           *. ((a.vx.(i) *. a.vx.(i))
+              +. (a.vy.(i) *. a.vy.(i))
+              +. (a.vz.(i) *. a.vz.(i))))
+    done;
+    !acc
+end
+
+(* ------------------------------------------------------------------ *)
+(* Nominal cost profiles (per atom per step unless noted).             *)
+
+type profile = {
+  neighbor_gathers : int;  (** irregular neighbour-position loads *)
+  gather_ws_bytes : int;  (** working set those gathers wander over *)
+  stream_bytes : int;  (** position/force streaming *)
+  pair_flops : int;
+  rebuild_every : int;  (** neighbour-list rebuild period (steps) *)
+  rebuild_gathers : int;  (** per atom at each rebuild *)
+  rebuild_ws_bytes : int;
+}
+
+let mib = 1024 * 1024
+
+let profile_of = function
+  | Lj ->
+      {
+        neighbor_gathers = 6;
+        gather_ws_bytes = 3 * mib;
+        stream_bytes = 200;
+        pair_flops = 55 * 8;
+        rebuild_every = 20;
+        rebuild_gathers = 12;
+        rebuild_ws_bytes = 8 * mib;
+      }
+  | Eam ->
+      {
+        neighbor_gathers = 10;
+        gather_ws_bytes = 6 * mib;
+        stream_bytes = 320;
+        pair_flops = 90 * 8;
+        rebuild_every = 20;
+        rebuild_gathers = 12;
+        rebuild_ws_bytes = 8 * mib;
+      }
+  | Chain ->
+      {
+        neighbor_gathers = 3;
+        gather_ws_bytes = 2 * mib;
+        stream_bytes = 150;
+        pair_flops = 30 * 8;
+        rebuild_every = 25;
+        rebuild_gathers = 8;
+        rebuild_ws_bytes = 6 * mib;
+      }
+  | Chute ->
+      {
+        (* a tall sparse domain: the cell structure alone is hundreds
+           of MB and the pour makes atoms cross cells constantly *)
+        neighbor_gathers = 10;
+        gather_ws_bytes = 192 * mib;
+        stream_bytes = 220;
+        pair_flops = 40 * 8;
+        rebuild_every = 4;
+        rebuild_gathers = 40;
+        rebuild_ws_bytes = 256 * mib;
+      }
+
+let run ctxs ~bench ?(nominal_atoms = 32768) ?(real_atoms = 2048)
+    ?(steps = 100) () =
+  match ctxs with
+  | [] -> Error "Lammps.run: no cores"
+  | primary :: _ -> (
+      let profile = profile_of bench in
+      let ncores = List.length ctxs in
+      let atoms_per_core = nominal_atoms / ncores in
+      match
+        ( Exec.alloc primary ~bytes:profile.gather_ws_bytes (),
+          Exec.alloc primary ~bytes:profile.rebuild_ws_bytes (),
+          Exec.alloc primary ~bytes:(nominal_atoms * 100) () )
+      with
+      | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
+      | Ok gather_ws, Ok rebuild_ws, Ok atom_arrays ->
+          (* Real dynamics at reduced scale. *)
+          let rng =
+            Covirt_sim.Rng.split primary.Kitten.machine.Covirt_hw.Machine.rng
+          in
+          let a = Md.create real_atoms in
+          let box = float_of_int real_atoms ** (1.0 /. 3.0) *. 1.1 in
+          Md.lattice a ~box ~rng;
+          let dt = 0.002 in
+          let real_steps = min steps 25 in
+          let start = Covirt_hw.Cpu.rdtsc primary.Kitten.cpu in
+          let stable = ref true in
+          for step = 1 to steps do
+            (* nominal charges, per core *)
+            List.iter
+              (fun ctx ->
+                Exec.random_ops ctx gather_ws
+                  ~ops:(atoms_per_core * profile.neighbor_gathers)
+                  ~sharers:ncores;
+                Exec.stream_pass ctx [ atom_arrays ] ~sharers:ncores;
+                Exec.flops ctx (atoms_per_core * profile.pair_flops);
+                if step mod profile.rebuild_every = 0 then
+                  Exec.random_ops ctx rebuild_ws
+                    ~ops:(atoms_per_core * profile.rebuild_gathers)
+                    ~sharers:ncores)
+              ctxs;
+            (* reverse-communication force exchange each step *)
+            Exec.barrier ctxs;
+            (* real dynamics *)
+            if step <= real_steps then begin
+              (match bench with
+              | Lj -> Md.lj_forces ~box a ~cutoff:2.5 ~eps:1.0 ~sigma:1.0
+              | Eam ->
+                  Md.lj_forces ~box a ~cutoff:2.5 ~eps:1.0 ~sigma:1.0;
+                  Md.eam_embed a ~cutoff:2.5
+              | Chain ->
+                  Md.lj_forces ~box a ~cutoff:1.12 ~eps:1.0 ~sigma:1.0;
+                  Md.chain_forces a
+              | Chute ->
+                  Md.lj_forces ~box a ~cutoff:1.12 ~eps:1.0 ~sigma:1.0;
+                  Md.chute_forces a);
+              Md.integrate a ~dt;
+              if Float.is_nan (Md.kinetic_energy a) then stable := false
+            end
+          done;
+          let loop_seconds = Exec.elapsed_seconds primary ~since:start in
+          Ok
+            {
+              loop_seconds;
+              steps;
+              atoms = nominal_atoms;
+              final_kinetic_energy = Md.kinetic_energy a;
+              stable = !stable && not (Float.is_nan (Md.kinetic_energy a));
+            })

@@ -1,0 +1,46 @@
+(** LAMMPS-style molecular dynamics (the four default benchmarks).
+
+    A real velocity-Verlet MD engine with cell-list neighbour search
+    runs the dynamics at reduced atom counts; per-step costs are
+    charged for the nominal benchmark (32k atoms, 100 steps — the
+    stock [bench/] inputs).  The four workloads differ exactly where
+    the real LAMMPS benchmarks differ:
+
+    - {b lj}: cut Lennard-Jones liquid.  Dense, cache-resident
+      neighbour data — negligible protection overhead.
+    - {b eam}: embedded-atom metal.  A second force pass (embedding
+      gather) with a spline-table working set — still cache-friendly.
+    - {b chain}: bead-spring polymer (FENE bonds).  Cheap bonded
+      forces, small working set.
+    - {b chute}: granular chute flow.  Atoms pour through a tall
+      sparse domain; cell lists churn and neighbour rebuilds walk a
+      working set far beyond TLB reach every few steps.  Fig. 8:
+      "Chute shows the most sensitivity to the protections being
+      enabled, with the native and no-feature configurations
+      performing the best." *)
+
+open Covirt_kitten
+
+type bench = Lj | Eam | Chain | Chute
+
+type result = {
+  loop_seconds : float;  (** the "loop time" LAMMPS reports; lower is better *)
+  steps : int;
+  atoms : int;  (** nominal *)
+  final_kinetic_energy : float;  (** real-dynamics sanity value *)
+  stable : bool;  (** no NaN/blow-up in the real dynamics *)
+}
+
+val bench_name : bench -> string
+val all_benches : bench list
+
+val run :
+  Kitten.context list ->
+  bench:bench ->
+  ?nominal_atoms:int ->
+  ?real_atoms:int ->
+  ?steps:int ->
+  unit ->
+  (result, string) Stdlib.result
+(** Defaults: 32768 nominal atoms, 2048 real atoms, 100 nominal steps
+    (the real dynamics integrates [min steps 25] steps). *)

@@ -1,0 +1,180 @@
+open Covirt_kitten
+
+type result = {
+  total_seconds : float;
+  assembly_seconds : float;
+  solve_gflops : float;
+  cg_iterations : int;
+  final_residual : float;
+}
+
+let default_nominal_dim = 250
+
+(* ------------------------------------------------------------------ *)
+(* Real arithmetic: CSR assembly + CG on a real_dim^3 nodal grid.      *)
+
+module Csr = struct
+  type t = {
+    n : int;
+    row_ptr : int array;
+    col : int array;
+    value : float array;
+  }
+
+  (* Assemble the 7-point FE-ish operator (hex elements collapse to
+     the standard nodal stencil for the scalar Poisson problem). *)
+  let assemble dim =
+    let n = dim * dim * dim in
+    let idx x y z = (z * dim * dim) + (y * dim) + x in
+    let neighbours x y z =
+      List.filter_map
+        (fun (dx, dy, dz) ->
+          let x' = x + dx and y' = y + dy and z' = z + dz in
+          if x' >= 0 && x' < dim && y' >= 0 && y' < dim && z' >= 0 && z' < dim
+          then Some (idx x' y' z')
+          else None)
+        [ (-1, 0, 0); (1, 0, 0); (0, -1, 0); (0, 1, 0); (0, 0, -1); (0, 0, 1) ]
+    in
+    let row_ptr = Array.make (n + 1) 0 in
+    let entries = ref [] in
+    let nnz = ref 0 in
+    for z = 0 to dim - 1 do
+      for y = 0 to dim - 1 do
+        for x = 0 to dim - 1 do
+          let row = idx x y z in
+          let ns = neighbours x y z in
+          let row_entries =
+            (row, 6.0) :: List.map (fun c -> (c, -1.0)) ns
+            |> List.sort compare
+          in
+          entries := row_entries :: !entries;
+          nnz := !nnz + List.length row_entries;
+          row_ptr.(row + 1) <- List.length row_entries
+        done
+      done
+    done;
+    for i = 1 to n do
+      row_ptr.(i) <- row_ptr.(i) + row_ptr.(i - 1)
+    done;
+    let col = Array.make !nnz 0 in
+    let value = Array.make !nnz 0.0 in
+    List.iteri
+      (fun rev_row row_entries ->
+        let row = n - 1 - rev_row in
+        List.iteri
+          (fun j (c, v) ->
+            col.(row_ptr.(row) + j) <- c;
+            value.(row_ptr.(row) + j) <- v)
+          row_entries)
+      !entries;
+    { n; row_ptr; col; value }
+
+  let spmv t x y =
+    for row = 0 to t.n - 1 do
+      let acc = ref 0.0 in
+      for j = t.row_ptr.(row) to t.row_ptr.(row + 1) - 1 do
+        acc := !acc +. (t.value.(j) *. x.(t.col.(j)))
+      done;
+      y.(row) <- !acc
+    done
+end
+
+let dot a b =
+  let acc = ref 0.0 in
+  Array.iteri (fun i v -> acc := !acc +. (v *. b.(i))) a;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Nominal cost profile.                                               *)
+
+let nnz_per_row = 27 (* nominal: full hex-element nodal stencil *)
+let matrix_bytes_per_row = nnz_per_row * 12
+let assembly_flops_per_row = 27 * 8 (* element matrix contributions *)
+let solve_flops_per_row_per_iter = nnz_per_row * 2
+
+(* The banded x-access of the lexicographic ordering: a small number
+   of gathers stray outside the prefetch window. *)
+let stray_gathers_per_row = 1
+let band_ws_bytes = 16 * 1024 * 1024
+
+let run ctxs ?(nominal_dim = default_nominal_dim) ?(real_dim = 16)
+    ?(iterations = 60) () =
+  match ctxs with
+  | [] -> Error "Minife.run: no cores"
+  | primary :: _ -> (
+      let ncores = List.length ctxs in
+      let rows = nominal_dim * nominal_dim * nominal_dim in
+      let rows_per_core = rows / ncores in
+      let matrix_bytes = rows_per_core * matrix_bytes_per_row in
+      let rec alloc_all acc = function
+        | [] -> Ok (List.rev acc)
+        | ctx :: rest -> (
+            match Exec.alloc ctx ~bytes:matrix_bytes () with
+            | Ok b -> alloc_all (b :: acc) rest
+            | Error e -> Error e)
+      in
+      match (alloc_all [] ctxs, Exec.alloc primary ~bytes:band_ws_bytes ()) with
+      | Error e, _ | _, Error e -> Error e
+      | Ok matrices, Ok band ->
+          let t0 = Covirt_hw.Cpu.rdtsc primary.Kitten.cpu in
+          (* --- Assembly (real + charged) --- *)
+          let csr = Csr.assemble real_dim in
+          List.iter2
+            (fun ctx matrix ->
+              (* write the matrix arrays once, element flops *)
+              Exec.stream_pass ctx [ matrix ] ~sharers:ncores;
+              Exec.flops ctx (rows_per_core * assembly_flops_per_row))
+            ctxs matrices;
+          Exec.barrier ctxs;
+          let assembly_seconds = Exec.elapsed_seconds primary ~since:t0 in
+          (* --- CG solve (real + charged) --- *)
+          let n = csr.Csr.n in
+          let b = Array.make n 1.0 in
+          let x = Array.make n 0.0 in
+          let r = Array.copy b in
+          let p = Array.copy b in
+          let ap = Array.make n 0.0 in
+          let rr = ref (dot r r) in
+          let r0 = sqrt !rr in
+          let t1 = Covirt_hw.Cpu.rdtsc primary.Kitten.cpu in
+          let iters_done = ref 0 in
+          (try
+             for _ = 1 to iterations do
+               (* nominal charges *)
+               List.iter2
+                 (fun ctx matrix ->
+                   Exec.stream_pass ctx [ matrix ] ~sharers:ncores;
+                   Exec.random_ops ctx band
+                     ~ops:(rows_per_core * stray_gathers_per_row)
+                     ~sharers:ncores;
+                   Exec.flops ctx (rows_per_core * solve_flops_per_row_per_iter))
+                 ctxs matrices;
+               Exec.barrier ctxs;
+               (* real CG step *)
+               Csr.spmv csr p ap;
+               let pap = dot p ap in
+               if Float.abs pap < 1e-300 then raise Exit;
+               let alpha = !rr /. pap in
+               Array.iteri (fun i v -> x.(i) <- x.(i) +. (alpha *. v)) p;
+               Array.iteri (fun i v -> r.(i) <- r.(i) -. (alpha *. v)) ap;
+               let rr' = dot r r in
+               let beta = rr' /. !rr in
+               rr := rr';
+               Array.iteri (fun i v -> p.(i) <- v +. (beta *. p.(i))) r;
+               incr iters_done
+             done
+           with Exit -> ());
+          let solve_seconds = Exec.elapsed_seconds primary ~since:t1 in
+          let flops =
+            float_of_int !iters_done
+            *. float_of_int rows
+            *. float_of_int solve_flops_per_row_per_iter
+          in
+          Ok
+            {
+              total_seconds = Exec.elapsed_seconds primary ~since:t0;
+              assembly_seconds;
+              solve_gflops = flops /. solve_seconds /. 1e9;
+              cg_iterations = !iters_done;
+              final_residual = sqrt !rr /. r0;
+            })

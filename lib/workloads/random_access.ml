@@ -1,0 +1,62 @@
+open Covirt_hw
+open Covirt_kitten
+
+type result = { gups : float; updates : int; verify_errors : int }
+
+let default_log2_table = 25
+
+(* HPCC's 64-bit LCG random stream. *)
+let poly = 0x0000000000000007L
+
+let next_ran r =
+  let open Int64 in
+  let shifted = shift_left r 1 in
+  if compare r 0L < 0 then logxor shifted poly else shifted
+
+let run ctxs ?(log2_table = default_log2_table) ?(updates_per_word = 4) () =
+  match ctxs with
+  | [] -> Error "Random_access.run: no cores"
+  | primary :: _ -> (
+      let table_elems = 1 lsl log2_table in
+      let bytes = table_elems * 8 in
+      match Exec.alloc primary ~bytes () with
+      | Error e -> Error e
+      | Ok table ->
+          let ncores = List.length ctxs in
+          let n_real = Array.length table.Exec.data in
+          Array.iteri (fun i _ -> table.Exec.data.(i) <- float_of_int i)
+            table.Exec.data;
+          let nominal_updates = updates_per_word * table_elems in
+          (* Real arithmetic on the backing at a reduced count; charges
+             at nominal count. *)
+          let real_updates = min nominal_updates (4 * n_real) in
+          let start = Cpu.rdtsc primary.Kitten.cpu in
+          let per_core_nominal = nominal_updates / ncores in
+          List.iteri
+            (fun i ctx ->
+              Exec.random_ops ctx table ~ops:per_core_nominal ~sharers:ncores;
+              (* xor-style updates on the backing *)
+              let r = ref (Int64.of_int (0x9e3779b9 + i)) in
+              for _ = 1 to real_updates / ncores do
+                r := next_ran !r;
+                let idx = Int64.to_int (Int64.logand !r 0x3fffffffL) mod n_real in
+                table.Exec.data.(idx) <- table.Exec.data.(idx) +. 1.0
+              done)
+            ctxs;
+          Exec.barrier ctxs;
+          let dt = Exec.elapsed_seconds primary ~since:start in
+          (* Verification: total increments must match. *)
+          let total_incr =
+            Array.fold_left ( +. ) 0.0 table.Exec.data
+            -. (float_of_int (n_real - 1) *. float_of_int n_real /. 2.0)
+          in
+          let expected = float_of_int (real_updates / ncores * ncores) in
+          let verify_errors =
+            if Float.abs (total_incr -. expected) > 0.5 then 1 else 0
+          in
+          Ok
+            {
+              gups = float_of_int nominal_updates /. dt /. 1e9;
+              updates = nominal_updates;
+              verify_errors;
+            })

@@ -1,0 +1,26 @@
+(** HPCC RandomAccess (GUPS), OpenMP variant.
+
+    Read-modify-write updates at pseudo-random table locations; the
+    table (2^25 words, 256 MB, as the paper's parameter "25") far
+    exceeds the 2M-page TLB reach, so every update pays a page walk
+    with high probability.  This is the workload where the nested
+    (EPT) walk is visible — Fig. 5(b): ~1.8% with memory protection,
+    ~3.1% worst case with memory+IPI. *)
+
+open Covirt_kitten
+
+type result = {
+  gups : float;
+  updates : int;
+  verify_errors : int;  (** self-check of the real update arithmetic *)
+}
+
+val default_log2_table : int
+(** 25, per Table I. *)
+
+val run :
+  Kitten.context list ->
+  ?log2_table:int ->
+  ?updates_per_word:int ->
+  unit ->
+  (result, string) Stdlib.result

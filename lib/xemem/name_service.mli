@@ -1,0 +1,36 @@
+(** XEMEM node-local name service.
+
+    XEMEM provides "a global view of shared memory through the use of
+    XPMEM segment IDs managed across the entire system by a node-local
+    name service".  This is that service: names map to segment ids,
+    segment ids map to export records (owner, page frames) and the set
+    of current attachers — the bookkeeping reclamation needs. *)
+
+open Covirt_hw
+
+type exporter = Host_export | Enclave_export of int
+
+type segment = {
+  segid : int;
+  name : string;
+  exporter : exporter;
+  pages : Region.t list;
+  mutable attachers : int list;  (** enclave ids currently attached *)
+}
+
+type t
+
+val create : unit -> t
+
+val register :
+  t -> name:string -> exporter:exporter -> pages:Region.t list ->
+  (segment, string) result
+(** Fails on duplicate names or empty/misaligned page lists (XEMEM
+    shares whole frames). *)
+
+val lookup : t -> name:string -> segment option
+val lookup_segid : t -> segid:int -> segment option
+val note_attach : t -> segid:int -> enclave:int -> unit
+val note_detach : t -> segid:int -> enclave:int -> unit
+val remove : t -> segid:int -> unit
+val segments : t -> segment list

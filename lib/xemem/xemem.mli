@@ -1,0 +1,55 @@
+(** XEMEM inter-enclave shared memory.
+
+    The XPMEM-compatible make/search/attach/detach API on top of the
+    name service and the Pisces page-list transmission paths.  An
+    attach makes a foreign segment's physical frames usable by the
+    attaching enclave: the host transmits the frame list, the enclave
+    kernel adds it to its believed map — and, when Covirt is present,
+    the controller has already mapped the frames into the enclave's
+    EPT before the list was sent (the [pre_memory_map] hook ordering).
+
+    Attaching is synchronous from the caller's point of view: the
+    calling enclave core blocks while the host performs the mapping,
+    so the host-side processing time is charged to the caller.  That
+    blocked duration is exactly what Fig. 4 of the paper measures. *)
+
+open Covirt_hw
+open Covirt_pisces
+
+type t
+
+val create : Pisces.t -> t
+val pisces : t -> Pisces.t
+val registry : t -> Name_service.t
+
+val export :
+  t -> exporter:Name_service.exporter -> name:string -> pages:Region.t list ->
+  (int, string) result
+(** Register a segment; returns the segid.  The pages must belong to
+    the exporter (enforced against the host's authoritative view). *)
+
+val attach :
+  t -> Enclave.t -> name:string -> (Addr.t * int, string) result
+(** Attach the named segment into [enclave]: returns the base address
+    of the first frame run and the total byte length.  Charges the
+    enclave's boot core for the blocked duration. *)
+
+val attach_host : t -> name:string -> (Addr.t * int, string) result
+(** The host side attaching an enclave-exported segment (host address
+    spaces are unrestricted; only bookkeeping happens). *)
+
+val detach : t -> Enclave.t -> name:string -> (unit, string) result
+
+val reclaim_export :
+  t -> name:string -> ?simulate_cleanup_bug:bool -> unit ->
+  (unit, string) result
+(** Tear an export down, force-detaching every attacher.  With
+    [simulate_cleanup_bug] the attachers' kernels are {e not} notified
+    (the paper's war story: "a bug in an XEMEM cleanup path resulted
+    in stale shared memory regions persisting in the co-kernel state
+    ... after they had been reclaimed by the host OS") — but any
+    host-side protection hooks still run, which is why Covirt contains
+    the fallout. *)
+
+val attach_count : t -> int
+(** Total successful attaches (observability). *)

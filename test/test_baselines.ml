@@ -1,0 +1,74 @@
+(* Baseline-model tests and the virtualization-architecture comparison. *)
+
+open Covirt_hw
+open Covirt_baselines
+
+let model = Cost_model.default
+let mib = Covirt_sim.Units.mib
+
+let test_ipc_cost_structure () =
+  let small = Full_virt.ipc_message_cycles model ~words:1 in
+  let big = Full_virt.ipc_message_cycles model ~words:4096 in
+  Alcotest.(check bool) "payload costs" true (big > small);
+  (* even an empty message pays two exit pairs *)
+  Alcotest.(check bool) "floor is two exits" true
+    (small > 2.0 *. float_of_int model.Cost_model.vmexit_roundtrip);
+  Alcotest.check_raises "validation"
+    (Invalid_argument "Full_virt.ipc_message_cycles") (fun () ->
+      ignore (Full_virt.ipc_message_cycles model ~words:0))
+
+let test_reassign_scales_with_pages () =
+  let small = Full_virt.memory_reassign_cycles model ~bytes:(2 * mib) ~vcpus:1 in
+  let big = Full_virt.memory_reassign_cycles model ~bytes:(32 * mib) ~vcpus:1 in
+  Alcotest.(check bool) "16x bytes ~16x cost" true
+    (big > 10.0 *. small && big < 20.0 *. small);
+  let many_vcpus =
+    Full_virt.memory_reassign_cycles model ~bytes:(2 * mib) ~vcpus:8
+  in
+  Alcotest.(check bool) "vcpus add pause cost" true (many_vcpus > small)
+
+let test_comparison_orders () =
+  let rows = Covirt_harness.Compare_virt.ipc ~words:64 ~messages:200 () in
+  let cost name =
+    (List.find
+       (fun r ->
+         String.length r.Covirt_harness.Compare_virt.architecture
+         >= String.length name
+         && String.sub r.Covirt_harness.Compare_virt.architecture 0
+              (String.length name)
+            = name)
+       rows)
+      .Covirt_harness.Compare_virt.cycles_per_message
+  in
+  let native = cost "native" in
+  let covirt = cost "Covirt" in
+  let full = cost "full" in
+  (* the paper's architecture claim, quantified *)
+  Alcotest.(check bool) "native <= covirt" true (native <= covirt);
+  Alcotest.(check bool) "covirt < full virtualization" true (covirt < full);
+  (* Covirt's toll is the doorbell trap only: well under 2x native *)
+  Alcotest.(check bool) "covirt within 2x native" true (covirt < 2.0 *. native)
+
+let test_sharing_comparison () =
+  let rows = Covirt_harness.Compare_virt.sharing ~quick:true () in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "full virt costlier" true
+        (r.Covirt_harness.Compare_virt.ratio > 1.0))
+    rows
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "full_virt",
+        [
+          Alcotest.test_case "ipc structure" `Quick test_ipc_cost_structure;
+          Alcotest.test_case "reassign scaling" `Quick
+            test_reassign_scales_with_pages;
+        ] );
+      ( "comparison",
+        [
+          Alcotest.test_case "ipc ordering" `Quick test_comparison_orders;
+          Alcotest.test_case "sharing ordering" `Quick test_sharing_comparison;
+        ] );
+    ]

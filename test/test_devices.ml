@@ -1,0 +1,186 @@
+(* Device MMIO delegation tests: the paper lists "devices' memory
+   mapped I/O regions" among the hardware a misbehaving co-kernel can
+   stomp on; Pisces delegates device windows to enclaves and Covirt's
+   EPT polices them like any other physical resource. *)
+
+open Covirt_hw
+open Covirt_pisces
+open Covirt_kitten
+open Covirt_test_util
+
+let mib = Covirt_sim.Units.mib
+
+(* a stack whose machine carries a NIC and an accelerator *)
+let device_stack ~config () =
+  let s = Helpers.boot_stack ~config () in
+  let nic = Phys_mem.add_device s.Helpers.machine.Machine.mem ~name:"nic" ~len:(2 * mib) in
+  let fpga =
+    Phys_mem.add_device s.Helpers.machine.Machine.mem ~name:"fpga" ~len:(16 * mib)
+  in
+  (s, nic, fpga)
+
+let test_assign_and_drive () =
+  let s, nic, _ = device_stack ~config:Covirt.Config.full () in
+  let p = Helpers.pisces s in
+  (match Pisces.assign_device p s.Helpers.enclave ~device:"nic" with
+  | Ok window -> Alcotest.check Helpers.check_region "window" nic window
+  | Error e -> Alcotest.fail e);
+  (* the kernel sees its device and can drive it *)
+  Alcotest.(check bool) "kernel sees window" true
+    (Memmap.device_window (Kitten.memmap s.Helpers.kitten) ~name:"nic"
+    = Some nic);
+  let ctx = Helpers.ctx s 1 in
+  Kitten.poke_device ctx ~name:"nic" ~offset:0x100;
+  Alcotest.(check bool) "no fault, node alive" true
+    (Machine.panicked s.Helpers.machine = None);
+  (* the EPT mirrors the delegation *)
+  match
+    Covirt.Controller.instance_for s.Helpers.controller
+      ~enclave_id:s.Helpers.enclave.Enclave.id
+  with
+  | Some { Covirt.Controller.ept_mgr = Some mgr; _ } ->
+      Alcotest.(check bool) "EPT maps the BAR" true
+        (Ept.covers (Covirt.Ept_manager.ept mgr) ~base:nic.Region.base
+           ~len:nic.Region.len)
+  | _ -> Alcotest.fail "no EPT"
+
+let test_assign_validation () =
+  let s, _, _ = device_stack ~config:Covirt.Config.full () in
+  let p = Helpers.pisces s in
+  Alcotest.(check bool) "unknown device" true
+    (Result.is_error (Pisces.assign_device p s.Helpers.enclave ~device:"gpu"));
+  (match Pisces.assign_device p s.Helpers.enclave ~device:"nic" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (* a second enclave cannot take a delegated device *)
+  let other, _ = Helpers.second_enclave s () in
+  Alcotest.(check bool) "already delegated" true
+    (Result.is_error (Pisces.assign_device p other ~device:"nic"))
+
+let test_foreign_mmio_native_vs_covirt () =
+  (* an errant driver pokes a device the enclave was never given *)
+  let s, nic, _ = device_stack ~config:Covirt.Config.native () in
+  let ctx = Helpers.ctx s 1 in
+  Helpers.expect_panic "native: misprogrammed device" (fun () ->
+      Kitten.poke_foreign_mmio ctx (nic.Region.base + 0x40));
+  let s2, nic2, _ = device_stack ~config:Covirt.Config.mem () in
+  let ctx2 = Helpers.ctx s2 1 in
+  (match
+     Pisces.run_guarded (Helpers.pisces s2) (fun () ->
+         Kitten.poke_foreign_mmio ctx2 (nic2.Region.base + 0x40))
+   with
+  | Error crash ->
+      Alcotest.(check int) "offender terminated" s2.Helpers.enclave.Enclave.id
+        crash.Pisces.enclave_id
+  | Ok () -> Alcotest.fail "not contained");
+  Alcotest.(check bool) "node alive" true (Machine.panicked s2.Helpers.machine = None)
+
+let test_delegated_device_protected_from_others () =
+  (* enclave A holds the NIC; enclave B pokes it anyway *)
+  let s, nic, _ = device_stack ~config:Covirt.Config.mem () in
+  let p = Helpers.pisces s in
+  (match Pisces.assign_device p s.Helpers.enclave ~device:"nic" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let other_enclave, other_kitten = Helpers.second_enclave s () in
+  ignore other_enclave;
+  let other_ctx = Kitten.context other_kitten ~core:3 in
+  match
+    Pisces.run_guarded p (fun () ->
+        Kitten.poke_foreign_mmio other_ctx (nic.Region.base + 8))
+  with
+  | Error crash ->
+      Alcotest.(check int) "intruder terminated" other_enclave.Enclave.id
+        crash.Pisces.enclave_id;
+      (* the NIC's rightful owner is unaffected *)
+      Alcotest.(check bool) "owner still running" true
+        (Enclave.is_running s.Helpers.enclave)
+  | Ok () -> Alcotest.fail "not contained"
+
+let test_revoke_and_stale_driver () =
+  let s, nic, _ = device_stack ~config:Covirt.Config.mem () in
+  let p = Helpers.pisces s in
+  (match Pisces.assign_device p s.Helpers.enclave ~device:"nic" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let ctx = Helpers.ctx s 1 in
+  Kitten.poke_device ctx ~name:"nic" ~offset:0;
+  (match Pisces.revoke_device p s.Helpers.enclave ~device:"nic" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* ownership is back with the device *)
+  (match Phys_mem.owner_at s.Helpers.machine.Machine.mem nic.Region.base with
+  | Owner.Device d -> Alcotest.(check string) "returned" "nic" d
+  | _ -> Alcotest.fail "ownership not returned");
+  (* a stale driver pointer now kernel-page-faults: the driver unmapped
+     its BAR on revoke, so its own paging catches the straggler *)
+  (match Kitten.store_addr ctx nic.Region.base with
+  | exception Machine.Guest_page_fault { gva; _ } ->
+      Alcotest.(check int) "pf at BAR" nic.Region.base gva
+  | () -> Alcotest.fail "expected kernel page fault");
+  (* and the device can be delegated again *)
+  let other, _ = Helpers.second_enclave s () in
+  match Pisces.assign_device p other ~device:"nic" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_destroy_returns_devices () =
+  let s, nic, fpga = device_stack ~config:Covirt.Config.mem () in
+  let p = Helpers.pisces s in
+  (match Pisces.assign_device p s.Helpers.enclave ~device:"nic" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (match Pisces.assign_device p s.Helpers.enclave ~device:"fpga" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Pisces.destroy p s.Helpers.enclave;
+  List.iter
+    (fun (window, name) ->
+      match Phys_mem.owner_at s.Helpers.machine.Machine.mem window.Region.base with
+      | Owner.Device d -> Alcotest.(check string) "returned" name d
+      | _ -> Alcotest.fail "device not returned on destroy")
+    [ (nic, "nic"); (fpga, "fpga") ]
+
+let test_nautilus_drives_devices_too () =
+  (* device delegation is kernel-agnostic *)
+  let machine = Helpers.small_machine () in
+  let nic = Phys_mem.add_device machine.Machine.mem ~name:"nic" ~len:(2 * mib) in
+  let hobbes = Covirt_hobbes.Hobbes.create machine ~host_core:0 in
+  let _controller =
+    Covirt.enable (Covirt_hobbes.Hobbes.pisces hobbes) ~config:Covirt.Config.mem
+  in
+  let pisces = Covirt_hobbes.Hobbes.pisces hobbes in
+  let kernel, get = Covirt_nautilus.Nautilus.make_kernel () in
+  let enclave =
+    Pisces.create_enclave pisces ~name:"naut" ~cores:[ 1 ] ~mem:[ (0, 128 * mib) ] ()
+    |> Result.get_ok
+  in
+  Pisces.boot pisces enclave ~kernel |> Result.get_ok;
+  let naut = Option.get (get ()) in
+  (match Pisces.assign_device pisces enclave ~device:"nic" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Covirt_nautilus.Nautilus.wild_write naut ~core:1 (nic.Region.base + 8);
+  Alcotest.(check bool) "nautilus drove its NIC" true
+    (Machine.panicked machine = None)
+
+let () =
+  Alcotest.run "devices"
+    [
+      ( "delegation",
+        [
+          Alcotest.test_case "assign and drive" `Quick test_assign_and_drive;
+          Alcotest.test_case "validation" `Quick test_assign_validation;
+          Alcotest.test_case "destroy returns" `Quick test_destroy_returns_devices;
+          Alcotest.test_case "nautilus too" `Quick test_nautilus_drives_devices_too;
+        ] );
+      ( "protection",
+        [
+          Alcotest.test_case "foreign MMIO native vs covirt" `Quick
+            test_foreign_mmio_native_vs_covirt;
+          Alcotest.test_case "delegated device protected" `Quick
+            test_delegated_device_protected_from_others;
+          Alcotest.test_case "revoke and stale driver" `Quick
+            test_revoke_and_stale_driver;
+        ] );
+    ]

@@ -1,0 +1,217 @@
+(* Edge cases and failure paths that the mainline suites do not reach:
+   command-queue overflow recovery, controller halt command, wild-read
+   accounting, spurious-IPI accounting, NMI-doorbell vector neutrality,
+   enclave restart cycles, and input validation across the API. *)
+
+open Covirt_hw
+open Covirt_pisces
+open Covirt_kitten
+open Covirt_test_util
+
+let mib = Covirt_sim.Units.mib
+
+(* --- machine counters --- *)
+
+let test_wild_read_counter () =
+  let s = Helpers.boot_stack ~config:Covirt.Config.native () in
+  let ctx = Helpers.ctx s 1 in
+  let before = s.Helpers.machine.Machine.wild_reads in
+  (* reading host memory natively: an information leak, counted but not
+     fatal *)
+  Kitten.load_addr ctx 0x3000;
+  Alcotest.(check int) "wild read counted" (before + 1)
+    s.Helpers.machine.Machine.wild_reads;
+  Alcotest.(check bool) "not fatal" true
+    (Machine.panicked s.Helpers.machine = None)
+
+let test_spurious_ipi_counter () =
+  let s = Helpers.boot_stack ~config:Covirt.Config.native () in
+  let victim, _ = Helpers.second_enclave s () in
+  let before = s.Helpers.machine.Machine.spurious_ipis in
+  (* a benign-vector cross-enclave IPI natively: delivered, counted as
+     spurious interference *)
+  Kitten.send_ipi (Helpers.ctx s 1) ~dest:(Enclave.bsp victim) ~vector:0x77;
+  Alcotest.(check int) "spurious counted" (before + 1)
+    s.Helpers.machine.Machine.spurious_ipis
+
+(* --- NMI doorbells stay off the vector space --- *)
+
+let test_nmi_doorbell_vector_neutrality () =
+  (* The design rationale for NMIs: command-queue signalling must not
+     consume IRQ vectors or appear as interrupts to the kernel.  After
+     a storm of unmap flushes, the kernel has seen zero spurious
+     vectors. *)
+  let s = Helpers.boot_stack ~config:Covirt.Config.mem () in
+  let p = Helpers.pisces s in
+  for _ = 1 to 10 do
+    match Pisces.add_memory p s.Helpers.enclave ~zone:1 ~len:(8 * mib) with
+    | Ok region -> (
+        match Pisces.remove_memory p s.Helpers.enclave region with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e)
+    | Error e -> Alcotest.fail e
+  done;
+  let stats = Kitten.stats s.Helpers.kitten in
+  Alcotest.(check int) "no spurious interrupts from doorbells" 0
+    stats.Kitten.spurious_irqs;
+  Alcotest.(check bool) "flushes actually happened" true
+    (Covirt.Controller.total_flush_commands s.Helpers.controller >= 20)
+
+(* --- command queue overflow recovery --- *)
+
+let test_command_queue_overflow_recovery () =
+  let s = Helpers.boot_stack ~config:Covirt.Config.mem ~cores:[ 1 ] () in
+  let inst =
+    Option.get
+      (Covirt.Controller.instance_for s.Helpers.controller
+         ~enclave_id:s.Helpers.enclave.Enclave.id)
+  in
+  let _, hv = List.hd inst.Covirt.Controller.hypervisors in
+  let q = Covirt.Hypervisor.queue hv in
+  (* wedge the queue manually *)
+  for _ = 1 to Covirt.Command.slots do
+    Covirt.Command.enqueue q Covirt.Command.Flush_tlb_all |> Result.get_ok
+  done;
+  Alcotest.(check bool) "full" true
+    (Result.is_error (Covirt.Command.enqueue q Covirt.Command.Flush_tlb_all));
+  (* a normal unmap must still succeed: the controller drains by NMI
+     before re-enqueueing *)
+  let p = Helpers.pisces s in
+  (match Pisces.add_memory p s.Helpers.enclave ~zone:1 ~len:(8 * mib) with
+  | Ok region -> (
+      match Pisces.remove_memory p s.Helpers.enclave region with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "queue drained" 0 (Covirt.Command.pending q)
+
+(* --- controller halt command --- *)
+
+let test_halt_core_command () =
+  let s = Helpers.boot_stack ~config:Covirt.Config.mem ~cores:[ 1 ] () in
+  let inst =
+    Option.get
+      (Covirt.Controller.instance_for s.Helpers.controller
+         ~enclave_id:s.Helpers.enclave.Enclave.id)
+  in
+  let core, hv = List.hd inst.Covirt.Controller.hypervisors in
+  Covirt.Command.enqueue (Covirt.Hypervisor.queue hv) Covirt.Command.Halt_core
+  |> Result.get_ok;
+  Helpers.expect_crash "halt terminates" (fun () ->
+      Machine.post_host_nmi s.Helpers.machine ~dest:core)
+
+(* --- restart cycles --- *)
+
+let test_enclave_restart_cycle () =
+  (* crash, reclaim, and boot a fresh enclave on the same cores and
+     memory — the master control process's recovery loop *)
+  let s = Helpers.boot_stack ~config:Covirt.Config.mem () in
+  let p = Helpers.pisces s in
+  (match
+     Pisces.run_guarded p (fun () -> Kitten.store_addr (Helpers.ctx s 1) 0x3000)
+   with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected crash");
+  (* same cores, same zones: everything was reclaimed *)
+  match
+    Covirt_hobbes.Hobbes.launch_enclave s.Helpers.hobbes ~name:"reborn"
+      ~cores:[ 1; 2 ]
+      ~mem:[ (0, 256 * mib); (1, 256 * mib) ]
+      ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok (enclave, kitten) ->
+      Alcotest.(check bool) "reborn runs" true (Enclave.is_running enclave);
+      (* and is protected again *)
+      let ctx = Kitten.context kitten ~core:1 in
+      (match Pisces.run_guarded p (fun () -> Kitten.store_addr ctx 0x3000) with
+      | Error crash ->
+          Alcotest.(check int) "new id" enclave.Enclave.id
+            crash.Pisces.enclave_id
+      | Ok () -> Alcotest.fail "reborn enclave unprotected")
+
+let test_repeated_restart_no_leak () =
+  let machine = Helpers.small_machine () in
+  let hobbes = Covirt_hobbes.Hobbes.create machine ~host_core:0 in
+  let _c = Covirt.enable (Covirt_hobbes.Hobbes.pisces hobbes) ~config:Covirt.Config.mem in
+  let free0 = Phys_mem.free_bytes machine.Machine.mem ~zone:0 in
+  for i = 1 to 8 do
+    match
+      Covirt_hobbes.Hobbes.launch_enclave hobbes
+        ~name:(Printf.sprintf "cycle-%d" i) ~cores:[ 1 ] ~mem:[ (0, 128 * mib) ] ()
+    with
+    | Error e -> Alcotest.fail e
+    | Ok (enclave, _) -> Pisces.destroy (Covirt_hobbes.Hobbes.pisces hobbes) enclave
+  done;
+  Alcotest.(check int) "no memory leaked over 8 cycles" free0
+    (Phys_mem.free_bytes machine.Machine.mem ~zone:0);
+  Alcotest.(check bool) "core back with host" true
+    (Owner.equal (Machine.cpu machine 1).Cpu.owner Owner.Host)
+
+(* --- validation odds and ends --- *)
+
+let test_validation_errors () =
+  let s = Helpers.boot_stack ~config:Covirt.Config.native () in
+  Alcotest.check_raises "charge negative" (Invalid_argument "Cpu.charge: negative")
+    (fun () -> Cpu.charge (Machine.cpu s.Helpers.machine 0) (-1));
+  Alcotest.check_raises "bad vector" (Invalid_argument "Apic: bad vector")
+    (fun () -> Apic.raise_irr (Machine.cpu s.Helpers.machine 0).Cpu.apic ~vector:256);
+  Alcotest.check_raises "bad ipi dest" (Invalid_argument "Machine.send_ipi: dest")
+    (fun () ->
+      Machine.send_ipi s.Helpers.machine ~from:(Machine.cpu s.Helpers.machine 0)
+        ~dest:99 ~vector:0x40 ~kind:Apic.Fixed);
+  Alcotest.(check bool) "kalloc rejects nonpositive" true
+    (match Kitten.kalloc s.Helpers.kitten ~bytes:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_config_full_name () =
+  Alcotest.(check string) "full name" "mem+ipi+msr+io"
+    (Covirt.Config.name Covirt.Config.full);
+  Alcotest.(check string) "vapic-full name" "ipi/full"
+    (Covirt.Config.name
+       { Covirt.Config.none with ipi = Covirt.Config.Ipi_vapic_full })
+
+let test_shutdown_message_path () =
+  let s = Helpers.boot_stack ~config:Covirt.Config.mem () in
+  let p = Helpers.pisces s in
+  Pisces.destroy p s.Helpers.enclave;
+  Alcotest.(check bool) "stopped" true
+    (s.Helpers.enclave.Enclave.state = Enclave.Stopped);
+  (* operations on a stopped enclave fail cleanly *)
+  Alcotest.(check bool) "add_memory rejected" true
+    (Result.is_error (Pisces.add_memory p s.Helpers.enclave ~zone:0 ~len:mib));
+  Alcotest.(check bool) "grant rejected" true
+    (Result.is_error
+       (Pisces.grant_ipi_vector p s.Helpers.enclave ~vector:0x50 ~peer_core:2))
+
+let () =
+  Alcotest.run "edge"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "wild reads" `Quick test_wild_read_counter;
+          Alcotest.test_case "spurious ipis" `Quick test_spurious_ipi_counter;
+        ] );
+      ( "command-queue",
+        [
+          Alcotest.test_case "NMI vector neutrality" `Quick
+            test_nmi_doorbell_vector_neutrality;
+          Alcotest.test_case "overflow recovery" `Quick
+            test_command_queue_overflow_recovery;
+          Alcotest.test_case "halt command" `Quick test_halt_core_command;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "restart cycle" `Quick test_enclave_restart_cycle;
+          Alcotest.test_case "no leaks over restarts" `Quick
+            test_repeated_restart_no_leak;
+          Alcotest.test_case "stopped enclave ops" `Quick
+            test_shutdown_message_path;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "errors" `Quick test_validation_errors;
+          Alcotest.test_case "config names" `Quick test_config_full_name;
+        ] );
+    ]

@@ -1,0 +1,215 @@
+(* EPT radix-table tests: mapping, coalescing, splitting, violations,
+   and a property check against the region-set reference. *)
+
+open Covirt_hw
+
+let k4 = Addr.page_size_4k
+let m2 = Addr.page_size_2m
+let g1 = Addr.page_size_1g
+
+let region ~base ~len = Region.make ~base ~len
+
+let test_empty_translate () =
+  let ept = Ept.create () in
+  match Ept.translate ept 0x1000 ~access:`Read with
+  | Error v ->
+      Alcotest.(check bool) "not mapped" true (v.Ept.reason = `Not_mapped)
+  | Ok _ -> Alcotest.fail "empty EPT translated"
+
+let test_map_4k () =
+  let ept = Ept.create () in
+  Ept.map_region ept (region ~base:0x1000 ~len:k4);
+  (match Ept.translate ept 0x1800 ~access:`Write with
+  | Ok ps -> Alcotest.(check bool) "4K leaf" true (ps = Addr.Page_4k)
+  | Error _ -> Alcotest.fail "mapped page failed");
+  let n4k, n2m, n1g = Ept.leaf_counts ept in
+  Alcotest.(check (triple int int int)) "one 4K leaf" (1, 0, 0) (n4k, n2m, n1g)
+
+let test_coalescing_2m () =
+  let ept = Ept.create () in
+  Ept.map_region ept (region ~base:m2 ~len:(2 * m2));
+  let n4k, n2m, _ = Ept.leaf_counts ept in
+  Alcotest.(check int) "no 4K leaves" 0 n4k;
+  Alcotest.(check int) "two 2M leaves" 2 n2m
+
+let test_coalescing_1g () =
+  let ept = Ept.create () in
+  Ept.map_region ept (region ~base:g1 ~len:(2 * g1));
+  let n4k, n2m, n1g = Ept.leaf_counts ept in
+  Alcotest.(check (triple int int int)) "two 1G leaves" (0, 0, 2)
+    (n4k, n2m, n1g)
+
+let test_coalescing_mixed () =
+  (* 4K-aligned base forces small pages until alignment improves. *)
+  let ept = Ept.create () in
+  let base = m2 - (4 * k4) in
+  Ept.map_region ept (region ~base ~len:(m2 + (4 * k4)));
+  let n4k, n2m, _ = Ept.leaf_counts ept in
+  Alcotest.(check int) "4 head 4K pages" 4 n4k;
+  Alcotest.(check int) "then one 2M page" 1 n2m
+
+let test_max_page_cap () =
+  let ept = Ept.create ~max_page:Addr.Page_4k () in
+  Ept.map_region ept (region ~base:0 ~len:m2);
+  let n4k, n2m, n1g = Ept.leaf_counts ept in
+  Alcotest.(check (triple int int int)) "all 4K" (512, 0, 0) (n4k, n2m, n1g)
+
+let test_unmap_whole_leaf_no_split () =
+  let ept = Ept.create () in
+  Ept.map_region ept (region ~base:0 ~len:(2 * m2));
+  let writes_before = Ept.entry_writes ept in
+  Ept.unmap_region ept (region ~base:0 ~len:m2);
+  let writes = Ept.entry_writes ept - writes_before in
+  Alcotest.(check int) "single entry write" 1 writes;
+  Alcotest.(check bool) "first unmapped" true
+    (Result.is_error (Ept.translate ept 0x1000 ~access:`Read));
+  Alcotest.(check bool) "second still mapped" true
+    (Result.is_ok (Ept.translate ept (m2 + 1) ~access:`Read))
+
+let test_partial_unmap_splits () =
+  let ept = Ept.create () in
+  Ept.map_region ept (region ~base:0 ~len:m2);
+  (* unmap one 4K page in the middle: the 2M leaf must split *)
+  Ept.unmap_region ept (region ~base:(16 * k4) ~len:k4);
+  Alcotest.(check bool) "hole faults" true
+    (Result.is_error (Ept.translate ept (16 * k4) ~access:`Read));
+  Alcotest.(check bool) "before hole ok" true
+    (Result.is_ok (Ept.translate ept (15 * k4) ~access:`Read));
+  Alcotest.(check bool) "after hole ok" true
+    (Result.is_ok (Ept.translate ept (17 * k4) ~access:`Read));
+  let n4k, n2m, _ = Ept.leaf_counts ept in
+  Alcotest.(check int) "split into 4K" 511 n4k;
+  Alcotest.(check int) "2M leaf gone" 0 n2m
+
+let test_partial_unmap_1g_double_split () =
+  let ept = Ept.create () in
+  Ept.map_region ept (region ~base:g1 ~len:g1);
+  Ept.unmap_region ept (region ~base:(g1 + (3 * k4)) ~len:k4);
+  Alcotest.(check bool) "hole faults" true
+    (Result.is_error (Ept.translate ept (g1 + (3 * k4)) ~access:`Read));
+  Alcotest.(check bool) "rest of 1G ok" true
+    (Result.is_ok (Ept.translate ept (g1 + (512 * m2) - k4) ~access:`Read));
+  let n4k, n2m, n1g = Ept.leaf_counts ept in
+  Alcotest.(check int) "1G gone" 0 n1g;
+  Alcotest.(check int) "511 sibling 2M" 511 n2m;
+  Alcotest.(check int) "511 sibling 4K" 511 n4k
+
+let test_permissions () =
+  let ept = Ept.create () in
+  Ept.map_region ept ~perms:Ept.ro (region ~base:0 ~len:k4);
+  Alcotest.(check bool) "read ok" true
+    (Result.is_ok (Ept.translate ept 0 ~access:`Read));
+  (match Ept.translate ept 0 ~access:`Write with
+  | Error v -> Alcotest.(check bool) "perm denied" true (v.Ept.reason = `Perm_denied)
+  | Ok _ -> Alcotest.fail "write allowed on ro mapping")
+
+let test_remap_updates_perms () =
+  let ept = Ept.create () in
+  Ept.map_region ept ~perms:Ept.ro (region ~base:0 ~len:m2);
+  Ept.map_region ept ~perms:Ept.rwx (region ~base:0 ~len:m2);
+  Alcotest.(check bool) "write ok after remap" true
+    (Result.is_ok (Ept.translate ept 0x100 ~access:`Write))
+
+let test_covers () =
+  let ept = Ept.create () in
+  Ept.map_region ept (region ~base:0 ~len:m2);
+  Ept.map_region ept (region ~base:m2 ~len:m2);
+  Alcotest.(check bool) "covers across leaves" true
+    (Ept.covers ept ~base:(m2 - k4) ~len:(2 * k4));
+  Alcotest.(check bool) "beyond end" false
+    (Ept.covers ept ~base:m2 ~len:(m2 + 1))
+
+let test_unaligned_rejected () =
+  let ept = Ept.create () in
+  Alcotest.check_raises "unaligned" (Invalid_argument "Ept.map_region: unaligned")
+    (fun () -> Ept.map_region ept (Region.make ~base:123 ~len:k4))
+
+(* Property: after a random sequence of page-aligned map/unmap ops, the
+   radix table agrees with the Region.Set index on every probe, and the
+   leaf footprint accounts for exactly the mapped bytes. *)
+let gen_ops =
+  QCheck2.Gen.(
+    list_size (int_range 1 20)
+      (triple (oneofl [ `Map; `Unmap ]) (int_range 0 256) (int_range 1 64)))
+
+let prop_matches_index_with ~max_page name =
+  Covirt_test_util.Helpers.qtest ~count:60
+    (Printf.sprintf "radix agrees with region index (%s)" name)
+    gen_ops
+    (fun ops ->
+      let ept = Ept.create ~max_page () in
+      List.iter
+        (fun (op, page, pages) ->
+          let r = region ~base:(page * k4) ~len:(pages * k4) in
+          match op with
+          | `Map -> Ept.map_region ept r
+          | `Unmap -> Ept.unmap_region ept r)
+        ops;
+      let index = Ept.regions ept in
+      List.for_all
+        (fun page ->
+          let addr = page * k4 in
+          Region.Set.mem index addr
+          = Result.is_ok (Ept.translate ept addr ~access:`Read))
+        (List.init 330 Fun.id))
+
+let prop_matches_index =
+  Covirt_test_util.Helpers.qtest ~count:100 "radix agrees with region index"
+    gen_ops
+    (fun ops ->
+      let ept = Ept.create () in
+      List.iter
+        (fun (op, page, pages) ->
+          let r = region ~base:(page * k4) ~len:(pages * k4) in
+          match op with
+          | `Map -> Ept.map_region ept r
+          | `Unmap -> Ept.unmap_region ept r)
+        ops;
+      let index = Ept.regions ept in
+      let agree =
+        List.for_all
+          (fun page ->
+            let addr = page * k4 in
+            Region.Set.mem index addr
+            = Result.is_ok (Ept.translate ept addr ~access:`Read))
+          (List.init 330 Fun.id)
+      in
+      let n4k, n2m, n1g = Ept.leaf_counts ept in
+      let leaf_bytes = (n4k * k4) + (n2m * m2) + (n1g * g1) in
+      agree && leaf_bytes = Region.Set.total_bytes index)
+
+let () =
+  Alcotest.run "ept"
+    [
+      ( "mapping",
+        [
+          Alcotest.test_case "empty translate" `Quick test_empty_translate;
+          Alcotest.test_case "map 4K" `Quick test_map_4k;
+          Alcotest.test_case "coalesce 2M" `Quick test_coalescing_2m;
+          Alcotest.test_case "coalesce 1G" `Quick test_coalescing_1g;
+          Alcotest.test_case "mixed alignment" `Quick test_coalescing_mixed;
+          Alcotest.test_case "max-page cap" `Quick test_max_page_cap;
+          Alcotest.test_case "unaligned rejected" `Quick test_unaligned_rejected;
+        ] );
+      ( "unmapping",
+        [
+          Alcotest.test_case "whole leaf, no split" `Quick
+            test_unmap_whole_leaf_no_split;
+          Alcotest.test_case "partial unmap splits 2M" `Quick
+            test_partial_unmap_splits;
+          Alcotest.test_case "partial unmap splits 1G twice" `Quick
+            test_partial_unmap_1g_double_split;
+        ] );
+      ( "permissions",
+        [
+          Alcotest.test_case "ro enforced" `Quick test_permissions;
+          Alcotest.test_case "remap updates" `Quick test_remap_updates_perms;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "covers" `Quick test_covers;
+          prop_matches_index;
+          prop_matches_index_with ~max_page:Addr.Page_4k "4K cap";
+          prop_matches_index_with ~max_page:Addr.Page_2m "2M cap";
+        ] );
+    ]

@@ -1,0 +1,354 @@
+(* Fault-injection integration tests: every fault class from the
+   paper's taxonomy, run both natively (where it corrupts or kills the
+   node) and under Covirt (where it is contained to the offending
+   enclave).  This is the paper's core claim, end to end. *)
+
+open Covirt_hw
+open Covirt_pisces
+open Covirt_kitten
+open Covirt_test_util
+
+let mib = Covirt_sim.Units.mib
+
+let crash_of p f =
+  match Pisces.run_guarded p f with
+  | Ok _ -> Alcotest.fail "expected containment"
+  | Error crash -> crash
+
+(* --- 1. Wild write into host kernel memory --- *)
+
+let test_wild_host_write_native () =
+  let s = Helpers.boot_stack ~config:Covirt.Config.native () in
+  Helpers.expect_panic "node dies" (fun () ->
+      Kitten.store_addr (Helpers.ctx s 1) 0x3000)
+
+let test_wild_host_write_covirt () =
+  let s = Helpers.boot_stack ~config:Covirt.Config.mem () in
+  let crash =
+    crash_of (Helpers.pisces s) (fun () ->
+        Kitten.store_addr (Helpers.ctx s 1) 0x3000)
+  in
+  Alcotest.(check int) "right enclave" s.Helpers.enclave.Enclave.id
+    crash.Pisces.enclave_id;
+  Alcotest.(check bool) "node alive" true (Machine.panicked s.Helpers.machine = None);
+  Alcotest.(check bool) "resources reclaimed" true
+    (match s.Helpers.enclave.Enclave.state with
+    | Enclave.Crashed _ -> true
+    | _ -> false)
+
+(* --- 2. Wild write into a sibling enclave --- *)
+
+let test_cross_enclave_write_native () =
+  let s = Helpers.boot_stack ~config:Covirt.Config.native () in
+  let victim, victim_kitten = Helpers.second_enclave s () in
+  let target =
+    match Region.Set.to_list victim.Enclave.memory with
+    | r :: _ -> r.Region.base + mib
+    | [] -> Alcotest.fail "victim has no memory"
+  in
+  Kitten.store_addr (Helpers.ctx s 1) target;
+  (* the victim is silently corrupted and eventually panics *)
+  (match Kitten.health victim_kitten with
+  | `Corrupted _ -> ()
+  | `Ok -> Alcotest.fail "victim not corrupted");
+  match Kitten.assert_healthy victim_kitten with
+  | exception Kitten.Kernel_panic _ -> ()
+  | () -> Alcotest.fail "victim survived"
+
+let test_cross_enclave_write_covirt () =
+  let s = Helpers.boot_stack ~config:Covirt.Config.mem () in
+  let victim, victim_kitten = Helpers.second_enclave s () in
+  let target =
+    match Region.Set.to_list victim.Enclave.memory with
+    | r :: _ -> r.Region.base + mib
+    | [] -> Alcotest.fail "victim has no memory"
+  in
+  let _crash =
+    crash_of (Helpers.pisces s) (fun () ->
+        Kitten.store_addr (Helpers.ctx s 1) target)
+  in
+  Alcotest.(check bool) "victim untouched" true
+    (Kitten.health victim_kitten = `Ok);
+  Alcotest.(check bool) "victim still running" true (Enclave.is_running victim)
+
+(* --- 3. Memory-map desync (phantom region) --- *)
+
+let test_phantom_region_covirt () =
+  let s = Helpers.boot_stack ~config:Covirt.Config.mem () in
+  (* the kernel is convinced it owns memory it was never assigned *)
+  let phantom = Region.make ~base:(1536 * mib) ~len:(4 * mib) in
+  Kitten.inject_phantom_region s.Helpers.kitten phantom;
+  let crash =
+    crash_of (Helpers.pisces s) (fun () ->
+        Kitten.touch_believed_memory (Helpers.ctx s 1) phantom.Region.base)
+  in
+  Alcotest.(check bool) "EPT violation reported" true
+    (let reports =
+       Covirt.reports s.Helpers.controller
+         ~enclave_id:s.Helpers.enclave.Enclave.id
+     in
+     List.exists
+       (fun r -> r.Covirt.Fault_report.kind = Covirt.Fault_report.Memory_violation)
+       reports);
+  ignore crash
+
+(* --- 4. The war story: stale XEMEM mapping after buggy cleanup --- *)
+
+let war_story_setup ~config () =
+  let s = Helpers.boot_stack ~config ~cores:[ 1 ] () in
+  let exporter, exporter_kitten = Helpers.second_enclave s () in
+  let base =
+    match Kitten.kalloc exporter_kitten ~bytes:(4 * mib) with
+    | Ok b -> b
+    | Error e -> Alcotest.fail e
+  in
+  let xemem = Covirt_hobbes.Hobbes.xemem s.Helpers.hobbes in
+  (match
+     Covirt_xemem.Xemem.export xemem
+       ~exporter:(Covirt_xemem.Name_service.Enclave_export exporter.Enclave.id)
+       ~name:"stale"
+       ~pages:[ Region.make ~base ~len:(4 * mib) ]
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (match Covirt_xemem.Xemem.attach xemem s.Helpers.enclave ~name:"stale" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (* the attacher uses the segment (fills its TLB) *)
+  Kitten.store_addr (Helpers.ctx s 1) base;
+  (* host reclaims the export, but the cleanup bug leaves the
+     attacher's kernel in the dark *)
+  (match
+     Covirt_xemem.Xemem.reclaim_export xemem ~name:"stale"
+       ~simulate_cleanup_bug:true ()
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* the exporter's enclave frees the memory back to the host, which
+     hands it to a NEW enclave *)
+  (match
+     Pisces.remove_memory (Helpers.pisces s) exporter
+       (Region.make ~base ~len:(4 * mib))
+   with
+  | Ok () -> ()
+  | Error _ ->
+      (* the region may not be removable piecemeal on all layouts;
+         releasing the whole enclave also returns the frames *)
+      Pisces.destroy (Helpers.pisces s) exporter);
+  let victim, _ =
+    Covirt_hobbes.Hobbes.launch_enclave s.Helpers.hobbes ~name:"newcomer"
+      ~cores:[ 2 ] ~mem:[ (1, 64 * mib) ] ()
+    |> Result.get_ok
+  in
+  Alcotest.(check bool) "attacker still believes the stale mapping" true
+    (Memmap.believes_usable (Kitten.memmap s.Helpers.kitten) base);
+  (s, base, victim)
+
+let test_stale_xemem_native () =
+  let s, base, _victim = war_story_setup ~config:Covirt.Config.native () in
+  (* natively the access sails through; if the frames were re-assigned
+     the rightful owner gets corrupted; at minimum the wild access is
+     invisible to anyone *)
+  Kitten.store_addr (Helpers.ctx s 1) base;
+  Alcotest.(check bool) "access went through undetected" true
+    (Machine.panicked s.Helpers.machine = None)
+
+let test_stale_xemem_covirt () =
+  let s, base, victim = war_story_setup ~config:Covirt.Config.mem_ipi () in
+  (* Covirt unmapped the EPT during the host-side reclaim and flushed
+     the attacher's TLBs; the stale access is caught immediately. *)
+  let crash =
+    crash_of (Helpers.pisces s) (fun () ->
+        Kitten.store_addr (Helpers.ctx s 1) base)
+  in
+  Alcotest.(check int) "attacker terminated" s.Helpers.enclave.Enclave.id
+    crash.Pisces.enclave_id;
+  Alcotest.(check bool) "new owner unharmed" true (Enclave.is_running victim);
+  Alcotest.(check bool) "no corruption anywhere" true
+    (Machine.is_corrupted s.Helpers.machine ~enclave:victim.Enclave.id = None)
+
+(* --- 5. Errant IPIs --- *)
+
+let test_errant_ipi_native () =
+  let s = Helpers.boot_stack ~config:Covirt.Config.native () in
+  let victim, victim_kitten = Helpers.second_enclave s () in
+  (* vector 8 = double fault, aimed at the victim's core *)
+  Kitten.send_ipi (Helpers.ctx s 1) ~dest:(Enclave.bsp victim) ~vector:8;
+  match Kitten.health victim_kitten with
+  | `Corrupted _ -> ()
+  | `Ok -> Alcotest.fail "victim survived exception-class IPI"
+
+let test_errant_ipi_covirt_dropped () =
+  let s = Helpers.boot_stack ~config:Covirt.Config.ipi () in
+  let victim, victim_kitten = Helpers.second_enclave s () in
+  Kitten.send_ipi (Helpers.ctx s 1) ~dest:(Enclave.bsp victim) ~vector:8;
+  (* dropped, not fatal: the sender keeps running, the victim is clean *)
+  Alcotest.(check bool) "victim clean" true (Kitten.health victim_kitten = `Ok);
+  Alcotest.(check bool) "sender still running" true
+    (Enclave.is_running s.Helpers.enclave);
+  Alcotest.(check int) "drop counted" 1
+    (Covirt.dropped_ipis s.Helpers.controller
+       ~enclave_id:s.Helpers.enclave.Enclave.id);
+  let reports =
+    Covirt.reports s.Helpers.controller ~enclave_id:s.Helpers.enclave.Enclave.id
+  in
+  Alcotest.(check bool) "errant-ipi report" true
+    (List.exists
+       (fun r -> r.Covirt.Fault_report.kind = Covirt.Fault_report.Errant_ipi)
+       reports)
+
+let test_granted_ipi_passes () =
+  let s = Helpers.boot_stack ~config:Covirt.Config.ipi () in
+  let peer, peer_kitten = Helpers.second_enclave s () in
+  (match
+     Pisces.grant_ipi_vector (Helpers.pisces s) s.Helpers.enclave ~vector:0x44
+       ~peer_core:(Enclave.bsp peer)
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let hits = ref 0 in
+  Kitten.register_irq peer_kitten ~vector:0x44 (fun _ _ -> incr hits);
+  Kitten.send_ipi (Helpers.ctx s 1) ~dest:(Enclave.bsp peer) ~vector:0x44;
+  Alcotest.(check int) "delivered" 1 !hits;
+  Alcotest.(check int) "nothing dropped" 0
+    (Covirt.dropped_ipis s.Helpers.controller
+       ~enclave_id:s.Helpers.enclave.Enclave.id)
+
+let test_revoked_ipi_dropped () =
+  let s = Helpers.boot_stack ~config:Covirt.Config.ipi () in
+  let peer, peer_kitten = Helpers.second_enclave s () in
+  let p = Helpers.pisces s in
+  (match
+     Pisces.grant_ipi_vector p s.Helpers.enclave ~vector:0x44
+       ~peer_core:(Enclave.bsp peer)
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Pisces.revoke_ipi_vector p s.Helpers.enclave ~vector:0x44 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let hits = ref 0 in
+  Kitten.register_irq peer_kitten ~vector:0x44 (fun _ _ -> incr hits);
+  Kitten.send_ipi (Helpers.ctx s 1) ~dest:(Enclave.bsp peer) ~vector:0x44;
+  Alcotest.(check int) "dropped after revoke" 0 !hits
+
+(* --- 6. MSR / I/O / abort class --- *)
+
+let test_msr_native_vs_covirt () =
+  let s = Helpers.boot_stack ~config:Covirt.Config.native () in
+  Helpers.expect_panic "native" (fun () -> Kitten.wrmsr_sensitive (Helpers.ctx s 1));
+  let s2 = Helpers.boot_stack ~config:Covirt.Config.full () in
+  let crash =
+    crash_of (Helpers.pisces s2) (fun () ->
+        Kitten.wrmsr_sensitive (Helpers.ctx s2 1))
+  in
+  ignore crash;
+  Alcotest.(check bool) "node alive" true (Machine.panicked s2.Helpers.machine = None)
+
+let test_reset_port_native_vs_covirt () =
+  let s = Helpers.boot_stack ~config:Covirt.Config.native () in
+  Helpers.expect_panic "native reset" (fun () ->
+      Kitten.out_reset_port (Helpers.ctx s 1));
+  let s2 = Helpers.boot_stack ~config:Covirt.Config.full () in
+  let _crash =
+    crash_of (Helpers.pisces s2) (fun () ->
+        Kitten.out_reset_port (Helpers.ctx s2 1))
+  in
+  Alcotest.(check bool) "node alive" true (Machine.panicked s2.Helpers.machine = None)
+
+let test_double_fault_native_vs_covirt () =
+  let s = Helpers.boot_stack ~config:Covirt.Config.native () in
+  Helpers.expect_panic "native triple fault" (fun () ->
+      Kitten.trigger_double_fault (Helpers.ctx s 1));
+  (* abort handling needs only the base hypervisor, no features *)
+  let s2 = Helpers.boot_stack ~config:Covirt.Config.none () in
+  let crash =
+    crash_of (Helpers.pisces s2) (fun () ->
+        Kitten.trigger_double_fault (Helpers.ctx s2 1))
+  in
+  Alcotest.(check bool) "abort named" true
+    (String.length crash.Pisces.reason > 0);
+  Alcotest.(check bool) "node alive" true (Machine.panicked s2.Helpers.machine = None)
+
+(* --- 7. Feature modularity: a disabled feature does not protect --- *)
+
+let test_ipi_only_config_does_not_stop_memory_faults () =
+  let s = Helpers.boot_stack ~config:Covirt.Config.ipi () in
+  (* memory protection off: the wild write reaches host memory and the
+     node panics, hypervisor or not *)
+  Helpers.expect_panic "ipi-only cannot stop memory faults" (fun () ->
+      Kitten.store_addr (Helpers.ctx s 1) 0x3000)
+
+let test_mem_only_config_does_not_stop_errant_ipis () =
+  let s = Helpers.boot_stack ~config:Covirt.Config.mem () in
+  let victim, victim_kitten = Helpers.second_enclave s () in
+  Kitten.send_ipi (Helpers.ctx s 1) ~dest:(Enclave.bsp victim) ~vector:8;
+  match Kitten.health victim_kitten with
+  | `Corrupted _ -> ()
+  | `Ok -> Alcotest.fail "mem-only config unexpectedly stopped the IPI"
+
+(* --- 8. Hot-remove then touch --- *)
+
+let test_hot_remove_then_touch () =
+  let s = Helpers.boot_stack ~config:Covirt.Config.mem () in
+  let p = Helpers.pisces s in
+  let region =
+    match Pisces.add_memory p s.Helpers.enclave ~zone:1 ~len:(16 * mib) with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let ctx = Helpers.ctx s 1 in
+  (* use it (fill the TLB), then give it back *)
+  Kitten.store_addr ctx region.Region.base;
+  (match Pisces.remove_memory p s.Helpers.enclave region with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* a buggy straggler pointer dereference is contained, because the
+     unmap protocol flushed the stale TLB entry *)
+  let _crash =
+    crash_of p (fun () -> Kitten.store_addr ctx region.Region.base)
+  in
+  ()
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "host write, native" `Quick test_wild_host_write_native;
+          Alcotest.test_case "host write, covirt" `Quick test_wild_host_write_covirt;
+          Alcotest.test_case "cross-enclave, native" `Quick
+            test_cross_enclave_write_native;
+          Alcotest.test_case "cross-enclave, covirt" `Quick
+            test_cross_enclave_write_covirt;
+          Alcotest.test_case "phantom region" `Quick test_phantom_region_covirt;
+          Alcotest.test_case "hot-remove then touch" `Quick
+            test_hot_remove_then_touch;
+        ] );
+      ( "war-story",
+        [
+          Alcotest.test_case "stale xemem, native" `Quick test_stale_xemem_native;
+          Alcotest.test_case "stale xemem, covirt" `Quick test_stale_xemem_covirt;
+        ] );
+      ( "ipi",
+        [
+          Alcotest.test_case "errant, native" `Quick test_errant_ipi_native;
+          Alcotest.test_case "errant, covirt dropped" `Quick
+            test_errant_ipi_covirt_dropped;
+          Alcotest.test_case "granted passes" `Quick test_granted_ipi_passes;
+          Alcotest.test_case "revoked dropped" `Quick test_revoked_ipi_dropped;
+        ] );
+      ( "other-hw",
+        [
+          Alcotest.test_case "sensitive MSR" `Quick test_msr_native_vs_covirt;
+          Alcotest.test_case "reset port" `Quick test_reset_port_native_vs_covirt;
+          Alcotest.test_case "double fault" `Quick test_double_fault_native_vs_covirt;
+        ] );
+      ( "modularity",
+        [
+          Alcotest.test_case "ipi-only vs memory fault" `Quick
+            test_ipi_only_config_does_not_stop_memory_faults;
+          Alcotest.test_case "mem-only vs errant IPI" `Quick
+            test_mem_only_config_does_not_stop_errant_ipis;
+        ] );
+    ]

@@ -1,0 +1,167 @@
+(* System-level property tests: after ANY random sequence of resource
+   operations, the controller's virtualization state mirrors the host's
+   authoritative view — the consistency invariant the whole design
+   hangs on. *)
+
+open Covirt_hw
+open Covirt_pisces
+open Covirt_test_util
+
+let mib = Covirt_sim.Units.mib
+
+type op =
+  | Add_mem of int (* zone *)
+  | Remove_last
+  | Grant of int (* vector offset *)
+  | Revoke_last
+  | Attach_seg
+  | Detach_last
+
+let gen_op =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun z -> Add_mem z) (int_range 0 1);
+        return Remove_last;
+        map (fun v -> Grant v) (int_range 0 20);
+        return Revoke_last;
+        return Attach_seg;
+        return Detach_last;
+      ])
+
+(* Apply an op sequence to a freshly booted stack and check invariants
+   after every step. *)
+let run_sequence ops =
+  let s = Helpers.boot_stack ~config:Covirt.Config.mem_ipi () in
+  let p = Helpers.pisces s in
+  let exporter, exporter_kitten = Helpers.second_enclave s () in
+  let xemem = Covirt_hobbes.Hobbes.xemem s.Helpers.hobbes in
+  (* one well-known exported segment to attach/detach *)
+  let seg_name = "inv-seg" in
+  (match Covirt_kitten.Kitten.kalloc exporter_kitten ~bytes:(4 * mib) with
+  | Ok base ->
+      Covirt_xemem.Xemem.export xemem
+        ~exporter:(Covirt_xemem.Name_service.Enclave_export exporter.Enclave.id)
+        ~name:seg_name
+        ~pages:[ Region.make ~base ~len:(4 * mib) ]
+      |> Result.get_ok |> ignore
+  | Error e -> failwith e);
+  let added = ref [] in
+  let granted = ref [] in
+  let attached = ref false in
+  let apply = function
+    | Add_mem zone -> (
+        match Pisces.add_memory p s.Helpers.enclave ~zone ~len:(8 * mib) with
+        | Ok region -> added := region :: !added
+        | Error _ -> () (* out of memory is fine *))
+    | Remove_last -> (
+        match !added with
+        | region :: rest -> (
+            match Pisces.remove_memory p s.Helpers.enclave region with
+            | Ok () -> added := rest
+            | Error e -> failwith e)
+        | [] -> ())
+    | Grant v -> (
+        let vector = 0x40 + v in
+        if not (List.mem vector !granted) then
+          match
+            Pisces.grant_ipi_vector p s.Helpers.enclave ~vector
+              ~peer_core:(Enclave.bsp exporter)
+          with
+          | Ok () -> granted := vector :: !granted
+          | Error e -> failwith e)
+    | Revoke_last -> (
+        match !granted with
+        | vector :: rest -> (
+            match Pisces.revoke_ipi_vector p s.Helpers.enclave ~vector with
+            | Ok () -> granted := rest
+            | Error e -> failwith e)
+        | [] -> ())
+    | Attach_seg ->
+        if not !attached then begin
+          match Covirt_xemem.Xemem.attach xemem s.Helpers.enclave ~name:seg_name with
+          | Ok _ -> attached := true
+          | Error e -> failwith e
+        end
+    | Detach_last ->
+        if !attached then begin
+          match Covirt_xemem.Xemem.detach xemem s.Helpers.enclave ~name:seg_name with
+          | Ok () -> attached := false
+          | Error e -> failwith e
+        end
+  in
+  let instance () =
+    Option.get
+      (Covirt.Controller.instance_for s.Helpers.controller
+         ~enclave_id:s.Helpers.enclave.Enclave.id)
+  in
+  let invariants_hold () =
+    let inst = instance () in
+    let ept_ok =
+      match inst.Covirt.Controller.ept_mgr with
+      | None -> false
+      | Some mgr ->
+          (* the EPT's mapped set is exactly the enclave's accessible set *)
+          Region.Set.equal
+            (Ept.regions (Covirt.Ept_manager.ept mgr))
+            (Enclave.accessible s.Helpers.enclave)
+    in
+    let whitelist_ok =
+      let grants = Covirt.Whitelist.grants inst.Covirt.Controller.whitelist in
+      List.for_all (fun v -> List.mem_assoc v grants) !granted
+      && List.for_all (fun (v, _) -> List.mem v !granted) grants
+    in
+    let queues_drained =
+      List.for_all
+        (fun (_, hv) -> Covirt.Command.pending (Covirt.Hypervisor.queue hv) = 0)
+        inst.Covirt.Controller.hypervisors
+    in
+    ept_ok && whitelist_ok && queues_drained
+  in
+  List.for_all (fun op -> apply op; invariants_hold ()) ops
+
+let prop_controller_mirrors_host =
+  Helpers.qtest ~count:60 "EPT/whitelist mirror the host view"
+    QCheck2.Gen.(list_size (int_range 1 25) gen_op)
+    run_sequence
+
+(* After the sequence the enclave must still work and be protected. *)
+let prop_still_functional =
+  Helpers.qtest ~count:30 "enclave alive and protected after churn"
+    QCheck2.Gen.(list_size (int_range 1 15) gen_op)
+    (fun ops ->
+      let s = Helpers.boot_stack ~config:Covirt.Config.mem () in
+      let p = Helpers.pisces s in
+      let added = ref [] in
+      List.iter
+        (fun op ->
+          match op with
+          | Add_mem zone -> (
+              match Pisces.add_memory p s.Helpers.enclave ~zone ~len:(8 * mib) with
+              | Ok r -> added := r :: !added
+              | Error _ -> ())
+          | Remove_last -> (
+              match !added with
+              | r :: rest ->
+                  (match Pisces.remove_memory p s.Helpers.enclave r with
+                  | Ok () -> added := rest
+                  | Error _ -> ())
+              | [] -> ())
+          | Grant _ | Revoke_last | Attach_seg | Detach_last -> ())
+        ops;
+      (* a legitimate access works *)
+      let ctx = Helpers.ctx s 1 in
+      (match Covirt_kitten.Kitten.kalloc s.Helpers.kitten ~bytes:(1 * mib) with
+      | Ok addr -> Covirt_kitten.Kitten.store_addr ctx addr
+      | Error _ -> ());
+      (* a wild access is still contained *)
+      match Pisces.run_guarded p (fun () -> Covirt_kitten.Kitten.store_addr ctx 0x5000) with
+      | Error _ -> true
+      | Ok () -> false)
+
+let () =
+  Alcotest.run "invariants"
+    [
+      ( "controller",
+        [ prop_controller_mirrors_host; prop_still_functional ] );
+    ]

@@ -1,0 +1,145 @@
+(* IHK/McKernel tests: the third co-kernel architecture under the same
+   protection layer (the paper's generalizability claim), plus the
+   proxy-process delegation semantics themselves. *)
+
+open Covirt_hw
+open Covirt_pisces
+open Covirt_test_util
+
+let mib = Covirt_sim.Units.mib
+
+let boot_mckernel ~config () =
+  let machine = Helpers.small_machine () in
+  let hobbes = Covirt_hobbes.Hobbes.create machine ~host_core:0 in
+  let controller = Covirt.enable (Covirt_hobbes.Hobbes.pisces hobbes) ~config in
+  let pisces = Covirt_hobbes.Hobbes.pisces hobbes in
+  let kernel, get = Covirt_mckernel.Mckernel.make_kernel () in
+  let enclave =
+    Pisces.create_enclave pisces ~name:"mck" ~cores:[ 1; 2 ]
+      ~mem:[ (0, 256 * mib) ] ()
+    |> Result.get_ok
+  in
+  Pisces.boot pisces enclave ~kernel |> Result.get_ok;
+  (machine, pisces, controller, enclave, Option.get (get ()))
+
+let test_boot_both_ways () =
+  let machine, _, _, enclave, _ = boot_mckernel ~config:Covirt.Config.native () in
+  Alcotest.(check bool) "running" true (Enclave.is_running enclave);
+  Alcotest.(check bool) "host mode" true
+    (not (Cpu.in_guest (Machine.cpu machine 1)));
+  let machine2, _, _, enclave2, _ = boot_mckernel ~config:Covirt.Config.mem_ipi () in
+  Alcotest.(check bool) "running protected" true (Enclave.is_running enclave2);
+  Alcotest.(check bool) "guest mode" true (Cpu.in_guest (Machine.cpu machine2 1))
+
+let test_delegation_roundtrip () =
+  let _, _, _, _, mck = boot_mckernel ~config:Covirt.Config.mem () in
+  let buffer =
+    Covirt_mckernel.Mckernel.alloc_app_memory mck ~bytes:(1 * mib)
+    |> Result.get_ok
+  in
+  let ret =
+    Covirt_mckernel.Mckernel.syscall mck ~core:1 ~number:1 ~buffer:(Some buffer)
+  in
+  Alcotest.(check int) "proxy serviced against the mirror" (1 * mib) ret;
+  Alcotest.(check int) "delegated" 1
+    (Covirt_mckernel.Mckernel.syscalls_delegated mck);
+  Alcotest.(check int) "proxy counted" 1
+    (Covirt_mckernel.Proxy.delegations (Covirt_mckernel.Mckernel.proxy mck))
+
+let test_delegation_charges_caller () =
+  let machine, _, _, _, mck = boot_mckernel ~config:Covirt.Config.mem () in
+  let buffer =
+    Covirt_mckernel.Mckernel.alloc_app_memory mck ~bytes:(4 * mib)
+    |> Result.get_ok
+  in
+  let cpu = Machine.cpu machine 1 in
+  let before = Cpu.rdtsc cpu in
+  ignore
+    (Covirt_mckernel.Mckernel.syscall mck ~core:1 ~number:0 ~buffer:(Some buffer));
+  (* the caller blocked on the proxy's host-side work *)
+  Alcotest.(check bool) "blocked time charged" true
+    (Cpu.rdtsc cpu - before > 2_000)
+
+let test_mirror_desync_efault () =
+  let _, _, _, _, mck = boot_mckernel ~config:Covirt.Config.mem () in
+  let buffer =
+    Covirt_mckernel.Mckernel.alloc_app_memory mck ~bytes:(1 * mib)
+    |> Result.get_ok
+  in
+  (* the replication bug: the mirror loses the region *)
+  Covirt_mckernel.Mckernel.desync_mirror mck buffer;
+  let ret =
+    Covirt_mckernel.Mckernel.syscall mck ~core:1 ~number:1 ~buffer:(Some buffer)
+  in
+  Alcotest.(check int) "EFAULT surfaces" (-14) ret;
+  Alcotest.(check int) "proxy fault counted" 1
+    (Covirt_mckernel.Proxy.faults (Covirt_mckernel.Mckernel.proxy mck))
+
+let test_wild_write_native_vs_covirt () =
+  let _, _, _, _, mck = boot_mckernel ~config:Covirt.Config.native () in
+  Helpers.expect_panic "native wild write" (fun () ->
+      Covirt_mckernel.Mckernel.wild_write mck ~core:1 0x3000);
+  let machine2, pisces2, controller2, enclave2, mck2 =
+    boot_mckernel ~config:Covirt.Config.mem ()
+  in
+  (match
+     Pisces.run_guarded pisces2 (fun () ->
+         Covirt_mckernel.Mckernel.wild_write mck2 ~core:1 0x3000)
+   with
+  | Error crash ->
+      Alcotest.(check int) "contained" enclave2.Enclave.id
+        crash.Pisces.enclave_id
+  | Ok () -> Alcotest.fail "not contained");
+  Alcotest.(check bool) "node alive" true (Machine.panicked machine2 = None);
+  Alcotest.(check bool) "report collected" true
+    (Covirt.reports controller2 ~enclave_id:enclave2.Enclave.id <> [])
+
+let test_memory_hotplug_sync () =
+  let _, pisces, _, enclave, mck = boot_mckernel ~config:Covirt.Config.mem () in
+  let region =
+    Pisces.add_memory pisces enclave ~zone:1 ~len:(16 * mib) |> Result.get_ok
+  in
+  Alcotest.(check bool) "believed" true
+    (Region.Set.mem (Covirt_mckernel.Mckernel.memmap mck) region.Region.base);
+  Pisces.remove_memory pisces enclave region |> Result.get_ok;
+  Alcotest.(check bool) "revoked" true
+    (not (Region.Set.mem (Covirt_mckernel.Mckernel.memmap mck) region.Region.base))
+
+let test_delegation_costlier_than_kitten_local () =
+  (* the integration-axis tradeoff: a McKernel getpid ships to the
+     host proxy; a Kitten getpid stays local *)
+  let _, _, _, _, mck = boot_mckernel ~config:Covirt.Config.native () in
+  let machine = Covirt_mckernel.Mckernel.context_cpu mck ~core:1 in
+  let before = Cpu.rdtsc machine in
+  ignore (Covirt_mckernel.Mckernel.syscall mck ~core:1 ~number:39 ~buffer:None);
+  let mck_cost = Cpu.rdtsc machine - before in
+  let s = Helpers.boot_stack ~config:Covirt.Config.native () in
+  let ctx = Helpers.ctx s 1 in
+  let cpu = ctx.Covirt_kitten.Kitten.cpu in
+  let before2 = Cpu.rdtsc cpu in
+  ignore
+    (Covirt_kitten.Kitten.syscall ctx ~number:Covirt_kitten.Syscall.nr_getpid
+       ~arg:0);
+  let kitten_cost = Cpu.rdtsc cpu - before2 in
+  Alcotest.(check bool) "delegation costs more than local" true
+    (mck_cost > 3 * kitten_cost)
+
+let () =
+  Alcotest.run "mckernel"
+    [
+      ( "mckernel",
+        [
+          Alcotest.test_case "boots both ways" `Quick test_boot_both_ways;
+          Alcotest.test_case "delegation roundtrip" `Quick
+            test_delegation_roundtrip;
+          Alcotest.test_case "delegation charges caller" `Quick
+            test_delegation_charges_caller;
+          Alcotest.test_case "mirror desync -> EFAULT" `Quick
+            test_mirror_desync_efault;
+          Alcotest.test_case "wild write native vs covirt" `Quick
+            test_wild_write_native_vs_covirt;
+          Alcotest.test_case "memory hotplug sync" `Quick test_memory_hotplug_sync;
+          Alcotest.test_case "delegation vs local cost" `Quick
+            test_delegation_costlier_than_kitten_local;
+        ] );
+    ]

@@ -1,0 +1,104 @@
+(* mOS (embedded LWK) tests: the maximal-integration end of the
+   architecture axis, still protected by the unmodified controller. *)
+
+open Covirt_hw
+open Covirt_pisces
+open Covirt_test_util
+
+let mib = Covirt_sim.Units.mib
+
+let boot_mos ~config () =
+  let machine = Helpers.small_machine () in
+  let hobbes = Covirt_hobbes.Hobbes.create machine ~host_core:0 in
+  let controller = Covirt.enable (Covirt_hobbes.Hobbes.pisces hobbes) ~config in
+  let pisces = Covirt_hobbes.Hobbes.pisces hobbes in
+  (* direct host services: mOS calls them, no channel *)
+  let host_syscall ~number ~arg = number + arg in
+  let kernel, get = Covirt_mos.Mos.make_kernel ~host_syscall () in
+  let enclave =
+    Pisces.create_enclave pisces ~name:"mos" ~cores:[ 1 ] ~mem:[ (0, 256 * mib) ] ()
+    |> Result.get_ok
+  in
+  Pisces.boot pisces enclave ~kernel |> Result.get_ok;
+  (machine, pisces, controller, enclave, Option.get (get ()))
+
+let test_boot_and_direct_syscalls () =
+  let machine, _, _, enclave, mos = boot_mos ~config:Covirt.Config.mem_ipi () in
+  Alcotest.(check bool) "running protected" true (Enclave.is_running enclave);
+  Alcotest.(check bool) "guest mode" true (Cpu.in_guest (Machine.cpu machine 1));
+  let ret = Covirt_mos.Mos.syscall mos ~core:1 ~number:40 ~arg:2 in
+  Alcotest.(check int) "direct dispatch" 42 ret;
+  Alcotest.(check int) "counted" 1 (Covirt_mos.Mos.syscalls_direct mos);
+  (* direct integration is the cheapest syscall path of all four
+     architectures *)
+  let cpu = Machine.cpu machine 1 in
+  let t0 = Cpu.rdtsc cpu in
+  ignore (Covirt_mos.Mos.syscall mos ~core:1 ~number:39 ~arg:0 : int);
+  Alcotest.(check bool) "cheaper than a channel hop" true
+    (Cpu.rdtsc cpu - t0 < 1000)
+
+let test_shared_direct_map_reaches_everything_natively () =
+  let _, _, _, _, mos = boot_mos ~config:Covirt.Config.native () in
+  (* mOS's own paging never stops it: the map is the host's *)
+  Helpers.expect_panic "native wild write kills the node" (fun () ->
+      Covirt_mos.Mos.wild_write mos ~core:1 0x3000)
+
+let test_covirt_contains_the_embedded_lwk () =
+  let machine, pisces, controller, enclave, mos =
+    boot_mos ~config:Covirt.Config.mem ()
+  in
+  (match
+     Pisces.run_guarded pisces (fun () ->
+         Covirt_mos.Mos.wild_write mos ~core:1 0x3000)
+   with
+  | Error crash ->
+      Alcotest.(check int) "contained" enclave.Enclave.id crash.Pisces.enclave_id
+  | Ok () -> Alcotest.fail "not contained");
+  Alcotest.(check bool) "node alive" true (Machine.panicked machine = None);
+  Alcotest.(check bool) "report" true
+    (Covirt.reports controller ~enclave_id:enclave.Enclave.id <> [])
+
+let test_shared_state_corruption_contained () =
+  (* the mOS-specific desync: shared resource state scribbled so the
+     LWK believes it owns foreign memory — no protocol violation ever
+     happened, and only the EPT notices *)
+  let _, pisces, _, enclave, mos = boot_mos ~config:Covirt.Config.mem () in
+  let foreign = Region.make ~base:(1024 * mib) ~len:(2 * mib) in
+  Covirt_mos.Mos.corrupt_shared_state mos foreign;
+  Alcotest.(check bool) "LWK believes the lie" true
+    (Covirt_mos.Mos.believes mos foreign.Region.base);
+  match
+    Pisces.run_guarded pisces (fun () ->
+        Covirt_mos.Mos.wild_write mos ~core:1 foreign.Region.base)
+  with
+  | Error crash ->
+      Alcotest.(check int) "contained" enclave.Enclave.id crash.Pisces.enclave_id
+  | Ok () -> Alcotest.fail "shared-state lie not contained"
+
+let test_memory_sync_via_shared_state () =
+  let _, pisces, _, enclave, mos = boot_mos ~config:Covirt.Config.mem () in
+  let region =
+    Pisces.add_memory pisces enclave ~zone:1 ~len:(16 * mib) |> Result.get_ok
+  in
+  Alcotest.(check bool) "believed" true
+    (Covirt_mos.Mos.believes mos region.Region.base);
+  Pisces.remove_memory pisces enclave region |> Result.get_ok;
+  Alcotest.(check bool) "revoked" true
+    (not (Covirt_mos.Mos.believes mos region.Region.base))
+
+let () =
+  Alcotest.run "mos"
+    [
+      ( "mos",
+        [
+          Alcotest.test_case "boot and direct syscalls" `Quick
+            test_boot_and_direct_syscalls;
+          Alcotest.test_case "shared direct map, native" `Quick
+            test_shared_direct_map_reaches_everything_natively;
+          Alcotest.test_case "covirt contains" `Quick
+            test_covirt_contains_the_embedded_lwk;
+          Alcotest.test_case "shared-state corruption" `Quick
+            test_shared_state_corruption_contained;
+          Alcotest.test_case "memory sync" `Quick test_memory_sync_via_shared_state;
+        ] );
+    ]

@@ -1,0 +1,120 @@
+(* Nautilus aerokernel tests: Covirt generalizes across co-kernel
+   architectures (the paper's porting claim). *)
+
+open Covirt_hw
+open Covirt_pisces
+open Covirt_test_util
+
+let mib = Covirt_sim.Units.mib
+
+let boot_nautilus ~config () =
+  let machine = Helpers.small_machine () in
+  let hobbes = Covirt_hobbes.Hobbes.create machine ~host_core:0 in
+  let controller = Covirt.enable (Covirt_hobbes.Hobbes.pisces hobbes) ~config in
+  let pisces = Covirt_hobbes.Hobbes.pisces hobbes in
+  let kernel, get = Covirt_nautilus.Nautilus.make_kernel () in
+  match
+    Pisces.create_enclave pisces ~name:"naut" ~cores:[ 1 ] ~mem:[ (0, 256 * mib) ] ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok enclave -> (
+      match Pisces.boot pisces enclave ~kernel with
+      | Error e -> Alcotest.fail e
+      | Ok () -> (
+          match get () with
+          | None -> Alcotest.fail "nautilus did not initialize"
+          | Some naut -> (machine, pisces, controller, enclave, naut)))
+
+let test_boots_natively_and_under_covirt () =
+  let machine, _, _, enclave, _ = boot_nautilus ~config:Covirt.Config.native () in
+  Alcotest.(check bool) "running" true (Enclave.is_running enclave);
+  Alcotest.(check bool) "native: host mode" true
+    (not (Cpu.in_guest (Machine.cpu machine 1)));
+  let machine2, _, _, enclave2, _ = boot_nautilus ~config:Covirt.Config.full () in
+  Alcotest.(check bool) "running under covirt" true (Enclave.is_running enclave2);
+  Alcotest.(check bool) "guest mode" true (Cpu.in_guest (Machine.cpu machine2 1))
+
+let test_precise_page_tables () =
+  let _, _, _, enclave, naut = boot_nautilus ~config:Covirt.Config.native () in
+  let pt = Covirt_nautilus.Nautilus.page_table naut in
+  let owned =
+    match Region.Set.to_list enclave.Enclave.memory with
+    | r :: _ -> r
+    | [] -> Alcotest.fail "no memory"
+  in
+  Alcotest.(check bool) "maps its own memory" true
+    (Covirt_hw.Guest_pt.maps pt owned.Region.base);
+  Alcotest.(check bool) "does not map host memory" false
+    (Covirt_hw.Guest_pt.maps pt 0x3000)
+
+let test_own_paging_stops_simple_wild_writes () =
+  (* unlike Kitten's direct map, Nautilus's precise tables page-fault
+     on a plain wild access — its own bug, its own fault *)
+  let _, _, _, _, naut = boot_nautilus ~config:Covirt.Config.native () in
+  match Covirt_nautilus.Nautilus.wild_write naut ~core:1 0x3000 with
+  | exception Machine.Guest_page_fault { gva; _ } ->
+      Alcotest.(check int) "faulting address" 0x3000 gva
+  | () -> Alcotest.fail "expected a kernel page fault"
+
+let test_porting_bug_native_escapes () =
+  (* the porting-bug class: the mapping code itself maps a region the
+     enclave does not own; the kernel's paging is no defence *)
+  let machine, _, _, _, naut = boot_nautilus ~config:Covirt.Config.native () in
+  Covirt_nautilus.Nautilus.map_extra naut (Region.make ~base:0 ~len:(4 * mib));
+  Helpers.expect_panic "native port bug kills the node" (fun () ->
+      Covirt_nautilus.Nautilus.wild_write naut ~core:1 0x3000);
+  Alcotest.(check bool) "panicked" true (Machine.panicked machine <> None)
+
+let test_porting_bug_covirt_contained () =
+  let machine, pisces, controller, enclave, naut =
+    boot_nautilus ~config:Covirt.Config.mem ()
+  in
+  Covirt_nautilus.Nautilus.map_extra naut (Region.make ~base:0 ~len:(4 * mib));
+  (match
+     Pisces.run_guarded pisces (fun () ->
+         Covirt_nautilus.Nautilus.wild_write naut ~core:1 0x3000)
+   with
+  | Ok () -> Alcotest.fail "not contained"
+  | Error crash ->
+      Alcotest.(check int) "nautilus terminated" enclave.Enclave.id
+        crash.Pisces.enclave_id);
+  Alcotest.(check bool) "node alive" true (Machine.panicked machine = None);
+  Alcotest.(check bool) "report captured" true
+    (Covirt.reports controller ~enclave_id:enclave.Enclave.id <> [])
+
+let test_threads_and_memory_sync () =
+  let machine, pisces, _, enclave, naut =
+    boot_nautilus ~config:Covirt.Config.mem ()
+  in
+  ignore machine;
+  let count = ref 0 in
+  Covirt_nautilus.Nautilus.spawn_thread naut ~core:1 (fun _cpu -> incr count);
+  Alcotest.(check int) "thread ran" 1 !count;
+  Alcotest.(check int) "counted" 1 (Covirt_nautilus.Nautilus.threads_run naut);
+  (* hot-added memory becomes mapped in its precise tables *)
+  match Pisces.add_memory pisces enclave ~zone:1 ~len:(16 * mib) with
+  | Error e -> Alcotest.fail e
+  | Ok region ->
+      Alcotest.(check bool) "new memory mapped" true
+        (Covirt_hw.Guest_pt.maps
+           (Covirt_nautilus.Nautilus.page_table naut)
+           region.Region.base)
+
+let () =
+  Alcotest.run "nautilus"
+    [
+      ( "nautilus",
+        [
+          Alcotest.test_case "boots both ways" `Quick
+            test_boots_natively_and_under_covirt;
+          Alcotest.test_case "precise page tables" `Quick test_precise_page_tables;
+          Alcotest.test_case "own paging stops simple bugs" `Quick
+            test_own_paging_stops_simple_wild_writes;
+          Alcotest.test_case "porting bug, native" `Quick
+            test_porting_bug_native_escapes;
+          Alcotest.test_case "porting bug, covirt" `Quick
+            test_porting_bug_covirt_contained;
+          Alcotest.test_case "threads and memory sync" `Quick
+            test_threads_and_memory_sync;
+        ] );
+    ]

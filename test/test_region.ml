@@ -1,0 +1,137 @@
+(* Region and Region.Set: units plus a property check against a naive
+   byte-level reference model. *)
+
+open Covirt_hw
+
+let r ~base ~len = Region.make ~base ~len
+
+let test_make_validation () =
+  Alcotest.check_raises "len 0" (Invalid_argument "Region.make: len <= 0")
+    (fun () -> ignore (r ~base:0 ~len:0));
+  Alcotest.check_raises "neg base" (Invalid_argument "Region.make: negative base")
+    (fun () -> ignore (r ~base:(-1) ~len:4))
+
+let test_contains () =
+  let reg = r ~base:100 ~len:50 in
+  Alcotest.(check bool) "base in" true (Region.contains reg 100);
+  Alcotest.(check bool) "last in" true (Region.contains reg 149);
+  Alcotest.(check bool) "limit out" false (Region.contains reg 150);
+  Alcotest.(check bool) "range in" true
+    (Region.contains_range reg ~base:110 ~len:40);
+  Alcotest.(check bool) "range over" false
+    (Region.contains_range reg ~base:110 ~len:41)
+
+let test_overlaps () =
+  let a = r ~base:0 ~len:10 and b = r ~base:9 ~len:5 and c = r ~base:10 ~len:5 in
+  Alcotest.(check bool) "touch overlap" true (Region.overlaps a b);
+  Alcotest.(check bool) "adjacent no overlap" false (Region.overlaps a c)
+
+let test_set_coalescing () =
+  let s = Region.Set.of_list [ r ~base:0 ~len:10; r ~base:10 ~len:10 ] in
+  Alcotest.(check int) "adjacent coalesced" 1 (Region.Set.cardinal s);
+  Alcotest.(check int) "total" 20 (Region.Set.total_bytes s);
+  let s2 = Region.Set.of_list [ r ~base:0 ~len:10; r ~base:5 ~len:10 ] in
+  Alcotest.(check int) "overlap unioned" 1 (Region.Set.cardinal s2);
+  Alcotest.(check int) "union total" 15 (Region.Set.total_bytes s2)
+
+let test_set_remove_hole () =
+  let s = Region.Set.of_list [ r ~base:0 ~len:100 ] in
+  let s = Region.Set.remove s (r ~base:40 ~len:20) in
+  Alcotest.(check int) "two pieces" 2 (Region.Set.cardinal s);
+  Alcotest.(check bool) "left" true (Region.Set.mem s 39);
+  Alcotest.(check bool) "hole" false (Region.Set.mem s 40);
+  Alcotest.(check bool) "hole end" false (Region.Set.mem s 59);
+  Alcotest.(check bool) "right" true (Region.Set.mem s 60);
+  (* removing unmapped space is a no-op *)
+  let s2 = Region.Set.remove s (r ~base:1000 ~len:10) in
+  Alcotest.(check bool) "noop remove" true (Region.Set.equal s s2)
+
+let test_set_mem_range_across_coalesced () =
+  let s = Region.Set.of_list [ r ~base:0 ~len:10; r ~base:10 ~len:10 ] in
+  Alcotest.(check bool) "spans join" true (Region.Set.mem_range s ~base:5 ~len:10);
+  let gap = Region.Set.of_list [ r ~base:0 ~len:10; r ~base:20 ~len:10 ] in
+  Alcotest.(check bool) "gap fails" false
+    (Region.Set.mem_range gap ~base:5 ~len:20)
+
+let test_set_ops () =
+  let a = Region.Set.of_list [ r ~base:0 ~len:100 ] in
+  let b = Region.Set.of_list [ r ~base:50 ~len:100 ] in
+  Alcotest.(check int) "inter" 50
+    (Region.Set.total_bytes (Region.Set.inter a b));
+  Alcotest.(check int) "union" 150
+    (Region.Set.total_bytes (Region.Set.union a b));
+  Alcotest.(check int) "diff" 50
+    (Region.Set.total_bytes (Region.Set.diff a b))
+
+(* Reference model: a set of byte addresses (scaled down). *)
+module Ref = Set.Make (Int)
+
+let ref_of_ops ops =
+  List.fold_left
+    (fun acc (op, base, len) ->
+      let bytes = List.init len (fun i -> base + i) in
+      match op with
+      | `Add -> List.fold_left (fun s x -> Ref.add x s) acc bytes
+      | `Remove -> List.fold_left (fun s x -> Ref.remove x s) acc bytes)
+    Ref.empty ops
+
+let set_of_ops ops =
+  List.fold_left
+    (fun acc (op, base, len) ->
+      let region = r ~base ~len in
+      match op with
+      | `Add -> Region.Set.add acc region
+      | `Remove -> Region.Set.remove acc region)
+    Region.Set.empty ops
+
+let gen_ops =
+  QCheck2.Gen.(
+    list_size (int_range 0 30)
+      (triple
+         (oneofl [ `Add; `Remove ])
+         (int_range 0 200) (int_range 1 50)))
+
+let prop_set_matches_reference =
+  Covirt_test_util.Helpers.qtest "Region.Set matches byte-set model" gen_ops
+    (fun ops ->
+      let reference = ref_of_ops ops in
+      let set = set_of_ops ops in
+      let ok_bytes =
+        List.for_all
+          (fun a -> Region.Set.mem set a = Ref.mem a reference)
+          (List.init 260 Fun.id)
+      in
+      ok_bytes && Region.Set.total_bytes set = Ref.cardinal reference)
+
+let prop_set_normalized =
+  Covirt_test_util.Helpers.qtest "Region.Set stays sorted and disjoint" gen_ops
+    (fun ops ->
+      let set = set_of_ops ops in
+      let rec check = function
+        | [] | [ _ ] -> true
+        | a :: (b :: _ as rest) ->
+            (* strictly increasing with gaps (coalesced) *)
+            Region.limit a < b.Region.base && check rest
+      in
+      check (Region.Set.to_list set))
+
+let () =
+  Alcotest.run "region"
+    [
+      ( "region",
+        [
+          Alcotest.test_case "validation" `Quick test_make_validation;
+          Alcotest.test_case "contains" `Quick test_contains;
+          Alcotest.test_case "overlaps" `Quick test_overlaps;
+        ] );
+      ( "set",
+        [
+          Alcotest.test_case "coalescing" `Quick test_set_coalescing;
+          Alcotest.test_case "remove hole" `Quick test_set_remove_hole;
+          Alcotest.test_case "mem_range across join" `Quick
+            test_set_mem_range_across_coalesced;
+          Alcotest.test_case "inter/union/diff" `Quick test_set_ops;
+          prop_set_matches_reference;
+          prop_set_normalized;
+        ] );
+    ]

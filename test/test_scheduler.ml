@@ -1,0 +1,93 @@
+(* Kitten process/scheduler tests. *)
+
+open Covirt_hw
+open Covirt_kitten
+open Covirt_test_util
+
+let stack () = Helpers.boot_stack ~config:Covirt.Config.native ()
+
+let test_run_to_completion () =
+  let s = stack () in
+  let sched = Scheduler.create () in
+  let order = ref [] in
+  let spawn name code =
+    ignore
+      (Scheduler.spawn sched ~name (fun _ctx ->
+           order := name :: !order;
+           code))
+  in
+  spawn "a" 0;
+  spawn "b" 1;
+  spawn "c" 2;
+  Alcotest.(check int) "queued" 3 (Scheduler.run_queue_length sched);
+  let ran = Scheduler.run sched (Helpers.ctx s 1) in
+  Alcotest.(check int) "all ran" 3 ran;
+  Alcotest.(check (list string)) "FIFO order" [ "a"; "b"; "c" ] (List.rev !order);
+  Alcotest.(check int) "two switches" 2 (Scheduler.context_switches sched);
+  Alcotest.(check int) "queue drained" 0 (Scheduler.run_queue_length sched)
+
+let test_exit_codes_and_accounting () =
+  let s = stack () in
+  let sched = Scheduler.create () in
+  let heavy =
+    Scheduler.spawn sched ~name:"heavy" (fun ctx ->
+        Cpu.charge ctx.Kitten.cpu 1_000_000;
+        42)
+  in
+  let light = Scheduler.spawn sched ~name:"light" (fun _ -> 7) in
+  ignore (Scheduler.run sched (Helpers.ctx s 1));
+  Alcotest.(check (option int)) "heavy code" (Some 42) (Process.exit_code heavy);
+  Alcotest.(check (option int)) "light code" (Some 7) (Process.exit_code light);
+  Alcotest.(check bool) "heavy charged more" true
+    (heavy.Process.cpu_cycles > light.Process.cpu_cycles);
+  Alcotest.(check bool) "heavy charged its work" true
+    (heavy.Process.cpu_cycles >= 1_000_000)
+
+let test_pids_sequential () =
+  let s = stack () in
+  ignore s;
+  let sched = Scheduler.create () in
+  let a = Scheduler.spawn sched ~name:"a" (fun _ -> 0) in
+  let b = Scheduler.spawn sched ~name:"b" (fun _ -> 0) in
+  Alcotest.(check int) "pid 1" 1 a.Process.pid;
+  Alcotest.(check int) "pid 2" 2 b.Process.pid;
+  Alcotest.(check int) "listed" 2 (List.length (Scheduler.processes sched))
+
+let test_ticks_accounted_per_process () =
+  (* a long-running process observes timer ticks *)
+  let s = stack () in
+  let sched = Scheduler.create () in
+  let ticks_before = (Kitten.stats s.Helpers.kitten).Kitten.ticks in
+  ignore
+    (Scheduler.spawn sched ~name:"spin" (fun ctx ->
+         Cpu.charge ctx.Kitten.cpu
+           (Covirt_sim.Units.seconds_to_cycles ~ghz:1.7 1.0);
+         0));
+  ignore (Scheduler.run sched (Helpers.ctx s 1));
+  let ticks = (Kitten.stats s.Helpers.kitten).Kitten.ticks - ticks_before in
+  Alcotest.(check bool) "ticks during run" true (ticks >= 9 && ticks <= 11)
+
+let test_contained_crash_propagates () =
+  let s = Helpers.boot_stack ~config:Covirt.Config.mem () in
+  let sched = Scheduler.create () in
+  ignore
+    (Scheduler.spawn sched ~name:"buggy" (fun ctx ->
+         Kitten.store_addr ctx 0x4000;
+         0));
+  Helpers.expect_crash "crash propagates" (fun () ->
+      ignore (Scheduler.run sched (Helpers.ctx s 1)))
+
+let () =
+  Alcotest.run "scheduler"
+    [
+      ( "scheduler",
+        [
+          Alcotest.test_case "run to completion" `Quick test_run_to_completion;
+          Alcotest.test_case "exit codes" `Quick test_exit_codes_and_accounting;
+          Alcotest.test_case "pids" `Quick test_pids_sequential;
+          Alcotest.test_case "ticks per process" `Quick
+            test_ticks_accounted_per_process;
+          Alcotest.test_case "contained crash" `Quick
+            test_contained_crash_propagates;
+        ] );
+    ]

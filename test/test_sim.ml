@@ -1,0 +1,227 @@
+(* Unit and property tests for the simulation substrate. *)
+
+open Covirt_sim
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:1 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  Alcotest.(check bool) "different seeds differ" true
+    (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_split_independence () =
+  let parent = Rng.create ~seed:5 in
+  let child = Rng.split parent in
+  let child_vals = List.init 10 (fun _ -> Rng.bits64 child) in
+  (* Drawing more from the parent must not change what an identically
+     derived child would have produced. *)
+  let parent2 = Rng.create ~seed:5 in
+  let child2 = Rng.split parent2 in
+  let child2_vals = List.init 10 (fun _ -> Rng.bits64 child2) in
+  Alcotest.(check (list int64)) "split reproducible" child_vals child2_vals
+
+let test_rng_int_bounds () =
+  let rng = Rng.create ~seed:9 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng ~bound:17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_float_range () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create ~seed:11 in
+  let n = 20_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.exponential rng ~mean:2.0
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean close to 2" true (Float.abs (mean -. 2.0) < 0.1)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create ~seed:13 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 4.0 s.Stats.max;
+  Alcotest.(check (float 1e-9)) "median" 2.5 s.Stats.median;
+  Alcotest.(check (float 1e-6)) "stddev" 1.2909944487 s.Stats.stddev
+
+let test_stats_percentile () =
+  let a = [| 10.0; 20.0; 30.0; 40.0; 50.0 |] in
+  Alcotest.(check (float 1e-9)) "p0" 10.0 (Stats.percentile a ~p:0.0);
+  Alcotest.(check (float 1e-9)) "p50" 30.0 (Stats.percentile a ~p:50.0);
+  Alcotest.(check (float 1e-9)) "p100" 50.0 (Stats.percentile a ~p:100.0);
+  Alcotest.(check (float 1e-9)) "p25" 20.0 (Stats.percentile a ~p:25.0)
+
+let test_stats_errors () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty sample array")
+    (fun () -> ignore (Stats.mean [||]));
+  Alcotest.check_raises "bad percentile"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile [| 1.0 |] ~p:101.0))
+
+let test_stats_overheads () =
+  Alcotest.(check (float 1e-9)) "overhead" 0.1
+    (Stats.relative_overhead ~baseline:10.0 ~measured:11.0);
+  Alcotest.(check (float 1e-9)) "rate slowdown" 0.1
+    (Stats.relative_slowdown_of_rates ~baseline:10.0 ~measured:9.0)
+
+let test_histogram_log_buckets () =
+  let h = Histogram.create_log ~base:2.0 ~lo:1.0 ~hi:16.0 in
+  List.iter (Histogram.add h) [ 1.5; 3.0; 3.9; 8.0; 100.0; 0.5 ];
+  Alcotest.(check int) "count" 6 (Histogram.count h);
+  let buckets = Histogram.buckets h in
+  (* underflow, [1,2), [2,4) x2, [8,16), overflow *)
+  let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 buckets in
+  Alcotest.(check int) "bucket total" 6 total;
+  let in_2_4 =
+    List.exists (fun (lo, hi, c) -> lo = 2.0 && hi = 4.0 && c = 2) buckets
+  in
+  Alcotest.(check bool) "two in [2,4)" true in_2_4
+
+let test_histogram_merge () =
+  let mk () = Histogram.create_linear ~bucket_width:1.0 ~lo:0.0 ~hi:10.0 in
+  let a = mk () and b = mk () in
+  Histogram.add a 1.5;
+  Histogram.add b 1.7;
+  Histogram.add b 9.9;
+  Histogram.merge_into ~dst:a b;
+  Alcotest.(check int) "merged count" 3 (Histogram.count a);
+  let mismatched = Histogram.create_linear ~bucket_width:2.0 ~lo:0.0 ~hi:10.0 in
+  Alcotest.check_raises "geometry mismatch"
+    (Invalid_argument "Histogram.merge_into: geometry mismatch") (fun () ->
+      Histogram.merge_into ~dst:a mismatched)
+
+let test_histogram_validation () =
+  Alcotest.check_raises "bad base" (Invalid_argument "Histogram.create_log: base <= 1")
+    (fun () -> ignore (Histogram.create_log ~base:1.0 ~lo:1.0 ~hi:2.0));
+  Alcotest.check_raises "bad range" (Invalid_argument "Histogram.create_log: bad range")
+    (fun () -> ignore (Histogram.create_log ~base:2.0 ~lo:2.0 ~hi:1.0))
+
+let test_units_round_trip () =
+  let ghz = 1.7 in
+  let cycles = 1_700_000 in
+  Alcotest.(check (float 1e-9)) "to ms" 0.001
+    (Units.cycles_to_seconds ~ghz cycles);
+  Alcotest.(check int) "round trip" cycles
+    (Units.seconds_to_cycles ~ghz (Units.cycles_to_seconds ~ghz cycles))
+
+let test_units_pp_bytes () =
+  Alcotest.(check string) "gib" "14.0GiB"
+    (Format.asprintf "%a" Units.pp_bytes (14 * Units.gib));
+  Alcotest.(check string) "bytes" "512B" (Format.asprintf "%a" Units.pp_bytes 512)
+
+let test_table_render () =
+  let t = Covirt_sim.Table.create ~columns:[ "a"; "bb" ] in
+  Covirt_sim.Table.add_row t [ "1"; "2" ];
+  Covirt_sim.Table.add_row t [ "333" ];
+  let s = Covirt_sim.Table.render t in
+  Alcotest.(check bool) "header present" true
+    (String.length s > 0 && String.sub s 0 1 = "a");
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Table.add_row: too many cells") (fun () ->
+      Covirt_sim.Table.add_row t [ "1"; "2"; "3" ])
+
+let test_table_tsv () =
+  let t = Covirt_sim.Table.create ~columns:[ "a"; "b" ] in
+  Covirt_sim.Table.add_row t [ "1"; "2" ];
+  Covirt_sim.Table.add_rule t;
+  Covirt_sim.Table.add_row t [ "3"; "4" ];
+  Alcotest.(check string) "tsv" "a\tb\n1\t2\n3\t4\n"
+    (Covirt_sim.Table.render_tsv t)
+
+let test_trace_ring () =
+  let t = Trace.create ~capacity:4 () in
+  for i = 1 to 6 do
+    Trace.record t ~tsc:i ~cpu:0 ~severity:Trace.Info (string_of_int i)
+  done;
+  let events = Trace.events t in
+  Alcotest.(check int) "capacity kept" 4 (List.length events);
+  Alcotest.(check int) "dropped" 2 (Trace.dropped t);
+  Alcotest.(check string) "oldest is 3" "3" (List.hd events).Trace.message;
+  Alcotest.(check bool) "find" true
+    (Option.is_some (Trace.find t ~f:(fun e -> e.Trace.message = "6")));
+  Trace.clear t;
+  Alcotest.(check int) "cleared" 0 (List.length (Trace.events t))
+
+let prop_percentile_monotone =
+  Covirt_test_util.Helpers.qtest "percentile monotone in p"
+    QCheck2.Gen.(
+      pair
+        (array_size (int_range 1 50) (float_range 0.0 1000.0))
+        (pair (float_range 0.0 100.0) (float_range 0.0 100.0)))
+    (fun (a, (p1, p2)) ->
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stats.percentile a ~p:lo <= Stats.percentile a ~p:hi)
+
+let prop_histogram_conserves =
+  Covirt_test_util.Helpers.qtest "histogram conserves samples"
+    QCheck2.Gen.(array_size (int_range 0 200) (float_range 0.0 1e6))
+    (fun samples ->
+      let h = Histogram.create_log ~base:2.0 ~lo:1.0 ~hi:1024.0 in
+      Array.iter (Histogram.add h) samples;
+      let bucketed =
+        List.fold_left (fun acc (_, _, c) -> acc + c) 0 (Histogram.buckets h)
+      in
+      bucketed = Array.length samples && Histogram.count h = bucketed)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick
+            test_rng_split_independence;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "shuffle permutation" `Quick
+            test_rng_shuffle_permutation;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "errors" `Quick test_stats_errors;
+          Alcotest.test_case "overheads" `Quick test_stats_overheads;
+          prop_percentile_monotone;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "log buckets" `Quick test_histogram_log_buckets;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "validation" `Quick test_histogram_validation;
+          prop_histogram_conserves;
+        ] );
+      ( "units",
+        [
+          Alcotest.test_case "round trip" `Quick test_units_round_trip;
+          Alcotest.test_case "pp bytes" `Quick test_units_pp_bytes;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "tsv" `Quick test_table_tsv;
+        ] );
+      ("trace", [ Alcotest.test_case "ring" `Quick test_trace_ring ]);
+    ]

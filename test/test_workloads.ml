@@ -1,0 +1,279 @@
+(* Workload tests: real-arithmetic correctness and cost-model sanity of
+   the six benchmark kernels. *)
+
+open Covirt_workloads
+open Covirt_test_util
+
+let mib = Covirt_sim.Units.mib
+
+let stack ?(config = Covirt.Config.native) () =
+  Helpers.boot_stack ~config
+    ~mem:[ (0, 768 * mib); (1, 512 * mib) ]
+    ()
+
+let single_ctx s = [ Helpers.ctx s 1 ]
+
+let test_exec_alloc_and_shard () =
+  let s = stack () in
+  let ctx = Helpers.ctx s 1 in
+  (match Exec.alloc ctx ~bytes:(8 * mib) () with
+  | Ok buffer ->
+      Alcotest.(check int) "nominal" (8 * mib) buffer.Exec.nominal_bytes;
+      Alcotest.(check bool) "backing capped" true
+        (Array.length buffer.Exec.data <= Exec.default_backing_cap)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check (pair int int)) "shard 0" (0, 3) (Exec.shard ~elems:10 ~ways:3 ~index:0);
+  Alcotest.(check (pair int int)) "last shard takes slack" (6, 4)
+    (Exec.shard ~elems:10 ~ways:3 ~index:2)
+
+let prop_shards_partition =
+  Helpers.qtest "shards partition the range"
+    QCheck2.Gen.(pair (int_range 1 1000) (int_range 1 16))
+    (fun (elems, ways) ->
+      let shards = List.init ways (fun i -> Exec.shard ~elems ~ways ~index:i) in
+      let total = List.fold_left (fun acc (_, len) -> acc + len) 0 shards in
+      let contiguous =
+        let rec check expected = function
+          | [] -> true
+          | (off, len) :: rest -> off = expected && check (off + len) rest
+        in
+        check 0 shards
+      in
+      total = elems && contiguous)
+
+let test_stream_correctness () =
+  let s = stack () in
+  match Stream.run (single_ctx s) ~elems:100_000 ~iters:2 () with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check bool) "rates positive" true
+        (r.Stream.copy_mb_s > 0.0 && r.Stream.scale_mb_s > 0.0
+        && r.Stream.add_mb_s > 0.0 && r.Stream.triad_mb_s > 0.0);
+      (* after the kernel sequence a[i] = b + 3c with b=3c0... the
+         checksum is finite and deterministic *)
+      Alcotest.(check bool) "checksum finite" true
+        (Float.is_finite r.Stream.checksum);
+      Alcotest.(check bool) "checksum nonzero" true (r.Stream.checksum > 0.0)
+
+let test_stream_deterministic () =
+  let run () =
+    let s = stack () in
+    match Stream.run (single_ctx s) ~elems:100_000 ~iters:2 () with
+    | Ok r -> (r.Stream.triad_mb_s, r.Stream.checksum)
+    | Error e -> Alcotest.fail e
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "bit-identical reruns" true (a = b)
+
+let test_gups_verifies () =
+  let s = stack () in
+  match Random_access.run (single_ctx s) ~log2_table:20 () with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check int) "verify clean" 0 r.Random_access.verify_errors;
+      Alcotest.(check bool) "gups positive" true (r.Random_access.gups > 0.0);
+      Alcotest.(check int) "updates 4x table" (4 * (1 lsl 20))
+        r.Random_access.updates
+
+let test_selfish_profile () =
+  let s = stack () in
+  let ctx = Helpers.ctx s 1 in
+  let r = Selfish.run ctx ~duration_s:1.0 () in
+  (* 10 Hz tick for 1s -> ~10 timer detours plus rare background *)
+  let timer_detours =
+    List.length
+      (List.filter (fun d -> d.Selfish.cause = "timer") r.Selfish.detours)
+  in
+  Alcotest.(check bool) "about 10 ticks" true
+    (timer_detours >= 9 && timer_detours <= 11);
+  Alcotest.(check bool) "noise fraction tiny" true (r.Selfish.noise_fraction < 0.001);
+  Alcotest.(check int) "histogram total matches" (List.length r.Selfish.detours)
+    (Covirt_sim.Histogram.count r.Selfish.histogram)
+
+let test_selfish_threshold_filters () =
+  let s = stack () in
+  let ctx = Helpers.ctx s 1 in
+  let all = Selfish.run ctx ~duration_s:1.0 ~threshold_cycles:100 () in
+  let s2 = stack () in
+  let ctx2 = Helpers.ctx s2 1 in
+  let strict = Selfish.run ctx2 ~duration_s:1.0 ~threshold_cycles:1_000_000 () in
+  Alcotest.(check bool) "strict threshold filters" true
+    (List.length strict.Selfish.detours < List.length all.Selfish.detours)
+
+let test_hpcg_converges () =
+  let s = stack () in
+  match Hpcg.run (single_ctx s) ~real_dim:12 ~iterations:40 () with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check bool) "residual dropped" true (r.Hpcg.final_residual < 0.5);
+      Alcotest.(check int) "all iterations ran" 40 r.Hpcg.iterations;
+      Alcotest.(check bool) "gflops positive" true (r.Hpcg.gflops > 0.0)
+
+let test_minife_solves () =
+  let s = stack () in
+  match
+    Minife.run (single_ctx s) ~nominal_dim:64 ~real_dim:10 ~iterations:40 ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check bool) "residual dropped" true (r.Minife.final_residual < 0.5);
+      Alcotest.(check bool) "assembly timed" true (r.Minife.assembly_seconds > 0.0);
+      Alcotest.(check bool) "total >= assembly" true
+        (r.Minife.total_seconds >= r.Minife.assembly_seconds)
+
+let test_lammps_all_benches_stable () =
+  List.iter
+    (fun bench ->
+      let s = stack () in
+      match
+        Lammps.run (single_ctx s) ~bench ~real_atoms:256 ~steps:30 ()
+      with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+          Alcotest.(check bool)
+            (Lammps.bench_name bench ^ " stable")
+            true r.Lammps.stable;
+          Alcotest.(check bool) "ke finite" true
+            (Float.is_finite r.Lammps.final_kinetic_energy);
+          Alcotest.(check bool) "loop time positive" true (r.Lammps.loop_seconds > 0.0))
+    Lammps.all_benches
+
+let test_lammps_chute_detects_gravity () =
+  (* chute atoms fall: kinetic energy grows from the pour *)
+  let s = stack () in
+  match Lammps.run (single_ctx s) ~bench:Lammps.Chute ~real_atoms:256 ~steps:30 () with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check bool) "dynamics alive" true
+        (r.Lammps.final_kinetic_energy > 0.0)
+
+let test_multicore_faster () =
+  (* the same nominal problem on 2 cores finishes in less simulated
+     time than on 1 *)
+  let time ncores =
+    let s = stack () in
+    let ctxs =
+      List.filteri (fun i _ -> i < ncores)
+        (List.map (Helpers.ctx s) [ 1; 2 ])
+    in
+    match Hpcg.run ctxs ~real_dim:10 ~iterations:10 () with
+    | Ok r -> r.Hpcg.gflops
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "2 cores beat 1" true (time 2 > time 1)
+
+let test_ept_protection_slows_gups () =
+  let gups config =
+    let s = stack ~config () in
+    match Random_access.run (single_ctx s) ~log2_table:25 () with
+    | Ok r -> r.Random_access.gups
+    | Error e -> Alcotest.fail e
+  in
+  let native = gups Covirt.Config.native in
+  let mem = gups Covirt.Config.mem in
+  let overhead = (native -. mem) /. native in
+  Alcotest.(check bool) "visible but small (0.5%..4%)" true
+    (overhead > 0.005 && overhead < 0.04)
+
+let both_ctx s = [ Helpers.ctx s 1; Helpers.ctx s 2 ]
+
+let test_stream_multicore () =
+  let s = stack () in
+  match Stream.run (both_ctx s) ~elems:100_000 ~iters:2 () with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check bool) "rates positive" true (r.Stream.triad_mb_s > 0.0);
+      (* two cores move the same bytes in less simulated time *)
+      let s1 = stack () in
+      (match Stream.run [ Helpers.ctx s1 1 ] ~elems:100_000 ~iters:2 () with
+      | Ok solo ->
+          Alcotest.(check bool) "parallel >= solo" true
+            (r.Stream.triad_mb_s >= solo.Stream.triad_mb_s)
+      | Error e -> Alcotest.fail e)
+
+let test_gups_multicore_splits_updates () =
+  let s = stack () in
+  match Random_access.run (both_ctx s) ~log2_table:20 () with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check int) "verify clean" 0 r.Random_access.verify_errors;
+      Alcotest.(check int) "nominal updates unchanged" (4 * (1 lsl 20))
+        r.Random_access.updates
+
+let test_minife_multicore () =
+  let s = stack () in
+  match
+    Minife.run (both_ctx s) ~nominal_dim:64 ~real_dim:8 ~iterations:20 ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check bool) "converging" true (r.Minife.final_residual < 1.0)
+
+let test_lammps_multicore_stable () =
+  let s = stack () in
+  match
+    Lammps.run (both_ctx s) ~bench:Lammps.Lj ~real_atoms:256 ~steps:20 ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok r -> Alcotest.(check bool) "stable" true r.Lammps.stable
+
+let test_alloc_failure_path () =
+  let s = stack () in
+  let ctx = Helpers.ctx s 1 in
+  Alcotest.(check bool) "oversized alloc fails" true
+    (Result.is_error (Exec.alloc ctx ~bytes:(1 lsl 50) ()))
+
+let test_hpcg_mg_beats_plain_iteration_count () =
+  (* the MG preconditioner's reason to exist: fewer iterations to a
+     given residual than the iteration count alone would suggest *)
+  let s = stack () in
+  match Hpcg.run (single_ctx s) ~real_dim:16 ~iterations:25 () with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check bool) "preconditioned CG converges fast" true
+        (r.Hpcg.final_residual < 0.05)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "exec",
+        [
+          Alcotest.test_case "alloc and shard" `Quick test_exec_alloc_and_shard;
+          prop_shards_partition;
+        ] );
+      ( "stream",
+        [
+          Alcotest.test_case "correctness" `Quick test_stream_correctness;
+          Alcotest.test_case "deterministic" `Quick test_stream_deterministic;
+        ] );
+      ("gups", [ Alcotest.test_case "verifies" `Quick test_gups_verifies ]);
+      ( "selfish",
+        [
+          Alcotest.test_case "profile" `Quick test_selfish_profile;
+          Alcotest.test_case "threshold" `Quick test_selfish_threshold_filters;
+        ] );
+      ( "hpcg",
+        [
+          Alcotest.test_case "converges" `Quick test_hpcg_converges;
+          Alcotest.test_case "multicore faster" `Quick test_multicore_faster;
+        ] );
+      ("minife", [ Alcotest.test_case "solves" `Quick test_minife_solves ]);
+      ( "lammps",
+        [
+          Alcotest.test_case "all stable" `Quick test_lammps_all_benches_stable;
+          Alcotest.test_case "chute gravity" `Quick test_lammps_chute_detects_gravity;
+        ] );
+      ( "overheads",
+        [ Alcotest.test_case "EPT slows GUPS" `Quick test_ept_protection_slows_gups ]
+      );
+      ( "multicore",
+        [
+          Alcotest.test_case "stream" `Quick test_stream_multicore;
+          Alcotest.test_case "gups" `Quick test_gups_multicore_splits_updates;
+          Alcotest.test_case "minife" `Quick test_minife_multicore;
+          Alcotest.test_case "lammps" `Quick test_lammps_multicore_stable;
+          Alcotest.test_case "alloc failure" `Quick test_alloc_failure_path;
+          Alcotest.test_case "hpcg MG convergence" `Quick
+            test_hpcg_mg_beats_plain_iteration_count;
+        ] );
+    ]
