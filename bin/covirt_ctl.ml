@@ -264,9 +264,61 @@ let faults_cmd =
     (Cmd.info "faults" ~doc:"Inject a fault and report what happened")
     Term.(ret (const run_fault $ name_arg $ config))
 
+(* --- supervise --- *)
+
+let run_supervise trials seed timeline =
+  let open Covirt_resilience in
+  let r = Soak.run ~trials ~seed () in
+  Covirt_sim.Table.print (Soak.table r);
+  if r.Soak.quarantined <> [] then begin
+    Format.printf "@.quarantine ledger:@.";
+    List.iter
+      (fun (name, why) -> Format.printf "  %s: %s@." name why)
+      r.Soak.quarantined
+  end;
+  if timeline then begin
+    Format.printf "@.recovery timeline:@.";
+    List.iter
+      (fun e -> Format.printf "  %a@." Supervisor.pp_event e)
+      r.Soak.timeline
+  end
+  else
+    Format.printf "@.%d timeline events (rerun with --timeline to list them)@."
+      (List.length r.Soak.timeline);
+  if r.Soak.budget_respected && r.Soak.sibling_unperturbed then begin
+    Format.printf
+      "soak passed: every recovery stayed within budget and the sibling's \
+       solve was untouched@.";
+    `Ok ()
+  end
+  else `Error (false, "soak failed: see the table above")
+
+let supervise_cmd =
+  let trials =
+    let doc = "Fault-injection trials to run against the supervised pair." in
+    Arg.(value & opt int 200 & info [ "trials"; "t" ] ~doc)
+  in
+  let seed =
+    let doc = "Seed for the fault stream and backoff jitter." in
+    Arg.(value & opt int 2026 & info [ "seed"; "s" ] ~doc)
+  in
+  let timeline =
+    let doc = "Print the full recovery timeline." in
+    Arg.(value & flag & info [ "timeline" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "supervise"
+       ~doc:
+         "Run the supervised soak: inject faults and wedges into two worker \
+          enclaves, let the supervisor and watchdog recover them, and check \
+          an untouched sibling")
+    Term.(ret (const run_supervise $ trials $ seed $ timeline))
+
 (* --- top level --- *)
 
 let () =
   let doc = "Covirt co-kernel fault-isolation simulator" in
   let info = Cmd.info "covirt-ctl" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ experiment_cmd; demo_cmd; faults_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ experiment_cmd; demo_cmd; faults_cmd; supervise_cmd ]))

@@ -1,0 +1,144 @@
+(* Supervised-recovery tour: the supervision subsystem end to end.
+
+   A supervisor watches two enclaves.  One keeps crashing and is
+   restarted with exponential backoff until the circuit breaker
+   quarantines it; the other wedges silently (livelocks with no trap
+   and no messages) and only the watchdog's progress tracking gets it
+   back.  A third enclave just works, and recovery around it never
+   touches it.
+
+   Run with: dune exec examples/supervised_recovery.exe *)
+
+open Covirt_hw
+open Covirt_pisces
+open Covirt_kitten
+open Covirt_resilience
+
+let gib = Covirt_sim.Units.gib
+let mib = Covirt_sim.Units.mib
+
+let () =
+  let machine =
+    Machine.create ~zones:2 ~cores_per_zone:3 ~mem_per_zone:(4 * gib) ()
+  in
+  let hobbes = Covirt_hobbes.Hobbes.create machine ~host_core:0 in
+  let pisces = Covirt_hobbes.Hobbes.pisces hobbes in
+  let ctrl = Covirt.enable pisces ~config:Covirt.Config.full in
+
+  (* A tight policy so the tour stays short: three restarts, fast
+     backoff, a 2M-cycle watchdog deadline. *)
+  let policy =
+    {
+      Supervisor.max_restarts = 3;
+      backoff_base = 100_000;
+      backoff_factor = 2;
+      backoff_cap = 1_000_000;
+      stability_window = 50_000_000;
+      watchdog_deadline = 2_000_000;
+    }
+  in
+  let sup = Supervisor.create ~policy ~seed:42 ctrl in
+  let dog = Watchdog.create sup in
+  let manage name core zone =
+    match
+      Supervisor.manage sup ~name ~launch:(fun () ->
+          Covirt_hobbes.Hobbes.launch_enclave hobbes ~name ~cores:[ core ]
+            ~mem:[ (zone, 256 * mib) ]
+            ())
+    with
+    | Ok _ -> ()
+    | Error e -> failwith e
+  in
+  manage "flaky" 1 0;
+  manage "sleepy" 3 1;
+  manage "steady" 4 1;
+
+  (* 1. A crash is recovered: the hypervisor contains the forbidden
+     MSR write, the supervisor tears down, backs off and relaunches. *)
+  Format.printf "== 1. crash and recovery ==@.";
+  (match
+     Supervisor.run_protected sup ~name:"flaky" (fun ctx ->
+         Kitten.wrmsr_sensitive ctx)
+   with
+  | `Recovered ->
+      Format.printf "flaky recovered; incarnation %d, %d/%d restarts used@."
+        (Supervisor.incarnation sup ~name:"flaky")
+        (Supervisor.attempts sup ~name:"flaky")
+        policy.Supervisor.max_restarts
+  | `Ok -> Format.printf "flaky survived?!@."
+  | `Quarantined why -> Format.printf "flaky quarantined: %s@." why);
+
+  (* 2. A wedge is invisible to containment — nothing errant happens —
+     so run_protected returns Ok.  Host time passes, the enclave shows
+     no VM exits and no channel traffic, and the watchdog escalates. *)
+  Format.printf "@.== 2. wedge and watchdog ==@.";
+  (match
+     Supervisor.run_protected sup ~name:"sleepy" (fun ctx ->
+         Kitten.spin_wedged ctx ~cycles:10_000_000)
+   with
+  | `Ok -> Format.printf "containment saw nothing wrong with sleepy@."
+  | `Recovered | `Quarantined _ -> assert false);
+  let host = Pisces.host_cpu pisces in
+  let rec wait_for_watchdog polls =
+    if polls > 10 then Format.printf "watchdog never fired?!@."
+    else begin
+      Cpu.charge host 500_000;
+      (* keep the healthy tenants visibly alive *)
+      List.iter
+        (fun name ->
+          ignore
+            (Supervisor.run_protected sup ~name (fun ctx ->
+                 Kitten.heartbeat ctx)))
+        [ "flaky"; "steady" ];
+      match Watchdog.poll dog with
+      | [] -> wait_for_watchdog (polls + 1)
+      | wedged ->
+          List.iter
+            (fun name ->
+              Format.printf
+                "watchdog escalated %s after %d polls; incarnation now %d@."
+                name polls
+                (Supervisor.incarnation sup ~name))
+            wedged
+    end
+  in
+  wait_for_watchdog 1;
+
+  (* 3. The circuit breaker: a fault that comes back on every
+     incarnation exhausts the restart budget and the enclave is
+     quarantined, with the reason on the ledger. *)
+  Format.printf "@.== 3. circuit breaker ==@.";
+  let rec crash_until_quarantined n =
+    match
+      Supervisor.run_protected sup ~name:"flaky" (fun ctx ->
+          Kitten.trigger_double_fault ctx)
+    with
+    | `Recovered -> crash_until_quarantined (n + 1)
+    | `Quarantined _ ->
+        Format.printf "flaky quarantined after %d consecutive crashes@." n
+    | `Ok -> Format.printf "flaky survived?!@."
+  in
+  crash_until_quarantined 1;
+  List.iter
+    (fun (name, why) -> Format.printf "ledger: %s -> %s@." name why)
+    (Supervisor.quarantine_ledger sup);
+
+  (* 4. The bystander: recovery storms around it never touched it. *)
+  Format.printf "@.== 4. untouched bystander ==@.";
+  (match
+     Supervisor.run_protected sup ~name:"steady" (fun ctx ->
+         match Covirt_workloads.Stream.run [ ctx ] ~elems:200_000 ~iters:2 () with
+         | Ok r ->
+             Format.printf "steady ran STREAM: triad %.0f MB/s@."
+               r.Covirt_workloads.Stream.triad_mb_s
+         | Error e -> failwith e)
+   with
+  | `Ok ->
+      Format.printf "steady: incarnation %d, status healthy@."
+        (Supervisor.incarnation sup ~name:"steady")
+  | `Recovered | `Quarantined _ -> Format.printf "steady was disturbed?!@.");
+
+  Format.printf "@.== recovery timeline ==@.";
+  List.iter
+    (fun e -> Format.printf "%a@." Supervisor.pp_event e)
+    (Supervisor.timeline sup)

@@ -9,6 +9,12 @@ type t = {
   msr : bool;
   io : bool;
   max_ept_page : Addr.page_size;
+  restart_budget : int;
+  backoff_base : int;
+  backoff_factor : int;
+  backoff_cap : int;
+  stability_window : int;
+  watchdog_deadline : int;
 }
 
 let native =
@@ -19,6 +25,15 @@ let native =
     msr = false;
     io = false;
     max_ept_page = Addr.Page_1g;
+    (* Supervision defaults: a handful of restarts with exponential
+       backoff starting at 100k cycles (~40 µs at 2.4 GHz) capped at
+       ~10 ms, and a watchdog deadline of 5M cycles of silence. *)
+    restart_budget = 5;
+    backoff_base = 100_000;
+    backoff_factor = 2;
+    backoff_cap = 25_000_000;
+    stability_window = 50_000_000;
+    watchdog_deadline = 5_000_000;
   }
 
 let none = { native with enabled = true }

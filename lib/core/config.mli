@@ -23,6 +23,21 @@ type t = {
   max_ept_page : Addr.page_size;
       (** coalescing cap; [Page_1g] normally, [Page_4k] for the
           ablation *)
+  (* Supervision knobs, consumed by [Covirt_resilience.Supervisor] and
+     [Covirt_resilience.Watchdog]; they have no effect on the
+     protection features themselves. *)
+  restart_budget : int;
+      (** restarts a crashing enclave may consume before the circuit
+          breaker quarantines it permanently *)
+  backoff_base : int;  (** first relaunch delay, in simulated cycles *)
+  backoff_factor : int;  (** exponential backoff multiplier *)
+  backoff_cap : int;  (** upper bound on any single backoff delay *)
+  stability_window : int;
+      (** cycles an enclave must stay healthy after a relaunch before
+          its consumed-restart counter resets (anti-flapping) *)
+  watchdog_deadline : int;
+      (** cycles of no VM exits and no control-channel traffic before
+          the watchdog declares the enclave wedged *)
 }
 
 val native : t

@@ -10,6 +10,18 @@ type instance = {
   mutable reports : Fault_report.t list;
 }
 
+(* The exact closures this controller registered with the framework,
+   kept so [detach] can remove them without disturbing hooks installed
+   by other consumers. *)
+type registration = {
+  r_created : Enclave.t -> unit;
+  r_pre_map : Enclave.t -> Region.t -> unit;
+  r_post_unmap : Enclave.t -> Region.t -> unit;
+  r_grant : Enclave.t -> vector:int -> peer_core:int -> unit;
+  r_revoke : Enclave.t -> vector:int -> unit;
+  r_destroyed : Enclave.t -> unit;
+}
+
 type t = {
   pisces : Pisces.t;
   default_config : Config.t;
@@ -18,6 +30,10 @@ type t = {
   archived : (int, Fault_report.t list) Hashtbl.t;
       (* reports survive enclave destruction: they are the master
          control process's debugging record *)
+  archived_drops : (int, int) Hashtbl.t;
+      (* dropped-IPI counters, archived alongside the reports *)
+  mutable subscribers : (Fault_report.t -> unit) list;
+  mutable registered : registration option;
 }
 
 let pisces t = t.pisces
@@ -35,7 +51,22 @@ let reports_for t ~enclave_id =
 let dropped_ipis t ~enclave_id =
   match instance_for t ~enclave_id with
   | Some i -> Whitelist.dropped i.whitelist
-  | None -> 0
+  | None ->
+      Option.value ~default:0 (Hashtbl.find_opt t.archived_drops enclave_id)
+
+let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
+
+let record_report t (report : Fault_report.t) =
+  (match instance_for t ~enclave_id:report.Fault_report.enclave with
+  | Some i -> i.reports <- report :: i.reports
+  | None ->
+      (* Already destroyed (e.g. a report raised during teardown):
+         straight to the archive so it is never lost. *)
+      Hashtbl.replace t.archived report.Fault_report.enclave
+        (report
+        :: Option.value ~default:[]
+             (Hashtbl.find_opt t.archived report.Fault_report.enclave)));
+  List.iter (fun f -> f report) t.subscribers
 
 let total_flush_commands t =
   List.fold_left
@@ -108,7 +139,7 @@ let interpose t enclave (cpu : Cpu.t) ~bsp jump =
       let hv =
         Hypervisor.create ~machine ~cpu ~vmcs ~boot_params
           ~whitelist:instance.whitelist ~config:instance.config
-          ~report:(fun r -> instance.reports <- r :: instance.reports)
+          ~report:(fun r -> record_report t r)
       in
       instance.hypervisors <- (cpu.Cpu.id, hv) :: instance.hypervisors;
       Hypervisor.launch hv;
@@ -137,11 +168,29 @@ let signal_all_cores t instance command =
     (fun (core, hv) ->
       (match Command.enqueue (Hypervisor.queue hv) command with
       | Ok () -> ()
-      | Error _ ->
+      | Error _ -> (
           (* A full ring means the core is wedged; drain by NMI first. *)
           Machine.post_host_nmi machine ~dest:core;
-          Command.enqueue (Hypervisor.queue hv) command
-          |> Result.iter (fun () -> ()));
+          match Command.enqueue (Hypervisor.queue hv) command with
+          | Ok () -> ()
+          | Error why ->
+              (* Still full after the drain: the core is not making
+                 progress and a synchronization command was lost.  This
+                 must never pass silently — it is exactly the wedged
+                 state the watchdog exists for. *)
+              record_report t
+                {
+                  Fault_report.enclave = instance.enclave.Enclave.id;
+                  cpu = core;
+                  tsc = Cpu.rdtsc (Pisces.host_cpu t.pisces);
+                  kind = Fault_report.Queue_stall;
+                  fatal = false;
+                  detail =
+                    Format.asprintf
+                      "command ring on core %d still full after NMI drain \
+                       (%s); %a lost"
+                      core why Command.pp_command command;
+                }));
       Machine.post_host_nmi machine ~dest:core)
     instance.hypervisors
 
@@ -180,7 +229,12 @@ let on_vector_revoke t enclave ~vector =
 
 let on_destroyed t enclave =
   (match instance_for t ~enclave_id:enclave.Enclave.id with
-  | Some i -> Hashtbl.replace t.archived enclave.Enclave.id i.reports
+  | Some i ->
+      Hashtbl.replace t.archived enclave.Enclave.id i.reports;
+      (* The whitelist dies with the instance; keep its dropped-IPI
+         count so post-mortem queries stay truthful. *)
+      Hashtbl.replace t.archived_drops enclave.Enclave.id
+        (Whitelist.dropped i.whitelist)
   | None -> ());
   t.instances <-
     List.filter (fun (id, _) -> id <> enclave.Enclave.id) t.instances
@@ -195,33 +249,58 @@ let attach pisces ~config =
       overrides = Hashtbl.create 4;
       instances = [];
       archived = Hashtbl.create 4;
+      archived_drops = Hashtbl.create 4;
+      subscribers = [];
+      registered = None;
     }
   in
+  let reg =
+    {
+      r_created = on_created t;
+      r_pre_map = on_pre_map t;
+      r_post_unmap = on_post_unmap t;
+      r_grant = (fun e ~vector ~peer_core -> on_vector_grant t e ~vector ~peer_core);
+      r_revoke = (fun e ~vector -> on_vector_revoke t e ~vector);
+      r_destroyed = on_destroyed t;
+    }
+  in
+  t.registered <- Some reg;
   let hooks = Pisces.hooks pisces in
   hooks.Hooks.on_enclave_created <-
-    hooks.Hooks.on_enclave_created @ [ on_created t ];
+    hooks.Hooks.on_enclave_created @ [ reg.r_created ];
   hooks.Hooks.pre_memory_map <-
-    hooks.Hooks.pre_memory_map @ [ on_pre_map t ];
+    hooks.Hooks.pre_memory_map @ [ reg.r_pre_map ];
   hooks.Hooks.post_memory_unmap <-
-    hooks.Hooks.post_memory_unmap @ [ on_post_unmap t ];
+    hooks.Hooks.post_memory_unmap @ [ reg.r_post_unmap ];
   hooks.Hooks.pre_vector_grant <-
-    hooks.Hooks.pre_vector_grant
-    @ [ (fun e ~vector ~peer_core -> on_vector_grant t e ~vector ~peer_core) ];
+    hooks.Hooks.pre_vector_grant @ [ reg.r_grant ];
   hooks.Hooks.post_vector_revoke <-
-    hooks.Hooks.post_vector_revoke
-    @ [ (fun e ~vector -> on_vector_revoke t e ~vector) ];
+    hooks.Hooks.post_vector_revoke @ [ reg.r_revoke ];
   hooks.Hooks.on_enclave_destroyed <-
-    hooks.Hooks.on_enclave_destroyed @ [ on_destroyed t ];
+    hooks.Hooks.on_enclave_destroyed @ [ reg.r_destroyed ];
   Hooks.set_boot_interposer hooks (fun e cpu ~bsp jump ->
       interpose t e cpu ~bsp jump);
   t
 
 let detach t =
   let hooks = Pisces.hooks t.pisces in
-  hooks.Hooks.on_enclave_created <- [];
-  hooks.Hooks.pre_memory_map <- [];
-  hooks.Hooks.post_memory_unmap <- [];
-  hooks.Hooks.pre_vector_grant <- [];
-  hooks.Hooks.post_vector_revoke <- [];
-  hooks.Hooks.on_enclave_destroyed <- [];
+  (* Remove only the closures this controller registered (by physical
+     identity); other hook consumers survive a detach/re-attach cycle. *)
+  (match t.registered with
+  | None -> ()
+  | Some reg ->
+      let without mine = List.filter (fun f -> f != mine) in
+      hooks.Hooks.on_enclave_created <-
+        without reg.r_created hooks.Hooks.on_enclave_created;
+      hooks.Hooks.pre_memory_map <-
+        without reg.r_pre_map hooks.Hooks.pre_memory_map;
+      hooks.Hooks.post_memory_unmap <-
+        without reg.r_post_unmap hooks.Hooks.post_memory_unmap;
+      hooks.Hooks.pre_vector_grant <-
+        without reg.r_grant hooks.Hooks.pre_vector_grant;
+      hooks.Hooks.post_vector_revoke <-
+        without reg.r_revoke hooks.Hooks.post_vector_revoke;
+      hooks.Hooks.on_enclave_destroyed <-
+        without reg.r_destroyed hooks.Hooks.on_enclave_destroyed;
+      t.registered <- None);
   Hooks.clear_boot_interposer hooks

@@ -42,13 +42,31 @@ val attach : Pisces.t -> config:Config.t -> t
 
 val set_override : t -> enclave_name:string -> Config.t -> unit
 
+val subscribe : t -> (Fault_report.t -> unit) -> unit
+(** Register an observer called synchronously for every fault report
+    the controller records (hypervisor enforcement events, queue
+    stalls, watchdog timeouts).  Observers are called in subscription
+    order, after the report has been stored.  This is the feed the
+    {!Covirt_resilience.Supervisor} recovery machinery runs on. *)
+
+val record_report : t -> Fault_report.t -> unit
+(** Record an externally produced report (e.g. a watchdog timeout)
+    against its enclave — into the live instance if one exists,
+    straight into the post-mortem archive otherwise — and notify
+    subscribers. *)
+
 val pisces : t -> Pisces.t
 val default_config : t -> Config.t
 val instances : t -> instance list
 val instance_for : t -> enclave_id:int -> instance option
 val reports_for : t -> enclave_id:int -> Fault_report.t list
+
+(** Dropped-IPI count for a live enclave, or the archived count for a
+    destroyed one (the whitelist's counter is preserved at teardown). *)
 val dropped_ipis : t -> enclave_id:int -> int
 val total_flush_commands : t -> int
 val detach : t -> unit
-(** Unregister the boot interposer (hook lists are cleared too);
-    used when reconfiguring a framework between experiments. *)
+(** Unregister the boot interposer and remove {e this controller's}
+    hooks from the framework's hook lists (hooks installed by other
+    consumers are left in place); used when reconfiguring a framework
+    between experiments. *)

@@ -15,6 +15,8 @@ let reports controller ~enclave_id = Controller.reports_for controller ~enclave_
 let dropped_ipis controller ~enclave_id =
   Controller.dropped_ipis controller ~enclave_id
 
+let subscribe controller f = Controller.subscribe controller f
+
 let protection_summary controller =
   let buf = Buffer.create 256 in
   let ppf = Format.formatter_of_buffer buf in

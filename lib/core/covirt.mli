@@ -39,5 +39,9 @@ val reports : Controller.t -> enclave_id:int -> Fault_report.t list
 
 val dropped_ipis : Controller.t -> enclave_id:int -> int
 
+val subscribe : Controller.t -> (Fault_report.t -> unit) -> unit
+(** Observe every fault report as it is recorded (see
+    {!Controller.subscribe}). *)
+
 val protection_summary : Controller.t -> string
 (** Human-readable status of all protected enclaves. *)

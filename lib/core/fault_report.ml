@@ -4,6 +4,8 @@ type kind =
   | Msr_violation
   | Io_violation
   | Abort_fault
+  | Queue_stall
+  | Watchdog_timeout
 
 type t = {
   enclave : int;
@@ -20,6 +22,8 @@ let kind_name = function
   | Msr_violation -> "msr-violation"
   | Io_violation -> "io-violation"
   | Abort_fault -> "abort"
+  | Queue_stall -> "queue-stall"
+  | Watchdog_timeout -> "watchdog-timeout"
 
 let pp ppf t =
   Format.fprintf ppf "[tsc %d] enclave %d cpu %d %s%s: %s" t.tsc t.enclave

@@ -11,6 +11,12 @@ type kind =
   | Msr_violation
   | Io_violation
   | Abort_fault
+  | Queue_stall
+      (** a core's command ring stayed full even after an NMI drain —
+          the controller could not deliver a synchronization command *)
+  | Watchdog_timeout
+      (** the enclave showed no VM exits and no control-channel
+          activity within the watchdog deadline (wedged, not crashed) *)
 
 type t = {
   enclave : int;

@@ -1,6 +1,7 @@
 open Covirt_hw
 open Covirt_pisces
 open Covirt_kitten
+module Fault_injector = Covirt_resilience.Fault_injector
 
 type outcome = Contained | Node_down | Collateral | Latent
 
@@ -16,33 +17,7 @@ type row = {
 let gib = Covirt_sim.Units.gib
 let mib = Covirt_sim.Units.mib
 
-type fault =
-  | Wild_write of Addr.t
-  | Phantom_touch of Addr.t
-  | Errant_ipi of { dest : int; vector : int }
-  | Msr_write
-  | Port_reset
-  | Double_fault
-
-let random_fault rng ~machine_mem ~victim_bsp =
-  match Covirt_sim.Rng.int rng ~bound:6 with
-  | 0 ->
-      (* anywhere in physical memory, 8-byte aligned *)
-      Wild_write (Covirt_sim.Rng.int rng ~bound:(machine_mem / 8) * 8)
-  | 1 ->
-      let page =
-        Covirt_sim.Rng.int rng ~bound:(machine_mem / Addr.page_size_2m)
-      in
-      Phantom_touch (page * Addr.page_size_2m)
-  | 2 ->
-      Errant_ipi
-        { dest = victim_bsp; vector = Covirt_sim.Rng.int rng ~bound:256 }
-  | 3 -> Msr_write
-  | 4 -> Port_reset
-  | 5 -> Double_fault
-  | _ -> assert false
-
-let one_trial ~config ~seed fault_of =
+let one_trial ~config ~seed ~injector fault_of =
   let machine =
     Machine.create ~seed ~zones:2 ~cores_per_zone:3 ~mem_per_zone:(4 * gib) ()
   in
@@ -61,19 +36,7 @@ let one_trial ~config ~seed fault_of =
   ignore attacker;
   let ctx = Kitten.context attacker_kitten ~core:1 in
   let fault = fault_of ~victim_bsp:(Enclave.bsp victim) in
-  let inject () =
-    match fault with
-    | Wild_write addr -> Kitten.store_addr ctx addr
-    | Phantom_touch addr ->
-        Kitten.inject_phantom_region attacker_kitten
-          (Region.make ~base:(Addr.page_down addr ~size:Addr.page_size_2m)
-             ~len:Addr.page_size_2m);
-        Kitten.store_addr ctx addr
-    | Errant_ipi { dest; vector } -> Kitten.send_ipi ctx ~dest ~vector
-    | Msr_write -> Kitten.wrmsr_sensitive ctx
-    | Port_reset -> Kitten.out_reset_port ctx
-    | Double_fault -> Kitten.trigger_double_fault ctx
-  in
+  let inject () = Fault_injector.inject injector ctx fault in
   match Pisces.run_guarded (Covirt_hobbes.Hobbes.pisces hobbes) inject with
   | exception Machine.Node_panic _ -> Node_down
   | Error _ -> Contained
@@ -86,14 +49,22 @@ let one_trial ~config ~seed fault_of =
             (* a self-inflicted wound only hurts the attacker; a
                dropped errant op is containment *)
             match fault with
-            | Errant_ipi _ -> Contained (* delivered nowhere harmful or dropped *)
-            | Wild_write _ | Phantom_touch _ -> Latent
-            | Msr_write | Port_reset | Double_fault -> Latent))
+            | Fault_injector.Errant_ipi _ ->
+                Contained (* delivered nowhere harmful or dropped *)
+            | Fault_injector.Wild_write _ | Fault_injector.Phantom_touch _ ->
+                Latent
+            | Fault_injector.Msr_write | Fault_injector.Port_reset
+            | Fault_injector.Double_fault ->
+                Latent
+            | Fault_injector.Wedge _ ->
+                Latent (* still livelocked; only a watchdog notices *)))
 
 let run ?(trials = 60) ?(seed = 2026) () =
   List.map
     (fun (name, config) ->
-      let rng = Covirt_sim.Rng.create ~seed in
+      (* One injector per configuration sweep: the same seed replays
+         the same fault sequence against every configuration. *)
+      let injector = Fault_injector.create ~seed () in
       let tally = Hashtbl.create 4 in
       let bump outcome =
         Hashtbl.replace tally outcome
@@ -102,8 +73,8 @@ let run ?(trials = 60) ?(seed = 2026) () =
       for i = 1 to trials do
         let machine_mem = 8 * gib in
         let outcome =
-          one_trial ~config ~seed:(seed + i) (fun ~victim_bsp ->
-              random_fault rng ~machine_mem ~victim_bsp)
+          one_trial ~config ~seed:(seed + i) ~injector (fun ~victim_bsp ->
+              Fault_injector.draw injector ~machine_mem ~victim_bsp)
         in
         bump outcome
       done;

@@ -294,6 +294,11 @@ let syscall (c : ctx) ~number ~arg =
 
 let set_host_poke t poke = t.host_poke <- Some poke
 
+let heartbeat (c : ctx) =
+  Ctrl_channel.send_to_host c.machine ~enclave_cpu:c.cpu
+    c.kernel.enclave.Enclave.channel
+    (Message.Heartbeat { tsc = Cpu.rdtsc c.cpu })
+
 (* ------------------------------------------------------------------ *)
 (* IPIs.                                                               *)
 
@@ -325,6 +330,12 @@ let touch_believed_memory (c : ctx) addr =
   if not (Memmap.believes_usable c.kernel.memmap addr) then
     invalid_arg "Kitten.touch_believed_memory: kernel does not believe this";
   store_addr c addr
+
+let spin_wedged (c : ctx) ~cycles =
+  if cycles < 0 then invalid_arg "Kitten.spin_wedged";
+  (* A livelocked kernel: burns time without trapping, messaging or
+     taking ticks — invisible to containment, visible to the watchdog. *)
+  Cpu.charge c.cpu cycles
 
 let wrmsr_sensitive (c : ctx) =
   Machine.wrmsr c.machine c.cpu Msr.ia32_smm_monitor_ctl 0xdeadL

@@ -74,6 +74,10 @@ val set_host_poke : t -> (unit -> unit) -> unit
 (** Wire the host-side channel servicing (the Hobbes runtime installs
     [fun () -> ignore (Pisces.service_channel ...)]). *)
 
+val heartbeat : context -> unit
+(** Send a {!Covirt_pisces.Message.Heartbeat} over the control channel
+    — the explicit sign of life the supervision watchdog monitors. *)
+
 val register_irq : t -> vector:int -> (context -> int -> unit) -> unit
 val send_ipi : context -> dest:int -> vector:int -> unit
 (** Transmit a fixed IPI; under Covirt's IPI protection this traps to
@@ -100,6 +104,11 @@ val inject_phantom_region : t -> Region.t -> unit
 val touch_believed_memory : context -> Addr.t -> unit
 (** Access an address the kernel believes is usable ([Invalid_argument]
     if it does not — the injector is for believed-but-wrong state). *)
+
+val spin_wedged : context -> cycles:int -> unit
+(** Livelock: burn cycles on the core without trapping, messaging or
+    ticking.  Containment never notices (nothing errant happens); only
+    the watchdog's progress tracking can. *)
 
 val wrmsr_sensitive : context -> unit
 (** Write IA32_SMM_MONITOR_CTL — a forbidden MSR. *)

@@ -4,10 +4,18 @@ type t = {
   to_enclave : Message.host_to_enclave Queue.t;
   to_host : Message.enclave_to_host Queue.t;
   mutable sent : int;
+  mutable to_host_count : int;
+  mutable last_enclave_tsc : int;
 }
 
 let create () =
-  { to_enclave = Queue.create (); to_host = Queue.create (); sent = 0 }
+  {
+    to_enclave = Queue.create ();
+    to_host = Queue.create ();
+    sent = 0;
+    to_host_count = 0;
+    last_enclave_tsc = 0;
+  }
 
 let charge machine cpu =
   Cpu.charge cpu machine.Machine.model.Cost_model.ctrl_channel_msg
@@ -20,6 +28,8 @@ let send_to_enclave machine ~host_cpu t msg =
 let send_to_host machine ~enclave_cpu t msg =
   charge machine enclave_cpu;
   t.sent <- t.sent + 1;
+  t.to_host_count <- t.to_host_count + 1;
+  t.last_enclave_tsc <- Cpu.rdtsc enclave_cpu;
   Queue.push msg t.to_host
 
 let drain q =
@@ -54,3 +64,5 @@ let take_ack t ~seq =
 
 let pending_to_enclave t = Queue.length t.to_enclave
 let messages_sent t = t.sent
+let enclave_messages_sent t = t.to_host_count
+let last_enclave_activity t = t.last_enclave_tsc

@@ -34,3 +34,12 @@ val take_ack : t -> seq:int -> (unit, string) result
 
 val pending_to_enclave : t -> int
 val messages_sent : t -> int
+
+val enclave_messages_sent : t -> int
+(** Count of enclave-to-host sends only — any traffic here (acks,
+    syscalls, console, heartbeats) is a sign of life from the
+    co-kernel, which is what the watchdog monitors. *)
+
+val last_enclave_activity : t -> int
+(** TSC of the sending enclave core at its most recent
+    enclave-to-host message (0 if it never sent one). *)

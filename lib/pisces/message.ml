@@ -18,6 +18,7 @@ type enclave_to_host =
   | Nack of { seq : int; why : string }
   | Syscall_request of { seq : int; number : int; arg : int }
   | Console of string
+  | Heartbeat of { tsc : int }
 
 let seq_of_host_msg = function
   | Add_memory { seq; _ }
@@ -62,3 +63,4 @@ let pp_enclave_msg ppf = function
   | Syscall_request { seq; number; arg } ->
       Format.fprintf ppf "syscall#%d nr=%d arg=%d" seq number arg
   | Console s -> Format.fprintf ppf "console %S" s
+  | Heartbeat { tsc } -> Format.fprintf ppf "heartbeat@%d" tsc

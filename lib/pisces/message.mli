@@ -29,6 +29,9 @@ type enclave_to_host =
   | Nack of { seq : int; why : string }
   | Syscall_request of { seq : int; number : int; arg : int }
   | Console of string
+  | Heartbeat of { tsc : int }
+      (** periodic sign of life from the co-kernel's boot core; the
+          watchdog treats its arrival as proof of progress *)
 
 val seq_of_host_msg : host_to_enclave -> int
 val pp_host_msg : Format.formatter -> host_to_enclave -> unit

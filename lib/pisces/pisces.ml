@@ -377,6 +377,10 @@ let service_channel t enclave =
       | Message.Console line ->
           incr serviced;
           trace t "enclave %d console: %s" enclave.Enclave.id line
+      | Message.Heartbeat _ ->
+          (* Liveness only: the channel already recorded the activity
+             at send time; nothing to service. *)
+          ()
       | Message.Ready | Message.Ack _ | Message.Nack _ -> ())
     messages;
   !serviced

@@ -1,0 +1,107 @@
+open Covirt_hw
+open Covirt_kitten
+
+type fault =
+  | Wild_write of Addr.t
+  | Phantom_touch of Addr.t
+  | Errant_ipi of { dest : int; vector : int }
+  | Msr_write
+  | Port_reset
+  | Double_fault
+  | Wedge of { cycles : int }
+
+let pp_fault ppf = function
+  | Wild_write a -> Format.fprintf ppf "wild-write %a" Addr.pp a
+  | Phantom_touch a -> Format.fprintf ppf "phantom-touch %a" Addr.pp a
+  | Errant_ipi { dest; vector } ->
+      Format.fprintf ppf "errant-ipi core%d vec%d" dest vector
+  | Msr_write -> Format.pp_print_string ppf "msr-write"
+  | Port_reset -> Format.pp_print_string ppf "port-reset"
+  | Double_fault -> Format.pp_print_string ppf "double-fault"
+  | Wedge { cycles } -> Format.fprintf ppf "wedge %d cycles" cycles
+
+let is_wedge = function Wedge _ -> true | _ -> false
+
+let is_fatal_under_full_protection = function
+  | Msr_write | Port_reset | Double_fault | Phantom_touch _ -> true
+  | Wild_write _ | Errant_ipi _ | Wedge _ -> false
+
+type trigger = At_trial of int | Every_n_trials of int | At_cycle of int
+
+type rule = { target : string; trigger : trigger; fault : fault }
+
+type armed_rule = { rule : rule; mutable fired : bool }
+
+type t = {
+  rng : Covirt_sim.Rng.t;
+  rules : armed_rule list;
+  mutable applied : int;
+}
+
+let create ~seed ?(rules = []) () =
+  {
+    rng = Covirt_sim.Rng.create ~seed;
+    rules = List.map (fun rule -> { rule; fired = false }) rules;
+    applied = 0;
+  }
+
+(* The campaign's original fault distribution, draw-for-draw: six
+   classes, uniform, with addresses spread over physical memory. *)
+let draw t ~machine_mem ~victim_bsp =
+  match Covirt_sim.Rng.int t.rng ~bound:6 with
+  | 0 ->
+      (* anywhere in physical memory, 8-byte aligned *)
+      Wild_write (Covirt_sim.Rng.int t.rng ~bound:(machine_mem / 8) * 8)
+  | 1 ->
+      let page =
+        Covirt_sim.Rng.int t.rng ~bound:(machine_mem / Addr.page_size_2m)
+      in
+      Phantom_touch (page * Addr.page_size_2m)
+  | 2 ->
+      Errant_ipi
+        { dest = victim_bsp; vector = Covirt_sim.Rng.int t.rng ~bound:256 }
+  | 3 -> Msr_write
+  | 4 -> Port_reset
+  | 5 -> Double_fault
+  | _ -> assert false
+
+let due t ~target ~trial ~now =
+  List.filter_map
+    (fun armed ->
+      let { target = rule_target; trigger; fault } = armed.rule in
+      if rule_target <> target then None
+      else
+        match trigger with
+        | At_trial n ->
+            if (not armed.fired) && trial = n then begin
+              armed.fired <- true;
+              Some fault
+            end
+            else None
+        | Every_n_trials n ->
+            if n > 0 && trial mod n = 0 then Some fault else None
+        | At_cycle c ->
+            if (not armed.fired) && now >= c then begin
+              armed.fired <- true;
+              Some fault
+            end
+            else None)
+    t.rules
+
+let inject t (ctx : Kitten.context) fault =
+  t.applied <- t.applied + 1;
+  match fault with
+  | Wild_write addr -> Kitten.store_addr ctx addr
+  | Phantom_touch addr ->
+      Kitten.inject_phantom_region ctx.Kitten.kernel
+        (Region.make
+           ~base:(Addr.page_down addr ~size:Addr.page_size_2m)
+           ~len:Addr.page_size_2m);
+      Kitten.store_addr ctx addr
+  | Errant_ipi { dest; vector } -> Kitten.send_ipi ctx ~dest ~vector
+  | Msr_write -> Kitten.wrmsr_sensitive ctx
+  | Port_reset -> Kitten.out_reset_port ctx
+  | Double_fault -> Kitten.trigger_double_fault ctx
+  | Wedge { cycles } -> Kitten.spin_wedged ctx ~cycles
+
+let injected t = t.applied

@@ -1,0 +1,67 @@
+(** The reusable fault-injection engine.
+
+    Generalizes the ad-hoc fault list that used to live inside the
+    campaign harness into a seeded, schedulable module, so campaigns,
+    tests and the supervisor soak all drive the {e same} deterministic
+    injector (the IRIS lesson: recovery paths are only trustworthy if
+    the faults that exercise them are systematic and replayable).
+
+    Two sources of faults coexist in one engine:
+
+    - a {b seeded random stream} ({!draw}) reproducing the campaign's
+      fault taxonomy — equal seeds yield equal fault sequences;
+    - a {b schedule} of rules ({!due}) that fire a specific fault at a
+      specific enclave at a given trial, every N trials, or once a
+      cycle deadline passes. *)
+
+open Covirt_hw
+open Covirt_kitten
+
+type fault =
+  | Wild_write of Addr.t  (** raw store anywhere in physical memory *)
+  | Phantom_touch of Addr.t
+      (** desynchronize the believed memory map, then touch it *)
+  | Errant_ipi of { dest : int; vector : int }
+  | Msr_write  (** write a protected MSR *)
+  | Port_reset  (** hard reset via port 0xCF9 *)
+  | Double_fault  (** abort-class exception *)
+  | Wedge of { cycles : int }
+      (** livelock the core: no trap, no message, no progress — the
+          fault class only the watchdog can notice *)
+
+val pp_fault : Format.formatter -> fault -> unit
+
+val is_wedge : fault -> bool
+
+val is_fatal_under_full_protection : fault -> bool
+(** Whether the fault, injected under the full protection config,
+    terminates the enclave ([Errant_ipi] is dropped, [Wedge] hangs,
+    [Wild_write] depends on where it lands — reported [false]). *)
+
+type trigger =
+  | At_trial of int  (** fire exactly once, at that trial number *)
+  | Every_n_trials of int  (** fire whenever [trial mod n = 0] *)
+  | At_cycle of int  (** fire once, at the first check past this TSC *)
+
+type rule = { target : string; trigger : trigger; fault : fault }
+
+type t
+
+val create : seed:int -> ?rules:rule list -> unit -> t
+
+val draw : t -> machine_mem:int -> victim_bsp:int -> fault
+(** Next fault from the seeded random stream — the campaign taxonomy:
+    wild write, phantom touch, errant IPI at the victim's boot core,
+    MSR write, port reset, double fault (never [Wedge]). *)
+
+val due : t -> target:string -> trial:int -> now:int -> fault list
+(** Scheduled faults firing for [target] at this [trial] / [now] TSC.
+    One-shot triggers are consumed. *)
+
+val inject : t -> Kitten.context -> fault -> unit
+(** Apply the fault on the given execution context and count it.  May
+    raise whatever the fault raises (e.g. {!Covirt_hw.Vmx.Vm_terminated}
+    under protection, {!Covirt_hw.Machine.Node_panic} natively). *)
+
+val injected : t -> int
+(** Total faults applied through {!inject}. *)

@@ -1,0 +1,242 @@
+open Covirt_hw
+open Covirt_pisces
+open Covirt_kitten
+
+type result = {
+  seed : int;
+  trials : int;
+  faults_injected : int;
+  fatal_recoveries : int;
+  wedges_injected : int;
+  wedges_detected : int;
+  quarantined : (string * string) list;
+  budget_respected : bool;
+  sibling_residual : float;
+  reference_residual : float;
+  sibling_unperturbed : bool;
+  timeline : Supervisor.event list;
+  incarnations : (string * int) list;
+}
+
+let gib = Covirt_sim.Units.gib
+let mib = Covirt_sim.Units.mib
+
+(* Soak timing is compressed relative to the production defaults so
+   hundreds of fault/recovery cycles fit in one run: short backoffs, a
+   tight stability window (the budget recharges between trials — the
+   soak exercises recovery, the quarantine tests exercise the
+   breaker), and a watchdog deadline of four trial epochs. *)
+let epoch = 1_000_000 (* host cycles of soak time per trial *)
+
+let soak_policy =
+  {
+    Supervisor.max_restarts = 25;
+    backoff_base = 50_000;
+    backoff_factor = 2;
+    backoff_cap = 5_000_000;
+    stability_window = 2 * epoch;
+    watchdog_deadline = 4 * epoch;
+  }
+
+let worker_a = "worker-a"
+let worker_b = "worker-b"
+let sibling = "sibling"
+
+(* Scheduled wedges, matched to the target alternation (worker-a takes
+   even trials, worker-b odd ones). *)
+let wedge_rules =
+  let wedge target trial =
+    {
+      Fault_injector.target;
+      trigger = Fault_injector.At_trial trial;
+      fault = Fault_injector.Wedge { cycles = 8_000_000 };
+    }
+  in
+  List.map (wedge worker_a) [ 40; 96; 150 ]
+  @ List.map (wedge worker_b) [ 61; 121; 181 ]
+
+let launcher hobbes ~name ~core ~zone () =
+  Covirt_hobbes.Hobbes.launch_enclave hobbes ~name ~cores:[ core ]
+    ~mem:[ (zone, 512 * mib) ]
+    ()
+
+let hpcg_residual ctxs =
+  match
+    Covirt_workloads.Hpcg.run ctxs ~nominal_dim:64 ~real_dim:12 ~iterations:25
+      ()
+  with
+  | Ok r -> r.Covirt_workloads.Hpcg.final_residual
+  | Error e -> failwith ("soak: HPCG failed: " ^ e)
+
+(* A clean machine with the identical launch sequence and solve, for
+   the unperturbed-sibling comparison.  The residual is pure
+   arithmetic, so any supervision interference on the soaked machine
+   would show up as a mismatch. *)
+let reference_residual ~seed =
+  let machine =
+    Machine.create ~seed ~zones:2 ~cores_per_zone:3 ~mem_per_zone:(4 * gib) ()
+  in
+  let hobbes = Covirt_hobbes.Hobbes.create machine ~host_core:0 in
+  let _ctrl =
+    Covirt.enable (Covirt_hobbes.Hobbes.pisces hobbes)
+      ~config:Covirt.Config.full
+  in
+  match launcher hobbes ~name:sibling ~core:4 ~zone:1 () with
+  | Error e -> failwith ("soak reference: " ^ e)
+  | Ok (enclave, kitten) ->
+      hpcg_residual [ Kitten.context kitten ~core:(Enclave.bsp enclave) ]
+
+let run ?(trials = 200) ?(seed = 2026) () =
+  let machine =
+    Machine.create ~seed ~zones:2 ~cores_per_zone:3 ~mem_per_zone:(4 * gib) ()
+  in
+  let machine_mem = 8 * gib in
+  let hobbes = Covirt_hobbes.Hobbes.create machine ~host_core:0 in
+  let pisces = Covirt_hobbes.Hobbes.pisces hobbes in
+  let ctrl = Covirt.enable pisces ~config:Covirt.Config.full in
+  let sup = Supervisor.create ~policy:soak_policy ~seed ctrl in
+  let dog = Watchdog.create sup in
+  let injector = Fault_injector.create ~seed:(seed + 1) ~rules:wedge_rules () in
+  let launch name core zone =
+    match Supervisor.manage sup ~name ~launch:(launcher hobbes ~name ~core ~zone)
+    with
+    | Ok _ -> ()
+    | Error e -> failwith ("soak: launch of " ^ name ^ " failed: " ^ e)
+  in
+  launch worker_a 1 0;
+  launch worker_b 3 1;
+  launch sibling 4 1;
+  let wedged = Hashtbl.create 2 in
+  let fatal_recoveries = ref 0 in
+  let wedges_injected = ref 0 in
+  let wedges_detected = ref 0 in
+  let host = Pisces.host_cpu pisces in
+  for trial = 1 to trials do
+    (* Soak time passes on the host between fault opportunities. *)
+    Cpu.charge host epoch;
+    let target = if trial mod 2 = 0 then worker_a else worker_b in
+    List.iter
+      (fun name ->
+        if Hashtbl.mem wedged name then
+          (* A wedged kernel does nothing observable: no heartbeat, no
+             work — only the watchdog below can get it back. *)
+          ()
+        else
+          let is_target = name = target in
+          let outcome =
+            Supervisor.run_protected sup ~name (fun ctx ->
+                Kitten.heartbeat ctx;
+                Cpu.charge ctx.Kitten.cpu 10_000;
+                if is_target then begin
+                  let now = Cpu.rdtsc host in
+                  let scheduled =
+                    Fault_injector.due injector ~target:name ~trial ~now
+                  in
+                  if List.exists Fault_injector.is_wedge scheduled then begin
+                    (* Wedge trials wedge and nothing else, so the
+                       stall is attributable. *)
+                    incr wedges_injected;
+                    Hashtbl.replace wedged name ();
+                    List.iter (Fault_injector.inject injector ctx) scheduled
+                  end
+                  else begin
+                    List.iter (Fault_injector.inject injector ctx) scheduled;
+                    let victim_bsp =
+                      match Supervisor.enclave sup ~name:sibling with
+                      | Some e -> Enclave.bsp e
+                      | None -> 4
+                    in
+                    Fault_injector.inject injector ctx
+                      (Fault_injector.draw injector ~machine_mem ~victim_bsp)
+                  end
+                end)
+          in
+          match outcome with
+          | `Ok -> ()
+          | `Recovered ->
+              incr fatal_recoveries;
+              Hashtbl.remove wedged name
+          | `Quarantined _ -> Hashtbl.remove wedged name)
+      [ worker_a; worker_b; sibling ];
+    List.iter
+      (fun name ->
+        incr wedges_detected;
+        Hashtbl.remove wedged name)
+      (Watchdog.poll dog)
+  done;
+  (* The never-faulted sibling must now produce the exact result a
+     clean machine produces. *)
+  let sibling_res = ref nan in
+  (match
+     Supervisor.run_protected sup ~name:sibling (fun ctx ->
+         sibling_res := hpcg_residual [ ctx ])
+   with
+  | `Ok -> ()
+  | `Recovered | `Quarantined _ ->
+      failwith "soak: sibling needed recovery during the final solve");
+  let reference = reference_residual ~seed in
+  let timeline = Supervisor.timeline sup in
+  let budget_respected =
+    List.for_all
+      (fun (e : Supervisor.event) ->
+        match e.Supervisor.kind with
+        | Supervisor.Backing_off { attempt; _ } ->
+            attempt <= soak_policy.Supervisor.max_restarts
+        | _ -> true)
+      timeline
+    && List.for_all
+         (fun name ->
+           match Supervisor.status sup ~name with
+           | Supervisor.Quarantined _ ->
+               List.mem_assoc name (Supervisor.quarantine_ledger sup)
+           | Supervisor.Healthy -> true)
+         (Supervisor.names sup)
+  in
+  let sibling_healthy =
+    match Supervisor.kitten sup ~name:sibling with
+    | Some k -> Kitten.health k = `Ok
+    | None -> false
+  in
+  {
+    seed;
+    trials;
+    faults_injected = Fault_injector.injected injector;
+    fatal_recoveries = !fatal_recoveries;
+    wedges_injected = !wedges_injected;
+    wedges_detected = !wedges_detected;
+    quarantined = Supervisor.quarantine_ledger sup;
+    budget_respected;
+    sibling_residual = !sibling_res;
+    reference_residual = reference;
+    sibling_unperturbed =
+      Supervisor.incarnation sup ~name:sibling = 0
+      && Supervisor.status sup ~name:sibling = Supervisor.Healthy
+      && sibling_healthy
+      && !sibling_res = reference;
+    timeline;
+    incarnations =
+      List.map
+        (fun name -> (name, Supervisor.incarnation sup ~name))
+        (Supervisor.names sup);
+  }
+
+let table r =
+  let t =
+    Covirt_sim.Table.create
+      ~columns:[ "metric"; "value" ]
+  in
+  let add metric value = Covirt_sim.Table.add_row t [ metric; value ] in
+  add "trials" (string_of_int r.trials);
+  add "faults injected" (string_of_int r.faults_injected);
+  add "fatal -> recovered" (string_of_int r.fatal_recoveries);
+  add "wedges injected" (string_of_int r.wedges_injected);
+  add "wedges detected" (string_of_int r.wedges_detected);
+  add "quarantined" (string_of_int (List.length r.quarantined));
+  add "budget respected" (string_of_bool r.budget_respected);
+  List.iter
+    (fun (name, inc) -> add (name ^ " relaunches") (string_of_int inc))
+    r.incarnations;
+  add "sibling residual" (Printf.sprintf "%.6e" r.sibling_residual);
+  add "reference residual" (Printf.sprintf "%.6e" r.reference_residual);
+  add "sibling unperturbed" (string_of_bool r.sibling_unperturbed);
+  t

@@ -1,0 +1,41 @@
+(** The supervised soak: the supervision subsystem's end-to-end
+    evaluation.
+
+    A seeded campaign on one simulated node: two worker enclaves take
+    alternating faults from the {!Fault_injector} — the random
+    containment taxonomy plus scheduled wedges only the watchdog can
+    catch — while a third, never-faulted sibling enclave heartbeats
+    through the whole run and then computes an HPCG solve.  The
+    supervisor must recover every recoverable fault within its restart
+    budget, the watchdog must catch every wedge, and the sibling's
+    numerical result must be bit-identical to a clean reference
+    machine that saw no faults at all.
+
+    Everything is driven by one seed; equal seeds give equal
+    timelines. *)
+
+type result = {
+  seed : int;
+  trials : int;
+  faults_injected : int;  (** total faults applied by the injector *)
+  fatal_recoveries : int;  (** contained kills turned into relaunches *)
+  wedges_injected : int;
+  wedges_detected : int;  (** wedges the watchdog escalated *)
+  quarantined : (string * string) list;  (** the supervisor's ledger *)
+  budget_respected : bool;
+      (** no backoff attempt ever exceeded the restart budget, and
+          every permanently-down enclave is explained by the ledger *)
+  sibling_residual : float;  (** HPCG residual on the soaked machine *)
+  reference_residual : float;  (** same solve on a clean machine *)
+  sibling_unperturbed : bool;
+      (** sibling never restarted, never corrupted, and its residual
+          matches the reference exactly *)
+  timeline : Supervisor.event list;  (** full recovery timeline *)
+  incarnations : (string * int) list;  (** relaunch count per enclave *)
+}
+
+val run : ?trials:int -> ?seed:int -> unit -> result
+(** Defaults: 200 trials, seed 2026. *)
+
+val table : result -> Covirt_sim.Table.t
+(** Summary table for the CLI. *)

@@ -1,0 +1,116 @@
+(** The enclave supervisor: fault-driven containment-and-recovery.
+
+    Turns a fatal fault report into a full recovery protocol instead
+    of a dead end (the Quest-V model: reboot the failed kernel while
+    the rest of the machine keeps running).  Per managed enclave it
+    runs a restart policy:
+
+    - {b teardown}: if the enclave is still nominally running (the
+      wedged case), its cores are halted through the hypervisor
+      command queue (NMI doorbell + halt command), then the enclave is
+      reclaimed through Pisces — which unmaps the EPT and releases
+      cores, memory and vectors through the controller's destroy hook;
+    - {b backoff}: relaunch waits an exponentially growing number of
+      {e simulated cycles} (with deterministic seeded jitter), charged
+      to the host control core;
+    - {b relaunch}: the registered launch closure boots a fresh
+      incarnation under the same name (and hence the same Covirt
+      config override);
+    - {b circuit breaker}: an enclave that exhausts its restart budget
+      without a stability window elapsing is permanently quarantined,
+      and the quarantine ledger records why.
+
+    The supervisor subscribes to the controller's fault-report feed,
+    so every recovery decision can name the report that triggered it.
+    All timing is in simulated cycles — equal seeds yield equal
+    recovery timelines. *)
+
+open Covirt_pisces
+open Covirt_kitten
+
+type policy = {
+  max_restarts : int;  (** restart budget before quarantine *)
+  backoff_base : int;  (** first backoff delay, cycles *)
+  backoff_factor : int;  (** exponential multiplier *)
+  backoff_cap : int;  (** ceiling on one backoff delay *)
+  stability_window : int;
+      (** healthy cycles after a relaunch that reset the budget *)
+  watchdog_deadline : int;  (** silence tolerated before wedge verdict *)
+}
+
+val policy_of_config : Covirt.Config.t -> policy
+(** Lift the supervision knobs out of a protection config. *)
+
+val default_policy : policy
+
+type event_kind =
+  | Fault_detected of string
+  | Wedge_detected of string
+  | Torn_down
+  | Backing_off of { cycles : int; attempt : int }
+  | Relaunched of { enclave_id : int }
+  | Relaunch_failed of string
+  | Quarantine of string
+
+type event = {
+  tsc : int;  (** host TSC when the event was recorded *)
+  name : string;  (** managed enclave name *)
+  incarnation : int;  (** 0 for the original launch, +1 per relaunch *)
+  kind : event_kind;
+}
+
+val pp_event : Format.formatter -> event -> unit
+
+type status = Healthy | Quarantined of string
+
+type t
+
+val create : ?policy:policy -> seed:int -> Covirt.Controller.t -> t
+(** Attach to the controller's fault feed.  [policy] defaults to
+    {!policy_of_config} of the controller's default config. *)
+
+val manage :
+  t ->
+  name:string ->
+  launch:(unit -> (Enclave.t * Kitten.t, string) result) ->
+  (Enclave.t * Kitten.t, string) result
+(** Perform the initial launch and put the enclave under supervision.
+    [launch] is kept for relaunches; it must boot an enclave under
+    [name]. *)
+
+val run_protected :
+  t ->
+  name:string ->
+  (Kitten.context -> unit) ->
+  [ `Ok | `Recovered | `Quarantined of string ]
+(** Run enclave code (on the current incarnation's boot core) under
+    crash guard.  On containment the recovery protocol runs before
+    returning: [`Recovered] if a fresh incarnation is up,
+    [`Quarantined] if the circuit breaker tripped.  Already-quarantined
+    enclaves are not run at all. *)
+
+val escalate_wedged : t -> name:string -> detail:string -> unit
+(** The watchdog's entry point: record a {!Covirt.Fault_report.Watchdog_timeout}
+    report against the current incarnation, then run the same
+    teardown-and-recovery protocol as a crash. *)
+
+(* Introspection. *)
+
+val names : t -> string list
+val enclave : t -> name:string -> Enclave.t option
+val kitten : t -> name:string -> Kitten.t option
+val status : t -> name:string -> status
+val attempts : t -> name:string -> int
+(** Restarts consumed since the budget was last reset. *)
+
+val incarnation : t -> name:string -> int
+val controller : t -> Covirt.Controller.t
+val policy : t -> policy
+
+val timeline : t -> event list
+(** All events, oldest first. *)
+
+val quarantine_ledger : t -> (string * string) list
+(** [(name, explanation)] for every permanently-down enclave, in
+    quarantine order.  The explanation names the triggering fault
+    report and the consumed budget. *)
