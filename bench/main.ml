@@ -7,6 +7,12 @@
      dune exec bench/main.exe -- fig5    # one experiment
      dune exec bench/main.exe -- quick   # everything, reduced sizes
 
+   Flags:
+     --json               write BENCH_covirt.json (harness wall-clocks
+                          + Bechamel ns/op estimates)
+     --emit-baseline f    snapshot harness wall-clocks as TSV
+     --check f            exit 1 if any harness regressed >25% vs f
+
    Experiments: table1 fig3 fig4 fig5 fig6 fig7 fig8
                 ablate-coalesce ablate-piv ablate-sync bechamel *)
 
@@ -161,6 +167,39 @@ let bechamel_tests () =
       (Staged.stage (fun () ->
            ignore (Ept.translate ept 0x12345678 ~access:`Read)))
   in
+  (* EPT translate on a 4K-grain map (the hard case: a full 4-level
+     walk when cold), warm via the paging-structure walk cache vs cold
+     with the cache disabled *)
+  let grain_len = 64 * mib in
+  let ept_warm = Ept.create ~max_page:Addr.Page_4k () in
+  Ept.map_region ept_warm (Region.make ~base:0 ~len:grain_len);
+  (* pre-touch every page so the measurement sees the steady state,
+     not the one-off lazy slot resolution *)
+  for p = 0 to (grain_len / 4096) - 1 do
+    ignore (Ept.translate ept_warm (p * 4096) ~access:`Read)
+  done;
+  let widx = ref 0 in
+  let translate_warm =
+    Test.make ~name:"ept_translate_warm"
+      (Staged.stage (fun () ->
+           incr widx;
+           ignore
+             (Ept.translate ept_warm
+                ((!widx * 4096 + 8) land (grain_len - 1))
+                ~access:`Read)))
+  in
+  let ept_cold = Ept.create ~max_page:Addr.Page_4k ~walk_cache:false () in
+  Ept.map_region ept_cold (Region.make ~base:0 ~len:grain_len);
+  let cidx = ref 0 in
+  let translate_cold =
+    Test.make ~name:"ept_translate_cold"
+      (Staged.stage (fun () ->
+           incr cidx;
+           ignore
+             (Ept.translate ept_cold
+                ((!cidx * 4096 + 8) land (grain_len - 1))
+                ~access:`Read)))
+  in
   (* EPT map/unmap of a 2M region *)
   let scratch = Ept.create () in
   let map_unmap =
@@ -177,6 +216,52 @@ let bechamel_tests () =
   let tlb_lookup =
     Test.make ~name:"tlb_lookup"
       (Staged.stage (fun () -> ignore (Tlb.lookup tlb 0x200400)))
+  in
+  (* TLB lookup against a completely full TLB — every probe hits, and
+     the probe address cycles through every installed page so set
+     indexing is exercised, not just one hot set *)
+  let full = Tlb.create ~model ~rng:(Covirt_sim.Rng.create ~seed:2) in
+  let sets, ways = Tlb.geometry full Addr.Page_4k in
+  let n_full = sets * ways in
+  let hit_addrs = Array.init n_full (fun i -> i * 4096) in
+  Array.iter (fun a -> Tlb.install full a ~page_size:Addr.Page_4k) hit_addrs;
+  let hidx = ref 0 in
+  let tlb_lookup_hit =
+    Test.make ~name:"tlb_lookup_hit"
+      (Staged.stage (fun () ->
+           incr hidx;
+           ignore (Tlb.lookup full hit_addrs.(!hidx land (n_full - 1)))))
+  in
+  let midx = ref 0 in
+  let tlb_lookup_miss =
+    Test.make ~name:"tlb_lookup_miss"
+      (Staged.stage (fun () ->
+           incr midx;
+           ignore
+             (Tlb.lookup full ((n_full + (!midx land 1023)) * 4096))))
+  in
+  let xidx = ref 0 in
+  let tlb_lookup_mixed =
+    Test.make ~name:"tlb_lookup_mixed"
+      (Staged.stage (fun () ->
+           incr xidx;
+           let a =
+             if !xidx land 1 = 0 then hit_addrs.(!xidx land (n_full - 1))
+             else (n_full + (!xidx land 1023)) * 4096
+           in
+           ignore (Tlb.lookup full a)))
+  in
+  (* memoized bulk charge model *)
+  let machine =
+    Machine.create ~zones:1 ~cores_per_zone:1 ~mem_per_zone:(256 * mib)
+      ~host_reserved_per_zone:(32 * mib) ()
+  in
+  let cpu0 = Machine.cpu machine 0 in
+  let charge_random =
+    Test.make ~name:"charge_random"
+      (Staged.stage (fun () ->
+           Machine.charge_random machine cpu0 ~ops:1000 ~base:(64 * mib)
+             ~working_set:(16 * mib) ~sharers:1 ~page_size:Addr.Page_2m))
   in
   (* whitelist check *)
   let wl = Covirt.Whitelist.create ~enclave_cores:[ 1; 2; 3; 4 ] in
@@ -211,7 +296,14 @@ let bechamel_tests () =
     Test.make ~name:"rng_bits64"
       (Staged.stage (fun () -> ignore (Covirt_sim.Rng.bits64 rng)))
   in
-  [ translate; map_unmap; tlb_lookup; whitelist; cmdq; region_mem; rng_test ]
+  [
+    translate; translate_warm; translate_cold; map_unmap; tlb_lookup;
+    tlb_lookup_hit; tlb_lookup_miss; tlb_lookup_mixed; charge_random;
+    whitelist; cmdq; region_mem; rng_test;
+  ]
+
+(* Microbench estimates (ns/op), collected for the JSON report. *)
+let micro_results : (string * float) list ref = ref []
 
 let run_bechamel () =
   section "Bechamel microbenchmarks (host-side hot paths, real ns)";
@@ -219,7 +311,7 @@ let run_bechamel () =
   let open Toolkit in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+    Benchmark.cfg ~limit:3000 ~quota:(Time.second 1.0) ~stabilize:true ()
   in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
@@ -233,7 +325,9 @@ let run_bechamel () =
         (fun name ols_result ->
           let estimate =
             match Analyze.OLS.estimates ols_result with
-            | Some [ e ] -> Format.asprintf "%.1f" e
+            | Some [ e ] ->
+                micro_results := (name, e) :: !micro_results;
+                Format.asprintf "%.1f" e
             | Some es ->
                 String.concat ","
                   (List.map (fun e -> Format.asprintf "%.1f" e) es)
@@ -250,60 +344,141 @@ let run_bechamel () =
   Covirt_sim.Table.print t
 
 (* ------------------------------------------------------------------ *)
+(* The persisted benchmark pipeline: every experiment's wall-clock is
+   recorded; [--json] writes the lot (plus microbench estimates) to
+   BENCH_covirt.json, [--emit-baseline f] snapshots the wall-clocks as
+   TSV, and [--check f] fails the run when any harness regresses more
+   than 25% against such a snapshot. *)
 
-let all ~quick () =
-  run_table1 ();
-  run_fig3 ~quick ();
-  run_fig4 ~quick ();
-  run_fig5 ~quick ();
-  run_fig6 ~quick ();
-  run_fig7 ~quick ();
-  run_fig8 ~quick ();
-  run_ablate_coalesce ~quick ();
-  run_ablate_piv ();
-  run_ablate_sync ~quick ();
-  run_compare ~quick ();
-  run_noise ();
-  run_campaign ~quick ();
-  run_isolation ~quick ();
-  run_scale ~quick ();
-  run_kernels ();
-  run_bechamel ()
+let harness_timings : (string * float) list ref = ref []
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  harness_timings := (name, Unix.gettimeofday () -. t0) :: !harness_timings
+
+let experiments ~quick =
+  [
+    ("table1", run_table1);
+    ("fig3", run_fig3 ~quick);
+    ("fig4", run_fig4 ~quick);
+    ("fig5", run_fig5 ~quick);
+    ("fig6", run_fig6 ~quick);
+    ("fig7", run_fig7 ~quick);
+    ("fig8", run_fig8 ~quick);
+    ("ablate-coalesce", run_ablate_coalesce ~quick);
+    ("ablate-piv", run_ablate_piv);
+    ("ablate-sync", run_ablate_sync ~quick);
+    ("compare", run_compare ~quick);
+    ("noise", run_noise);
+    ("campaign", run_campaign ~quick);
+    ("isolation", run_isolation ~quick);
+    ("scale", run_scale ~quick);
+    ("kernels", run_kernels);
+    ("bechamel", run_bechamel);
+  ]
+
+let json_path = "BENCH_covirt.json"
+
+let write_json ~quick =
+  let oc = open_out json_path in
+  let entries l =
+    String.concat ",\n"
+      (List.rev_map (fun (k, v) -> Printf.sprintf "    %S: %.6f" k v) l)
+  in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"covirt-bench/1\",\n  \"quick\": %b,\n" quick;
+  Printf.fprintf oc "  \"harness_wall_seconds\": {\n%s\n  },\n"
+    (entries !harness_timings);
+  Printf.fprintf oc "  \"microbench_ns_per_op\": {\n%s\n  }\n}\n"
+    (entries !micro_results);
+  close_out oc;
+  Format.printf "@.wrote %s@." json_path
+
+let emit_baseline path =
+  let oc = open_out path in
+  Printf.fprintf oc "# harness wall-clock baseline (name<TAB>seconds)\n";
+  List.iter (fun (n, s) -> Printf.fprintf oc "%s\t%.4f\n" n s)
+    (List.rev !harness_timings);
+  close_out oc;
+  Format.printf "@.wrote baseline %s@." path
+
+let regression_threshold = 1.25
+let check_floor_seconds = 0.05
+
+let check_baseline path =
+  let baseline = ref [] in
+  let ic = open_in path in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.length line > 0 && line.[0] <> '#' then
+         match String.index_opt line '\t' with
+         | Some i ->
+             let name = String.sub line 0 i in
+             let secs =
+               float_of_string
+                 (String.sub line (i + 1) (String.length line - i - 1))
+             in
+             baseline := (name, secs) :: !baseline
+         | None -> ()
+     done
+   with End_of_file -> close_in ic);
+  let failures =
+    List.filter_map
+      (fun (name, base) ->
+        (* sub-floor entries are noise-dominated; skip them *)
+        if base < check_floor_seconds then None
+        else
+          match List.assoc_opt name !harness_timings with
+          | Some cur when cur > regression_threshold *. base ->
+              Some (name, base, cur)
+          | _ -> None)
+      !baseline
+  in
+  match failures with
+  | [] ->
+      Format.printf "@.bench --check: all harness wall-clocks within %.0f%%@."
+        (100.0 *. (regression_threshold -. 1.0))
+  | fs ->
+      List.iter
+        (fun (n, b, c) ->
+          Format.eprintf "bench --check: REGRESSION %s: %.2fs -> %.2fs (+%.0f%%)@."
+            n b c (100.0 *. (c -. b) /. b))
+        fs;
+      exit 1
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "quick" args in
+  let json = List.mem "--json" args in
   Covirt_sim.Table.set_tsv_mode (List.mem "--tsv" args);
-  let experiments =
-    List.filter (fun a -> a <> "quick" && a <> "--tsv") args
+  let rec parse names check baseline_out = function
+    | [] -> (List.rev names, check, baseline_out)
+    | "--check" :: path :: rest -> parse names (Some path) baseline_out rest
+    | "--emit-baseline" :: path :: rest -> parse names check (Some path) rest
+    | ("--check" | "--emit-baseline") :: [] ->
+        Format.eprintf "--check/--emit-baseline need a file argument@.";
+        exit 1
+    | ("quick" | "--tsv" | "--json") :: rest -> parse names check baseline_out rest
+    | a :: rest -> parse (a :: names) check baseline_out rest
   in
-  match experiments with
-  | [] -> all ~quick ()
+  let names, check, baseline_out = parse [] None None args in
+  let table = experiments ~quick in
+  (match names with
+  | [] -> List.iter (fun (name, f) -> timed name f) table
   | names ->
       List.iter
         (fun name ->
-          match name with
-          | "table1" -> run_table1 ()
-          | "fig3" -> run_fig3 ~quick ()
-          | "fig4" -> run_fig4 ~quick ()
-          | "fig5" -> run_fig5 ~quick ()
-          | "fig6" -> run_fig6 ~quick ()
-          | "fig7" -> run_fig7 ~quick ()
-          | "fig8" -> run_fig8 ~quick ()
-          | "ablate-coalesce" -> run_ablate_coalesce ~quick ()
-          | "ablate-piv" -> run_ablate_piv ()
-          | "ablate-sync" -> run_ablate_sync ~quick ()
-          | "compare" -> run_compare ~quick ()
-          | "kernels" -> run_kernels ()
-          | "noise" -> run_noise ()
-          | "scale" -> run_scale ~quick ()
-          | "campaign" -> run_campaign ~quick ()
-          | "isolation" -> run_isolation ~quick ()
-          | "bechamel" -> run_bechamel ()
-          | other ->
+          match List.assoc_opt name table with
+          | Some f -> timed name f
+          | None ->
               Format.eprintf
                 "unknown experiment %S (try: table1 fig3..fig8 \
                  ablate-coalesce ablate-piv ablate-sync bechamel)@."
-                other;
+                name;
               exit 1)
-        names
+        names);
+  if json then write_json ~quick;
+  Option.iter emit_baseline baseline_out;
+  Option.iter check_baseline check

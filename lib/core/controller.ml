@@ -186,10 +186,11 @@ let signal_all_cores t instance command =
                   kind = Fault_report.Queue_stall;
                   fatal = false;
                   detail =
-                    Format.asprintf
-                      "command ring on core %d still full after NMI drain \
-                       (%s); %a lost"
-                      core why Command.pp_command command;
+                    lazy
+                      (Format.asprintf
+                         "command ring on core %d still full after NMI drain \
+                          (%s); %a lost"
+                         core why Command.pp_command command);
                 }));
       Machine.post_host_nmi machine ~dest:core)
     instance.hypervisors

@@ -13,7 +13,10 @@ type t = {
   tsc : int;
   kind : kind;
   fatal : bool;
-  detail : string;
+  detail : string Lazy.t;
+      (** rendered on demand — dropped-event paths (ICR drops,
+          suppressed port reads) never pay the formatting unless a
+          consumer actually reads it *)
 }
 
 let kind_name = function
@@ -29,4 +32,4 @@ let pp ppf t =
   Format.fprintf ppf "[tsc %d] enclave %d cpu %d %s%s: %s" t.tsc t.enclave
     t.cpu (kind_name t.kind)
     (if t.fatal then " (fatal)" else " (dropped)")
-    t.detail
+    (Lazy.force t.detail)

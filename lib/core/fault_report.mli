@@ -24,7 +24,11 @@ type t = {
   tsc : int;
   kind : kind;
   fatal : bool;  (** true when the enclave was terminated *)
-  detail : string;
+  detail : string Lazy.t;
+      (** human-readable cause, rendered on demand: the hot dropped
+          paths (errant ICR writes, suppressed port reads) build the
+          thunk without formatting, so enforcement stays cheap unless
+          someone actually reads the report *)
 }
 
 val kind_name : kind -> string

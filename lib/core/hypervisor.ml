@@ -37,11 +37,16 @@ let emulations t = t.emulations
 let make_report t ~kind ~fatal detail =
   (* the master control process's debugging record: every enforcement
      event also lands in the machine trace ("provided the ability to
-     collect debugging traces when it did occur") *)
-  Covirt_sim.Trace.recordf t.machine.Machine.trace ~tsc:(Cpu.rdtsc t.cpu)
-    ~cpu:t.cpu.Cpu.id
-    ~severity:(if fatal then Covirt_sim.Trace.Error else Covirt_sim.Trace.Warn)
-    "covirt %s: %s" (Fault_report.kind_name kind) detail;
+     collect debugging traces when it did occur") — but the detail
+     string only gets rendered if the trace sink would keep it *)
+  let trace = t.machine.Machine.trace in
+  let severity =
+    if fatal then Covirt_sim.Trace.Error else Covirt_sim.Trace.Warn
+  in
+  if Covirt_sim.Trace.would_record trace ~severity then
+    Covirt_sim.Trace.recordf trace ~tsc:(Cpu.rdtsc t.cpu) ~cpu:t.cpu.Cpu.id
+      ~severity "covirt %s: %s" (Fault_report.kind_name kind)
+      (Lazy.force detail);
   {
     Fault_report.enclave = t.vmcs.Vmcs.enclave;
     cpu = t.cpu.Cpu.id;
@@ -91,15 +96,16 @@ let handle_exit t (reason : Vmcs.exit_reason) : Vmcs.action =
   match reason with
   | Vmcs.Ept_violation v ->
       let detail =
-        Format.asprintf "EPT %s violation at gpa %a"
-          (match v.Ept.access with
-          | `Read -> "read"
-          | `Write -> "write"
-          | `Exec -> "exec")
-          Addr.pp v.Ept.gpa
+        lazy
+          (Format.asprintf "EPT %s violation at gpa %a"
+             (match v.Ept.access with
+             | `Read -> "read"
+             | `Write -> "write"
+             | `Exec -> "exec")
+             Addr.pp v.Ept.gpa)
       in
       t.report (make_report t ~kind:Fault_report.Memory_violation ~fatal:true detail);
-      Vmcs.Kill { reason = detail }
+      Vmcs.Kill { reason = Lazy.force detail }
   | Vmcs.Icr_write icr ->
       Cpu.charge t.cpu t.machine.Machine.model.Cost_model.icr_whitelist_check;
       if Whitelist.permits t.whitelist ~icr then Vmcs.Resume
@@ -107,15 +113,15 @@ let handle_exit t (reason : Vmcs.exit_reason) : Vmcs.action =
         Whitelist.note_dropped t.whitelist;
         t.report
           (make_report t ~kind:Fault_report.Errant_ipi ~fatal:false
-             (Format.asprintf "dropped %a" Apic.pp_icr icr));
+             (lazy (Format.asprintf "dropped %a" Apic.pp_icr icr)));
         Vmcs.Skip
       end
   | Vmcs.Msr_access { msr; write; _ } ->
       if write then begin
-        let detail = Format.asprintf "write to protected MSR 0x%x" msr in
+        let detail = lazy (Format.asprintf "write to protected MSR 0x%x" msr) in
         t.report
           (make_report t ~kind:Fault_report.Msr_violation ~fatal:true detail);
-        Vmcs.Kill { reason = detail }
+        Vmcs.Kill { reason = Lazy.force detail }
       end
       else begin
         (* Protected reads are emulated from the live register file. *)
@@ -125,15 +131,17 @@ let handle_exit t (reason : Vmcs.exit_reason) : Vmcs.action =
       end
   | Vmcs.Io_access { port; write; _ } ->
       if write then begin
-        let detail = Format.asprintf "write to protected I/O port 0x%x" port in
+        let detail =
+          lazy (Format.asprintf "write to protected I/O port 0x%x" port)
+        in
         t.report
           (make_report t ~kind:Fault_report.Io_violation ~fatal:true detail);
-        Vmcs.Kill { reason = detail }
+        Vmcs.Kill { reason = Lazy.force detail }
       end
       else begin
         t.report
           (make_report t ~kind:Fault_report.Io_violation ~fatal:false
-             (Format.asprintf "suppressed read of protected port 0x%x" port));
+             (lazy (Format.asprintf "suppressed read of protected port 0x%x" port)));
         Vmcs.Skip
       end
   | Vmcs.Cpuid | Vmcs.Xsetbv ->
@@ -153,10 +161,10 @@ let handle_exit t (reason : Vmcs.exit_reason) : Vmcs.action =
         Vmcs.Kill { reason = "halted by controller" }
       else Vmcs.Skip
   | Vmcs.Abort { what } ->
-      let detail = Format.asprintf "abort-class exception: %s" what in
+      let detail = lazy (Format.asprintf "abort-class exception: %s" what) in
       t.report
         (make_report t ~kind:Fault_report.Abort_fault ~fatal:true detail);
-      Vmcs.Kill { reason = detail }
+      Vmcs.Kill { reason = Lazy.force detail }
 
 let launch t =
   (* The execution context is minimal: a preallocated stack, no

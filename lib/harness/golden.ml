@@ -1,0 +1,205 @@
+(* Golden snapshot of every simulated observable the translation fast
+   path could perturb.  The capture is pure simulation — no host
+   timing — so the string is bit-stable run over run; the committed
+   copy in test/golden/ pins the pre-optimisation outputs and the
+   golden test asserts equality after every change to the TLB/EPT/cost
+   paths. *)
+
+open Covirt_hw
+
+let mib = Covirt_sim.Units.mib
+let gib = Covirt_sim.Units.gib
+
+let section buf name =
+  Buffer.add_string buf ("\n== " ^ name ^ " ==\n")
+
+let table buf t = Buffer.add_string buf (Covirt_sim.Table.render t)
+
+let linef buf fmt = Format.kasprintf (Buffer.add_string buf) (fmt ^^ "@\n")
+
+(* Exact float: tables round to 4 significant digits, which could mask
+   a small perturbation; the raw rows are dumped at full precision. *)
+let f = Printf.sprintf "%.17g"
+
+let figures buf =
+  section buf "fig3";
+  let rows = Fig3.run ~quick:true () in
+  table buf (Fig3.table rows);
+  List.iter
+    (fun (r : Fig3.row) ->
+      linef buf "fig3 %s detours=%d noise=%s" r.Fig3.config r.Fig3.detour_count
+        (f r.Fig3.noise_fraction))
+    rows;
+  section buf "fig4";
+  let points = Fig4.run ~quick:true () in
+  table buf (Fig4.table points);
+  List.iter
+    (fun (p : Fig4.point) ->
+      linef buf "fig4 native_us=%s covirt_us=%s overhead=%s" (f p.Fig4.native_us)
+        (f p.Fig4.covirt_us) (f p.Fig4.overhead))
+    points;
+  section buf "fig5";
+  let rows = Fig5.run ~quick:true () in
+  table buf (Fig5.stream_table rows);
+  table buf (Fig5.gups_table rows);
+  List.iter
+    (fun (r : Fig5.row) ->
+      linef buf "fig5 %s triad=%s copy=%s gups=%s so=%s go=%s" r.Fig5.config
+        (f r.Fig5.triad_mb_s) (f r.Fig5.copy_mb_s) (f r.Fig5.gups)
+        (f r.Fig5.stream_overhead) (f r.Fig5.gups_overhead))
+    rows;
+  section buf "fig6";
+  let rows = Fig6.run ~quick:true () in
+  table buf (Fig6.table rows);
+  List.iter
+    (fun (r : Fig6.row) ->
+      List.iter
+        (fun (c : Fig6.cell) ->
+          linef buf "fig6 %s %s gflops=%s overhead=%s" r.Fig6.layout
+            c.Fig6.config (f c.Fig6.gflops) (f c.Fig6.overhead))
+        r.Fig6.cells)
+    rows;
+  section buf "fig7";
+  let rows = Fig7.run ~quick:true () in
+  table buf (Fig7.table rows);
+  List.iter
+    (fun (r : Fig7.row) ->
+      List.iter
+        (fun (c : Fig7.cell) ->
+          linef buf "fig7 %s %s gflops=%s overhead=%s" r.Fig7.layout
+            c.Fig7.config (f c.Fig7.gflops) (f c.Fig7.overhead))
+        r.Fig7.cells)
+    rows;
+  section buf "fig8";
+  let rows = Fig8.run ~quick:true () in
+  table buf (Fig8.table rows);
+  List.iter
+    (fun (r : Fig8.row) ->
+      List.iter
+        (fun (c : Fig8.cell) ->
+          linef buf "fig8 %s %s loop_s=%s overhead=%s" r.Fig8.bench
+            c.Fig8.config (f c.Fig8.loop_seconds) (f c.Fig8.overhead))
+        r.Fig8.cells)
+    rows
+
+let studies buf =
+  section buf "ablate-coalesce";
+  table buf (Ablate.coalescing_table (Ablate.coalescing ~quick:true ()));
+  section buf "ablate-piv";
+  table buf (Ablate.piv_table (Ablate.piv_vs_full ()));
+  section buf "ablate-sync";
+  table buf (Ablate.sync_table (Ablate.sync_vs_async ~quick:true ()));
+  section buf "compare";
+  table buf (Compare_virt.ipc_table (Compare_virt.ipc ()));
+  table buf (Compare_virt.sharing_table (Compare_virt.sharing ~quick:true ()));
+  section buf "noise";
+  table buf (Noise_compare.table (Noise_compare.run ()));
+  section buf "scale";
+  table buf (Scale.table (Scale.run ~quick:true ()));
+  section buf "kernels";
+  table buf (Kernels.table (Kernels.matrix ()));
+  section buf "isolation";
+  table buf (Isolation.table (Isolation.run ~quick:true ()));
+  section buf "campaign";
+  let rows = Campaign.run ~trials:30 () in
+  table buf (Campaign.table rows);
+  List.iter
+    (fun (r : Campaign.row) ->
+      linef buf "campaign %s contained=%d down=%d collateral=%d latent=%d"
+        r.Campaign.config r.Campaign.contained r.Campaign.node_down
+        r.Campaign.collateral r.Campaign.latent)
+    rows
+
+let soak buf =
+  section buf "soak";
+  let r = Covirt_resilience.Soak.run ~trials:60 ~seed:2026 () in
+  linef buf "soak faults=%d fatal_recoveries=%d wedges=%d/%d budget=%b"
+    r.Covirt_resilience.Soak.faults_injected
+    r.Covirt_resilience.Soak.fatal_recoveries
+    r.Covirt_resilience.Soak.wedges_detected
+    r.Covirt_resilience.Soak.wedges_injected
+    r.Covirt_resilience.Soak.budget_respected;
+  linef buf "soak sibling_residual=%s reference_residual=%s unperturbed=%b"
+    (f r.Covirt_resilience.Soak.sibling_residual)
+    (f r.Covirt_resilience.Soak.reference_residual)
+    r.Covirt_resilience.Soak.sibling_unperturbed;
+  List.iter
+    (fun (name, n) -> linef buf "soak incarnations %s=%d" name n)
+    r.Covirt_resilience.Soak.incarnations
+
+(* Granular scenario: loads/stores through the real (stateful) TLB and
+   EPT on a protected stack, with flushes in between — the per-CPU TSC
+   values at the end pin the cycle-exact behaviour of the granular
+   translation path. *)
+let granular buf =
+  section buf "granular";
+  let machine =
+    Machine.create ~seed:11 ~zones:2 ~cores_per_zone:2
+      ~mem_per_zone:(2 * gib) ~host_reserved_per_zone:(128 * mib) ()
+  in
+  let hobbes = Covirt_hobbes.Hobbes.create machine ~host_core:0 in
+  let _controller =
+    Covirt.enable (Covirt_hobbes.Hobbes.pisces hobbes)
+      ~config:Covirt.Config.full
+  in
+  match
+    Covirt_hobbes.Hobbes.launch_enclave hobbes ~name:"golden" ~cores:[ 1; 2 ]
+      ~mem:[ (0, 256 * mib); (1, 256 * mib) ] ()
+  with
+  | Error e -> failwith ("golden granular boot: " ^ e)
+  | Ok (_enclave, kitten) ->
+      let ctx1 = Covirt_kitten.Kitten.context kitten ~core:1 in
+      let ctx2 = Covirt_kitten.Kitten.context kitten ~core:2 in
+      let alloc (ctx : Covirt_kitten.Kitten.context) bytes =
+        match
+          Covirt_kitten.Kitten.kalloc ~near_core:ctx.Covirt_kitten.Kitten.cpu.Cpu.id
+            ctx.Covirt_kitten.Kitten.kernel ~bytes
+        with
+        | Ok base -> base
+        | Error e -> failwith ("golden granular alloc: " ^ e)
+      in
+      let b1 = alloc ctx1 (16 * mib) in
+      let b2 = alloc ctx2 (16 * mib) in
+      let cpu1 = ctx1.Covirt_kitten.Kitten.cpu in
+      let cpu2 = ctx2.Covirt_kitten.Kitten.cpu in
+      for _pass = 1 to 3 do
+        for i = 0 to 1023 do
+          Machine.load machine cpu1 (b1 + (i * Addr.page_size_4k));
+          Machine.store machine cpu2 (b2 + (i * Addr.page_size_4k))
+        done
+      done;
+      (* Flush part of each TLB and re-touch: exercises flush_range
+         precision and re-install. *)
+      Tlb.flush_range cpu1.Cpu.tlb
+        (Region.make ~base:b1 ~len:(2 * mib));
+      Tlb.flush_all cpu2.Cpu.tlb;
+      for i = 0 to 511 do
+        Machine.load machine cpu1 (b1 + (i * Addr.page_size_4k));
+        Machine.load machine cpu2 (b2 + (i * Addr.page_size_4k))
+      done;
+      (* Cross-enclave-free observables. *)
+      for core = 0 to Machine.ncores machine - 1 do
+        let cpu = Machine.cpu machine core in
+        linef buf "granular cpu%d tsc=%d tlb_entries=%d flushes=%d" core
+          (Cpu.rdtsc cpu)
+          (Tlb.entry_count cpu.Cpu.tlb)
+          (Tlb.flush_count cpu.Cpu.tlb)
+      done;
+      linef buf "granular wild_reads=%d" machine.Machine.wild_reads;
+      (match Cpu.vmcs cpu1 with
+      | Some vmcs -> (
+          match vmcs.Vmcs.controls.Vmcs.ept with
+          | Some ept ->
+              let n4k, n2m, n1g = Ept.leaf_counts ept in
+              linef buf "granular ept leaves=%d/%d/%d writes=%d" n4k n2m n1g
+                (Ept.entry_writes ept)
+          | None -> linef buf "granular ept none")
+      | None -> linef buf "granular host mode")
+
+let capture () =
+  let buf = Buffer.create (1 lsl 16) in
+  figures buf;
+  studies buf;
+  soak buf;
+  granular buf;
+  Buffer.contents buf

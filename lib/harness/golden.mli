@@ -1,0 +1,9 @@
+(** Golden snapshot of the simulated observables guarded by the
+    translation-fast-path bit-equality invariant: every figure table
+    (rendered and at full float precision), the ablation and campaign
+    studies, the supervised-soak residuals, and the per-CPU TSC values
+    of a granular load/store scenario.  The capture contains no host
+    timing, so equal code ⇒ equal string; the committed copy under
+    [test/golden/] is asserted by [test_golden]. *)
+
+val capture : unit -> string

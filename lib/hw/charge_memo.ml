@@ -1,0 +1,41 @@
+type mode =
+  | Host
+  | Guest of { ept : (int * int) option; vapic : bool }
+      (** [ept] is [(uid, generation)] — pins both which table the core
+          runs under and its exact mapping state. *)
+
+type key = {
+  kind : [ `Stream | `Random ];
+  zone : int;
+  base : Addr.t;
+  len : int;
+  sharers : int;
+  page_size : Addr.page_size;
+  mode : mode;
+  bg_gen : int;
+}
+
+type t = {
+  table : (key, float) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let max_entries = 4096
+
+let create () = { table = Hashtbl.create 64; hits = 0; misses = 0 }
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some _ as hit ->
+      t.hits <- t.hits + 1;
+      hit
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let store t key v =
+  if Hashtbl.length t.table >= max_entries then Hashtbl.reset t.table;
+  Hashtbl.replace t.table key v
+
+let stats t = (t.hits, t.misses)

@@ -1,0 +1,35 @@
+(** Memo table for the bulk charge models.
+
+    The per-line / per-op float cost that [Machine.charge_stream] and
+    [Machine.charge_random] derive is a pure function of the fields in
+    {!key}: the access shape, the caller's NUMA zone, and a
+    fingerprint of everything the translation tax can see — the CPU's
+    execution mode, the EPT's identity and generation, the
+    APIC-virtualization state, and the machine's background-streamer
+    generation.  Caching it turns the per-call cost into one hash
+    probe while producing bit-identical charges (the cached float is
+    the same float the formula would recompute).
+
+    The table is bounded; overflowing it resets the memo (correctness
+    never depends on retention). *)
+
+type mode = Host | Guest of { ept : (int * int) option; vapic : bool }
+
+type key = {
+  kind : [ `Stream | `Random ];
+  zone : int;
+  base : Addr.t;
+  len : int;  (** bytes streamed, or the random working set *)
+  sharers : int;
+  page_size : Addr.page_size;
+  mode : mode;
+  bg_gen : int;  (** background-streamer configuration generation *)
+}
+
+type t
+
+val create : unit -> t
+val find : t -> key -> float option
+val store : t -> key -> float -> unit
+val stats : t -> int * int
+(** [(hits, misses)]. *)

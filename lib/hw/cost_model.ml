@@ -81,6 +81,17 @@ let default =
     page_list_per_page = 35;
   }
 
+(* Set-associative geometry for a TLB bank of [entries] slots:
+   Broadwell-style 4-way banks, sets rounded down to a power of two so
+   the index is a mask.  Tiny banks (the 1G class) degenerate to one
+   fully-associative set. *)
+let tlb_geometry ~entries =
+  if entries <= 0 then invalid_arg "Cost_model.tlb_geometry";
+  let ways = min 4 entries in
+  let target = max 1 (entries / ways) in
+  let rec pow2_floor p = if p * 2 <= target then pow2_floor (p * 2) else p in
+  (pow2_floor 1, ways)
+
 let dram t ~local = if local then t.dram_local else t.dram_remote
 let stream_line t ~local = if local then t.stream_line_local else t.stream_line_remote
 

@@ -80,6 +80,12 @@ val default : t
 val dram : t -> local:bool -> int
 val stream_line : t -> local:bool -> int
 
+val tlb_geometry : entries:int -> int * int
+(** [(sets, ways)] of a set-associative TLB bank with [entries] slots:
+    4-way (fewer when the bank is smaller), sets the largest power of
+    two fitting [entries / ways] so the set index is [vpn land
+    (sets - 1)].  Raises [Invalid_argument] when [entries <= 0]. *)
+
 val tlb_reach : t -> page_size:Addr.page_size -> int
 (** Bytes covered by the (D)TLB at a page size.  The second-level TLB
     in this model holds 4K translations only, so large-page reach is

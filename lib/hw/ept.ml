@@ -16,7 +16,30 @@ type violation = {
 type node = { entries : (int, entry) Hashtbl.t }
 and entry = Table of node | Leaf of { page_size : Addr.page_size; perms : perms }
 
+(* Paging-structure walk cache: what the hardware's PDE/PDPTE caches
+   buy a real walker.  Direct-mapped by the 2M-aligned window of the
+   GPA; a window resolves either uniformly (a >=2M leaf, or nothing
+   mapped at that level) or through its level-1 PT node, in which case
+   the per-4K answers are themselves resolved lazily into a 512-slot
+   array — a warm lookup is two array reads and an int compare, no
+   hashing.  The cache carries the [writes] counter it was filled
+   under and self-invalidates wholesale when any leaf is installed or
+   removed. *)
+type walk_entry =
+  | Uniform of (Addr.page_size * perms) option
+  | Pt of {
+      node : node;
+      slots : (Addr.page_size * perms) option option array;
+          (* outer option: slot not resolved yet; inner: the walk's
+             answer for that 4K page, including "unmapped" *)
+    }
+
+type wslot = { mutable wkey : int; mutable wentry : walk_entry }
+
+let walk_cache_slots = 1024
+
 type t = {
+  uid : int;
   root : node;
   max_page : Addr.page_size;
   mutable index : Region.Set.t;
@@ -24,10 +47,20 @@ type t = {
   mutable n4k : int;
   mutable n2m : int;
   mutable n1g : int;
+  walk_cache : wslot array option;
+  mutable walk_cache_gen : int;
+  mutable walk_hits : int;
+  mutable walk_misses : int;
+  covers_cache : (int * int, bool) Hashtbl.t;
+  mutable covers_cache_gen : int;
 }
 
-let create ?(max_page = Addr.Page_1g) () =
+let next_uid = ref 0
+
+let create ?(max_page = Addr.Page_1g) ?(walk_cache = true) () =
+  incr next_uid;
   {
+    uid = !next_uid;
     root = { entries = Hashtbl.create 16 };
     max_page;
     index = Region.Set.empty;
@@ -35,9 +68,23 @@ let create ?(max_page = Addr.Page_1g) () =
     n4k = 0;
     n2m = 0;
     n1g = 0;
+    walk_cache =
+      (if walk_cache then
+         Some
+           (Array.init walk_cache_slots (fun _ ->
+                { wkey = -1; wentry = Uniform None }))
+       else None);
+    walk_cache_gen = 0;
+    walk_hits = 0;
+    walk_misses = 0;
+    covers_cache = Hashtbl.create 32;
+    covers_cache_gen = 0;
   }
 
 let max_page t = t.max_page
+let uid t = t.uid
+let generation t = t.writes
+let walk_cache_stats t = (t.walk_hits, t.walk_misses)
 
 let level_shift = function 4 -> 39 | 3 -> 30 | 2 -> 21 | 1 -> 12 | _ -> assert false
 let slice addr level = (addr lsr level_shift level) land 0x1ff
@@ -110,6 +157,49 @@ let install_leaf t addr ~page_size ~perms =
   in
   descend t.root 4
 
+(* Bulk-fill one whole 2M window with 512 identity 4K leaves.  The
+   dense path map_region takes when coalescing is capped below 2M;
+   equivalent to 512 install_leaf calls into an empty window (counts
+   and [writes] advance identically) without re-descending from the
+   root per page or growing a 16-bucket table 512 times. *)
+let install_pt_window t addr ~perms =
+  let rec descend node level =
+    if level = 2 then begin
+      let idx = slice addr 2 in
+      let child =
+        match Hashtbl.find_opt node.entries idx with
+        | Some (Table n) -> n
+        | Some (Leaf _) -> assert false (* map_region cleared overlaps *)
+        | None ->
+            let n = { entries = Hashtbl.create 512 } in
+            Hashtbl.replace node.entries idx (Table n);
+            n
+      in
+      for i = 0 to 511 do
+        (match Hashtbl.find_opt child.entries i with
+        | Some (Leaf l) -> count_delta t l.page_size (-1)
+        | Some (Table _) -> assert false
+        | None -> ());
+        Hashtbl.replace child.entries i (Leaf { page_size = Addr.Page_4k; perms })
+      done;
+      count_delta t Addr.Page_4k 512;
+      t.writes <- t.writes + 512
+    end
+    else
+      let idx = slice addr level in
+      let child =
+        match Hashtbl.find_opt node.entries idx with
+        | Some (Table n) -> n
+        | Some (Leaf _) -> assert false
+        | None ->
+            let n = { entries = Hashtbl.create 16 } in
+            Hashtbl.replace node.entries idx (Table n);
+            n
+      in
+      descend child (level - 1)
+  in
+  descend t.root 4
+
 (* Split the leaf at slot [idx] of [node] (a level-[level] leaf) into
    512 identity children one level down, preserving permissions. *)
 let split_leaf t node idx level ~perms =
@@ -123,7 +213,7 @@ let split_leaf t node idx level ~perms =
   t.writes <- t.writes + 512;
   Hashtbl.replace node.entries idx (Table child)
 
-let find_leaf t addr =
+let find_leaf_uncached t addr =
   let rec descend node level =
     if level = 0 then None
     else
@@ -133,6 +223,55 @@ let find_leaf t addr =
       | Some (Table n) -> descend n (level - 1)
   in
   descend t.root 4
+
+let pt_lookup node addr =
+  match Hashtbl.find_opt node.entries (slice addr 1) with
+  | Some (Leaf { page_size; perms }) -> Some (page_size, perms)
+  | Some (Table _) -> assert false (* level 0 cannot be a table *)
+  | None -> None
+
+(* Walk once, remembering how the 2M window resolves. *)
+let fill_walk_entry t addr =
+  let rec descend node level =
+    if level = 2 then
+      match Hashtbl.find_opt node.entries (slice addr 2) with
+      | None -> Uniform None
+      | Some (Leaf { page_size; perms }) -> Uniform (Some (page_size, perms))
+      | Some (Table n) -> Pt { node = n; slots = Array.make 512 None }
+    else
+      match Hashtbl.find_opt node.entries (slice addr level) with
+      | None -> Uniform None
+      | Some (Leaf { page_size; perms }) -> Uniform (Some (page_size, perms))
+      | Some (Table n) -> descend n (level - 1)
+  in
+  descend t.root 4
+
+let find_leaf t addr =
+  match t.walk_cache with
+  | None -> find_leaf_uncached t addr
+  | Some cache ->
+      if t.walk_cache_gen <> t.writes then begin
+        Array.iter (fun s -> s.wkey <- -1) cache;
+        t.walk_cache_gen <- t.writes
+      end;
+      let key = addr lsr 21 in
+      let s = cache.(key land (walk_cache_slots - 1)) in
+      if s.wkey = key then t.walk_hits <- t.walk_hits + 1
+      else begin
+        t.walk_misses <- t.walk_misses + 1;
+        s.wentry <- fill_walk_entry t addr;
+        s.wkey <- key
+      end;
+      (match s.wentry with
+      | Uniform r -> r
+      | Pt { node; slots } -> (
+          let i = slice addr 1 in
+          match slots.(i) with
+          | Some r -> r
+          | None ->
+              let r = pt_lookup node addr in
+              slots.(i) <- Some r;
+              r))
 
 let translate t addr ~access =
   match find_leaf t addr with
@@ -149,37 +288,6 @@ let translate t addr ~access =
 
 let page_size_at t addr = Option.map fst (find_leaf t addr)
 
-(* Greedy aligned chunking: walk the region emitting the largest
-   permitted page that is aligned and fits. *)
-let chunks_of_region ~max_page region =
-  let open Region in
-  let sizes =
-    let all = [ Addr.page_size_1g; Addr.page_size_2m; Addr.page_size_4k ] in
-    let cap = Addr.bytes_of_page_size max_page in
-    List.filter (fun s -> s <= cap) all
-  in
-  let rec go addr acc =
-    if addr >= limit region then List.rev acc
-    else
-      let remaining = limit region - addr in
-      let size =
-        match
-          List.find_opt
-            (fun s -> Addr.is_aligned addr ~size:s && s <= remaining)
-            sizes
-        with
-        | Some s -> s
-        | None -> invalid_arg "Ept: region not 4K-aligned"
-      in
-      let ps =
-        if size = Addr.page_size_1g then Addr.Page_1g
-        else if size = Addr.page_size_2m then Addr.Page_2m
-        else Addr.Page_4k
-      in
-      go (addr + size) ((addr, ps) :: acc)
-  in
-  go region.base []
-
 let aligned_4k region =
   Addr.is_aligned region.Region.base ~size:Addr.page_size_4k
   && Addr.is_aligned region.Region.len ~size:Addr.page_size_4k
@@ -188,31 +296,28 @@ let aligned_4k region =
    overlaps the region without being fully contained in it is split
    into children one level down, repeatedly, until every leaf is
    either fully inside or fully outside.  Needed before unmapping (or
-   remapping) so removal can proceed leaf-by-leaf. *)
+   remapping) so removal can proceed leaf-by-leaf.  After a split the
+   descent continues into the freshly created table — the old
+   implementation restarted from the root after every split. *)
 let split_straddling t region point =
-  let rec once () =
-    let did_split = ref false in
-    let rec descend node level =
-      match Hashtbl.find_opt node.entries (slice point level) with
-      | None -> ()
-      | Some (Leaf l) ->
-          if level > 1 then begin
-            let bytes = Addr.bytes_of_page_size (page_size_of_level level) in
-            let base = Addr.page_down point ~size:bytes in
-            let contained =
-              Region.contains_range region ~base ~len:bytes
-            in
-            if not contained then begin
-              split_leaf t node (slice point level) level ~perms:l.perms;
-              did_split := true
-            end
+  let rec descend node level =
+    match Hashtbl.find_opt node.entries (slice point level) with
+    | None -> ()
+    | Some (Leaf l) ->
+        if level > 1 then begin
+          let bytes = Addr.bytes_of_page_size (page_size_of_level level) in
+          let base = Addr.page_down point ~size:bytes in
+          let contained = Region.contains_range region ~base ~len:bytes in
+          if not contained then begin
+            split_leaf t node (slice point level) level ~perms:l.perms;
+            match Hashtbl.find_opt node.entries (slice point level) with
+            | Some (Table n) -> descend n (level - 1)
+            | Some (Leaf _) | None -> assert false
           end
-      | Some (Table n) -> descend n (level - 1)
-    in
-    descend t.root 4;
-    if !did_split then once ()
+        end
+    | Some (Table n) -> descend n (level - 1)
   in
-  once ()
+  descend t.root 4
 
 let remove_leaves t region =
   (* After boundary splitting, every leaf is either fully inside or
@@ -242,6 +347,42 @@ let remove_leaves t region =
   in
   scrub t.root 4 (fun i -> i * (1 lsl level_shift 4))
 
+(* Greedy aligned chunking, installed as we go: the largest permitted
+   page that is aligned and fits, with the dense sub-2M case handed to
+   install_pt_window rather than 512 root descents. *)
+let install_range t region ~perms =
+  let open Region in
+  let cap = Addr.bytes_of_page_size t.max_page in
+  let lim = limit region in
+  let rec go addr =
+    if addr < lim then begin
+      let remaining = lim - addr in
+      if
+        cap >= Addr.page_size_1g
+        && Addr.is_aligned addr ~size:Addr.page_size_1g
+        && remaining >= Addr.page_size_1g
+      then begin
+        install_leaf t addr ~page_size:Addr.Page_1g ~perms;
+        go (addr + Addr.page_size_1g)
+      end
+      else if
+        Addr.is_aligned addr ~size:Addr.page_size_2m
+        && remaining >= Addr.page_size_2m
+      then begin
+        if cap >= Addr.page_size_2m then
+          install_leaf t addr ~page_size:Addr.Page_2m ~perms
+        else install_pt_window t addr ~perms;
+        go (addr + Addr.page_size_2m)
+      end
+      else if Addr.is_aligned addr ~size:Addr.page_size_4k then begin
+        install_leaf t addr ~page_size:Addr.Page_4k ~perms;
+        go (addr + Addr.page_size_4k)
+      end
+      else invalid_arg "Ept: region not 4K-aligned"
+    end
+  in
+  go region.base
+
 let map_region t ?(perms = rwx) region =
   if not (aligned_4k region) then invalid_arg "Ept.map_region: unaligned";
   (* Remapping over existing mappings: clear first so leaf installs
@@ -253,9 +394,7 @@ let map_region t ?(perms = rwx) region =
       split_straddling t r (Region.limit r - Addr.page_size_4k);
       remove_leaves t r)
     covered;
-  List.iter
-    (fun (addr, ps) -> install_leaf t addr ~page_size:ps ~perms)
-    (chunks_of_region ~max_page:t.max_page region);
+  install_range t region ~perms;
   t.index <- Region.Set.add t.index region
 
 let unmap_region t region =
@@ -269,7 +408,21 @@ let unmap_region t region =
     present;
   t.index <- Region.Set.remove t.index region
 
-let covers t ~base ~len = Region.Set.mem_range t.index ~base ~len
+let covers t ~base ~len =
+  (* Memoized per (base, len): workloads re-check the same buffer on
+     every pass.  Any mapping change bumps [writes], which empties the
+     memo on the next query. *)
+  if t.covers_cache_gen <> t.writes then begin
+    Hashtbl.reset t.covers_cache;
+    t.covers_cache_gen <- t.writes
+  end;
+  match Hashtbl.find_opt t.covers_cache (base, len) with
+  | Some answer -> answer
+  | None ->
+      let answer = Region.Set.mem_range t.index ~base ~len in
+      Hashtbl.replace t.covers_cache (base, len) answer;
+      answer
+
 let regions t = t.index
 let leaf_counts t = (t.n4k, t.n2m, t.n1g)
 let entry_writes t = t.writes

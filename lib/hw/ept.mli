@@ -11,7 +11,22 @@
     A [Region.Set] index mirrors the radix structure for O(regions)
     bulk containment checks on the workload fast path; the radix table
     is authoritative and the two are kept consistent (validated by
-    property tests). *)
+    property tests).
+
+    Two host-side caches accelerate the hot read paths without
+    changing any result:
+
+    - a {e paging-structure walk cache} memoizing how each 2M-aligned
+      GPA window resolves (a uniform >=2M leaf / unmapped, or its
+      level-1 PT node), so a warm [translate] is one or two hash
+      probes instead of a four-level descent;
+    - a [covers] memo keyed by [(base, len)].
+
+    Both are invalidated wholesale by the generation counter — the
+    [entry_writes] tally, which every leaf install and removal bumps —
+    so cached answers are always those the uncached walk would give
+    (asserted by a property test over random map/unmap/access
+    sequences). *)
 
 type perms = { read : bool; write : bool; exec : bool }
 
@@ -26,10 +41,27 @@ type violation = {
 
 type t
 
-val create : ?max_page:Addr.page_size -> unit -> t
-(** [max_page] defaults to [Page_1g]. *)
+val create : ?max_page:Addr.page_size -> ?walk_cache:bool -> unit -> t
+(** [max_page] defaults to [Page_1g].  [walk_cache] (default [true])
+    disables the paging-structure walk cache when [false] — the
+    reference configuration the equivalence property tests and the
+    cold-walk benchmarks compare against. *)
 
 val max_page : t -> Addr.page_size
+
+val uid : t -> int
+(** Unique per [create]d table — lets callers key their own memos by
+    EPT identity. *)
+
+val generation : t -> int
+(** Mapping generation: advances whenever any leaf is installed or
+    removed (it is the [entry_writes] counter).  Anything cached
+    against a generation is still valid iff the generation is
+    unchanged. *)
+
+val walk_cache_stats : t -> int * int
+(** [(hits, misses)] of the walk cache — observability for tests and
+    benchmarks; [(0, 0)] forever when the cache is disabled. *)
 
 val map_region : t -> ?perms:perms -> Region.t -> unit
 (** Identity-map a page-aligned region (base and length must be

@@ -17,6 +17,8 @@ type t = {
   mutable spurious_ipis : int;
   mutable panicked : string option;
   background_streamers_by_zone : int array;
+  charge_memo : Charge_memo.t;
+  mutable bg_gen : int;
 }
 
 let create ?(model = Cost_model.default) ?(seed = 42)
@@ -45,6 +47,8 @@ let create ?(model = Cost_model.default) ?(seed = 42)
     spurious_ipis = 0;
     panicked = None;
     background_streamers_by_zone = Array.make zones 0;
+    charge_memo = Charge_memo.create ();
+    bg_gen = 0;
   }
 
 let cpu t i = t.cores.(i)
@@ -259,7 +263,8 @@ let zone_split t ~base ~len =
 
 let set_background_streamers t ~zone n =
   if n < 0 then invalid_arg "Machine.set_background_streamers";
-  t.background_streamers_by_zone.(zone) <- n
+  t.background_streamers_by_zone.(zone) <- n;
+  t.bg_gen <- t.bg_gen + 1
 
 let background_streamers t ~zone = t.background_streamers_by_zone.(zone)
 
@@ -269,54 +274,99 @@ let contention_factor t ~zone ~sharers =
     (float_of_int contenders
     /. float_of_int t.model.Cost_model.bw_channels_per_zone)
 
+(* Fingerprint of everything the translation tax depends on beyond
+   the access shape: execution mode, EPT identity + mapping
+   generation, APIC virtualization. *)
+let charge_mode (cpu : Cpu.t) =
+  match cpu.Cpu.mode with
+  | Cpu.Host_mode -> Charge_memo.Host
+  | Cpu.Guest_mode vmcs ->
+      Charge_memo.Guest
+        {
+          ept =
+            Option.map
+              (fun e -> (Ept.uid e, Ept.generation e))
+              vmcs.Vmcs.controls.Vmcs.ept;
+          vapic = vapic_active cpu;
+        }
+
+let memoized t (cpu : Cpu.t) ~kind ~base ~len ~sharers ~page_size compute =
+  let key =
+    {
+      Charge_memo.kind;
+      zone = cpu.Cpu.zone;
+      base;
+      len;
+      sharers;
+      page_size;
+      mode = charge_mode cpu;
+      bg_gen = t.bg_gen;
+    }
+  in
+  match Charge_memo.find t.charge_memo key with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      Charge_memo.store t.charge_memo key v;
+      v
+
 let charge_stream t (cpu : Cpu.t) ~base ~bytes ~sharers ~page_size =
   if bytes <= 0 then invalid_arg "Machine.charge_stream";
   let m = t.model in
   let lines = float_of_int (max 1 (bytes / m.Cost_model.line_bytes)) in
-  let line_cost =
-    List.fold_left
-      (fun acc (z, frac) ->
-        let local = z = cpu.Cpu.zone in
-        acc
-        +. frac
-           *. float_of_int (Cost_model.stream_line m ~local)
-           *. contention_factor t ~zone:z ~sharers)
-      0.0
-      (zone_split t ~base ~len:bytes)
+  let per_line =
+    memoized t cpu ~kind:`Stream ~base ~len:bytes ~sharers ~page_size
+      (fun () ->
+        let line_cost =
+          List.fold_left
+            (fun acc (z, frac) ->
+              let local = z = cpu.Cpu.zone in
+              acc
+              +. frac
+                 *. float_of_int (Cost_model.stream_line m ~local)
+                 *. contention_factor t ~zone:z ~sharers)
+            0.0
+            (zone_split t ~base ~len:bytes)
+        in
+        let miss_rate = Tlb.stream_miss_rate ~model:m ~page_size in
+        let trans =
+          miss_rate
+          *. (float_of_int m.Cost_model.pt_walk_native
+             +. translation_extra_per_miss t cpu ~probe:(base + (bytes / 2)))
+        in
+        line_cost +. trans)
   in
-  let miss_rate = Tlb.stream_miss_rate ~model:m ~page_size in
-  let trans =
-    miss_rate
-    *. (float_of_int m.Cost_model.pt_walk_native
-       +. translation_extra_per_miss t cpu ~probe:(base + (bytes / 2)))
-  in
-  Cpu.charge cpu (int_of_float (lines *. (line_cost +. trans)))
+  Cpu.charge cpu (int_of_float (lines *. per_line))
 
 let charge_random t (cpu : Cpu.t) ~ops ~base ~working_set ~sharers ~page_size =
   if ops <= 0 || working_set <= 0 then invalid_arg "Machine.charge_random";
   let m = t.model in
-  let cycles, dram_fraction =
-    Cost_model.random_profile m ~working_set ~sharers
+  let per_op =
+    memoized t cpu ~kind:`Random ~base ~len:working_set ~sharers ~page_size
+      (fun () ->
+        let cycles, dram_fraction =
+          Cost_model.random_profile m ~working_set ~sharers
+        in
+        let remote_fraction =
+          List.fold_left
+            (fun acc (z, frac) -> if z = cpu.Cpu.zone then acc else acc +. frac)
+            0.0
+            (zone_split t ~base ~len:working_set)
+        in
+        let numa_penalty =
+          dram_fraction *. remote_fraction
+          *. float_of_int (m.Cost_model.dram_remote - m.Cost_model.dram_local)
+        in
+        let miss_rate = Tlb.bulk_miss_rate ~model:m ~page_size ~working_set in
+        let trans =
+          miss_rate
+          *. (float_of_int m.Cost_model.pt_walk_native
+             +. translation_extra_per_miss t cpu
+                  ~probe:(base + (working_set / 2)))
+        in
+        cycles +. numa_penalty +. trans)
   in
-  let remote_fraction =
-    List.fold_left
-      (fun acc (z, frac) -> if z = cpu.Cpu.zone then acc else acc +. frac)
-      0.0
-      (zone_split t ~base ~len:working_set)
-  in
-  let numa_penalty =
-    dram_fraction *. remote_fraction
-    *. float_of_int (m.Cost_model.dram_remote - m.Cost_model.dram_local)
-  in
-  let miss_rate = Tlb.bulk_miss_rate ~model:m ~page_size ~working_set in
-  let trans =
-    miss_rate
-    *. (float_of_int m.Cost_model.pt_walk_native
-       +. translation_extra_per_miss t cpu
-            ~probe:(base + (working_set / 2)))
-  in
-  Cpu.charge cpu
-    (int_of_float (float_of_int ops *. (cycles +. numa_penalty +. trans)))
+  Cpu.charge cpu (int_of_float (float_of_int ops *. per_op))
 
 let charge_flops t cpu n =
   if n < 0 then invalid_arg "Machine.charge_flops";

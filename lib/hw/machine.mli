@@ -49,6 +49,11 @@ type t = {
   mutable spurious_ipis : int;
   mutable panicked : string option;
   background_streamers_by_zone : int array;
+  charge_memo : Charge_memo.t;
+      (** memoized per-line/per-op bulk charge costs; see
+          {!Charge_memo} for the invalidation key *)
+  mutable bg_gen : int;
+      (** bumped by {!set_background_streamers} — part of the memo key *)
 }
 
 val create :

@@ -1,94 +1,152 @@
 type entry = { vpn : int; page_size : Addr.page_size; epoch : int }
 
-type slot = entry option array
+(* Set-associative geometry, one bank per size class.  Slots are laid
+   out set-major: the slot for way [w] of set [s] is [s * ways + w].
+   [stamps] carries the pseudo-LRU epoch (a monotonically increasing
+   tick updated on hit and install); eviction picks the stalest way of
+   the probed set, so every operation is O(ways) instead of
+   O(entries). *)
+type bank = {
+  sets : int; (* power of two *)
+  ways : int;
+  slots : entry option array; (* length sets * ways *)
+  stamps : int array;
+}
 
 type t = {
   model : Cost_model.t;
-  rng : Covirt_sim.Rng.t;
-  slots_4k : slot;
-  slots_2m : slot;
-  slots_1g : slot;
+  b4k : bank;
+  b2m : bank;
+  b1g : bank;
   mutable epoch : int;
   mutable flushes : int;
+  mutable tick : int;
 }
 
-let create ~model ~rng =
+let make_bank entries =
+  let sets, ways = Cost_model.tlb_geometry ~entries in
   {
-    model;
-    rng;
-    slots_4k = Array.make Cost_model.(model.dtlb_entries_4k) None;
-    slots_2m = Array.make Cost_model.(model.dtlb_entries_2m) None;
-    slots_1g = Array.make Cost_model.(model.dtlb_entries_1g) None;
-    epoch = 0;
-    flushes = 0;
+    sets;
+    ways;
+    slots = Array.make (sets * ways) None;
+    stamps = Array.make (sets * ways) 0;
   }
 
-let slots_for t = function
-  | Addr.Page_4k -> t.slots_4k
-  | Addr.Page_2m -> t.slots_2m
-  | Addr.Page_1g -> t.slots_1g
+let create ~model ~rng:_ =
+  (* The RNG parameter is kept for interface stability: eviction used
+     to pick a random victim; pseudo-LRU is deterministic and draws
+     nothing. *)
+  {
+    model;
+    b4k = make_bank Cost_model.(model.dtlb_entries_4k);
+    b2m = make_bank Cost_model.(model.dtlb_entries_2m);
+    b1g = make_bank Cost_model.(model.dtlb_entries_1g);
+    epoch = 0;
+    flushes = 0;
+    tick = 0;
+  }
+
+let bank_for t = function
+  | Addr.Page_4k -> t.b4k
+  | Addr.Page_2m -> t.b2m
+  | Addr.Page_1g -> t.b1g
+
+let geometry t page_size =
+  let b = bank_for t page_size in
+  (b.sets, b.ways)
 
 let classes = [ Addr.Page_4k; Addr.Page_2m; Addr.Page_1g ]
+
+let touch t b slot = b.stamps.(slot) <- (t.tick <- t.tick + 1; t.tick)
+
+let probe t b vpn =
+  let base = vpn land (b.sets - 1) * b.ways in
+  let rec go w =
+    if w >= b.ways then None
+    else
+      match b.slots.(base + w) with
+      | Some e when e.vpn = vpn ->
+          touch t b (base + w);
+          Some e
+      | Some _ | None -> go (w + 1)
+  in
+  go 0
 
 let lookup t addr =
   let hit_in ps =
     let vpn = Addr.pfn addr ~size:(Addr.bytes_of_page_size ps) in
-    let slots = slots_for t ps in
-    Array.fold_left
-      (fun acc e ->
-        match (acc, e) with
-        | (Some _ as found), _ -> found
-        | None, Some e when e.vpn = vpn && e.page_size = ps -> Some e
-        | None, _ -> None)
-      None slots
+    probe t (bank_for t ps) vpn
   in
-  List.fold_left
-    (fun acc ps -> match acc with Some _ -> acc | None -> hit_in ps)
-    None classes
+  (* First match wins, in the same class order the linear TLB used;
+     unlike the fold this stops at the first hit. *)
+  let rec first = function
+    | [] -> None
+    | ps :: rest -> ( match hit_in ps with Some _ as hit -> hit | None -> first rest)
+  in
+  first classes
 
 let install t addr ~page_size =
   let vpn = Addr.pfn addr ~size:(Addr.bytes_of_page_size page_size) in
-  let slots = slots_for t page_size in
+  let b = bank_for t page_size in
+  let base = vpn land (b.sets - 1) * b.ways in
   let entry = Some { vpn; page_size; epoch = t.epoch } in
-  let n = Array.length slots in
-  let rec find_free i = if i >= n then None else
-      match slots.(i) with None -> Some i | Some _ -> find_free (i + 1)
+  (* One O(ways) probe decides: refresh an existing translation, fill
+     a free way, or evict the pseudo-LRU victim. *)
+  let victim = ref (-1) in
+  let free = ref (-1) in
+  let stalest = ref base in
+  for w = b.ways - 1 downto 0 do
+    let slot = base + w in
+    match b.slots.(slot) with
+    | Some e -> if e.vpn = vpn then victim := slot
+        else if b.stamps.(slot) <= b.stamps.(!stalest) then stalest := slot
+    | None -> free := slot
+  done;
+  let slot =
+    if !victim >= 0 then !victim else if !free >= 0 then !free else !stalest
   in
-  let victim =
-    match find_free 0 with
-    | Some i -> i
-    | None -> Covirt_sim.Rng.int t.rng ~bound:n
-  in
-  slots.(victim) <- entry
+  b.slots.(slot) <- entry;
+  touch t b slot
 
 let flush_all t =
-  let wipe slots = Array.fill slots 0 (Array.length slots) None in
-  wipe t.slots_4k;
-  wipe t.slots_2m;
-  wipe t.slots_1g;
+  let wipe b = Array.fill b.slots 0 (Array.length b.slots) None in
+  wipe t.b4k;
+  wipe t.b2m;
+  wipe t.b1g;
   t.epoch <- t.epoch + 1;
   t.flushes <- t.flushes + 1
 
 let flush_range t region =
+  (* An entry's page [vpn*bytes, (vpn+1)*bytes) overlaps [region] iff
+     vpn lies in [base/bytes, (limit-1)/bytes] — integer compares, no
+     allocation.  When the region spans fewer pages than there are
+     sets, only the sets those pages index can hold a match. *)
   let scrub ps =
     let bytes = Addr.bytes_of_page_size ps in
-    let slots = slots_for t ps in
-    Array.iteri
-      (fun i e ->
-        match e with
-        | Some e when e.page_size = ps ->
-            let page = Region.make ~base:(e.vpn * bytes) ~len:bytes in
-            if Region.overlaps page region then slots.(i) <- None
-        | Some _ | None -> ())
-      slots
+    let b = bank_for t ps in
+    let vpn_lo = region.Region.base / bytes in
+    let vpn_hi = (Region.limit region - 1) / bytes in
+    let clear_set set =
+      let base = set * b.ways in
+      for w = 0 to b.ways - 1 do
+        match b.slots.(base + w) with
+        | Some e when e.vpn >= vpn_lo && e.vpn <= vpn_hi ->
+            b.slots.(base + w) <- None
+        | Some _ | None -> ()
+      done
+    in
+    if vpn_hi - vpn_lo + 1 >= b.sets then
+      for set = 0 to b.sets - 1 do clear_set set done
+    else
+      for vpn = vpn_lo to vpn_hi do clear_set (vpn land (b.sets - 1)) done
   in
   List.iter scrub classes
 
 let entry_count t =
-  let live slots =
-    Array.fold_left (fun n e -> if Option.is_some e then n + 1 else n) 0 slots
+  let live b =
+    Array.fold_left (fun n e -> if Option.is_some e then n + 1 else n) 0 b.slots
   in
-  live t.slots_4k + live t.slots_2m + live t.slots_1g
+  live t.b4k + live t.b2m + live t.b1g
 
 let flush_count t = t.flushes
 

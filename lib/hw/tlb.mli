@@ -14,7 +14,17 @@
       slow.
 
     Entries are tagged with the page size they were installed at, so
-    EPT large-page coalescing changes both reach and walk cost. *)
+    EPT large-page coalescing changes both reach and walk cost.
+
+    The stateful TLB is set-associative (see {!Cost_model.tlb_geometry}):
+    each size class is a bank of power-of-two sets indexed by
+    [vpn land (sets - 1)] with a small number of ways, so [lookup],
+    [install] and (for small regions) [flush_range] probe O(ways)
+    slots instead of scanning every entry.  Eviction within a set is
+    pseudo-LRU, driven by a monotonic tick stamped on every hit and
+    install — deterministic, unlike the random victim the linear TLB
+    used, and invisible to simulated cycle counts on any access
+    pattern that does not overcommit a set. *)
 
 type entry = { vpn : int; page_size : Addr.page_size; epoch : int }
 
@@ -26,8 +36,12 @@ val lookup : t -> Addr.t -> entry option
 (** Hit if a valid entry covers the address. *)
 
 val install : t -> Addr.t -> page_size:Addr.page_size -> unit
-(** Install the translation covering [addr]; evicts a random victim
-    from the relevant entry class when full. *)
+(** Install the translation covering [addr]; refreshes the entry in
+    place if present, else fills a free way, else evicts the
+    pseudo-LRU victim of the indexed set. *)
+
+val geometry : t -> Addr.page_size -> int * int
+(** [(sets, ways)] of the bank holding entries of this page size. *)
 
 val flush_all : t -> unit
 val flush_range : t -> Region.t -> unit

@@ -1,0 +1,20 @@
+type t = { mutable state : int64 }
+
+(* HPCC RandomAccess: x_{n+1} = (x_n << 1) xor (poly if the top bit of
+   x_n was set).  The primitive polynomial over GF(2) the benchmark
+   specifies. *)
+let poly = 0x0000000000000007L
+
+let next_ran r =
+  let open Int64 in
+  let shifted = shift_left r 1 in
+  if compare r 0L < 0 then logxor shifted poly else shifted
+
+let stream ~core = { state = Int64.of_int (0x9e3779b9 + core) }
+
+let next t =
+  t.state <- next_ran t.state;
+  t.state
+
+let index t ~modulus =
+  Int64.to_int (Int64.logand (next t) 0x3fffffffL) mod modulus

@@ -5,14 +5,6 @@ type result = { gups : float; updates : int; verify_errors : int }
 
 let default_log2_table = 25
 
-(* HPCC's 64-bit LCG random stream. *)
-let poly = 0x0000000000000007L
-
-let next_ran r =
-  let open Int64 in
-  let shifted = shift_left r 1 in
-  if compare r 0L < 0 then logxor shifted poly else shifted
-
 let run ctxs ?(log2_table = default_log2_table) ?(updates_per_word = 4) () =
   match ctxs with
   | [] -> Error "Random_access.run: no cores"
@@ -36,10 +28,9 @@ let run ctxs ?(log2_table = default_log2_table) ?(updates_per_word = 4) () =
             (fun i ctx ->
               Exec.random_ops ctx table ~ops:per_core_nominal ~sharers:ncores;
               (* xor-style updates on the backing *)
-              let r = ref (Int64.of_int (0x9e3779b9 + i)) in
+              let r = Hpcc_rng.stream ~core:i in
               for _ = 1 to real_updates / ncores do
-                r := next_ran !r;
-                let idx = Int64.to_int (Int64.logand !r 0x3fffffffL) mod n_real in
+                let idx = Hpcc_rng.index r ~modulus:n_real in
                 table.Exec.data.(idx) <- table.Exec.data.(idx) +. 1.0
               done)
             ctxs;

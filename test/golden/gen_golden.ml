@@ -1,0 +1,5 @@
+(* Regenerate the committed golden snapshot:
+     dune exec test/golden/gen_golden.exe > test/golden/translation.expected
+   Only legitimate when a change intentionally alters simulated
+   results; the translation fast path must keep this file stable. *)
+let () = print_string (Covirt_harness.Golden.capture ())

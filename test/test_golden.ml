@@ -1,0 +1,44 @@
+(* The bit-equality gate for the translation fast path: every figure
+   table, study, soak residual and per-CPU counter in the golden
+   scenario set must match the snapshot captured before the
+   set-associative TLB, EPT walk cache and charge memoization went in.
+   An optimization that shifts a single simulated cycle fails here.
+
+   Regenerate (only for an intentional semantic change):
+     dune exec test/golden/gen_golden.exe > test/golden/translation.expected *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let first_divergence a b =
+  let n = min (String.length a) (String.length b) in
+  let rec go i line =
+    if i >= n then (i, line)
+    else if a.[i] <> b.[i] then (i, line)
+    else go (i + 1) (if a.[i] = '\n' then line + 1 else line)
+  in
+  go 0 1
+
+let test_bit_identical () =
+  let expected = read_file "golden/translation.expected" in
+  let actual = Covirt_harness.Golden.capture () in
+  if String.equal expected actual then ()
+  else
+    let pos, line = first_divergence expected actual in
+    Alcotest.failf
+      "golden output diverged at byte %d (line %d): expected %S..., got %S..."
+      pos line
+      (String.sub expected pos (min 40 (String.length expected - pos)))
+      (String.sub actual pos (min 40 (String.length actual - pos)))
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "translation",
+        [ Alcotest.test_case "bit-identical results" `Quick test_bit_identical ]
+      );
+    ]

@@ -1,0 +1,216 @@
+(* Translation fast-path tests: set-associative TLB behaviour, walk-
+   and covers-cache invalidation on the EPT, equivalence of cached and
+   uncached translation, and the memoized bulk charge models. *)
+
+open Covirt_hw
+
+let k4 = Addr.page_size_4k
+let m2 = Addr.page_size_2m
+let mib = Covirt_sim.Units.mib
+
+let make_tlb () =
+  Tlb.create ~model:Cost_model.default ~rng:(Covirt_sim.Rng.create ~seed:7)
+
+let test_geometry () =
+  let tlb = make_tlb () in
+  let sets, ways = Tlb.geometry tlb Addr.Page_4k in
+  Alcotest.(check int) "4K capacity" Cost_model.default.Cost_model.dtlb_entries_4k
+    (sets * ways);
+  Alcotest.(check bool) "sets is a power of two" true (sets land (sets - 1) = 0)
+
+let test_set_conflict_eviction () =
+  let tlb = make_tlb () in
+  let sets, ways = Tlb.geometry tlb Addr.Page_4k in
+  (* Fill one set: vpns congruent mod [sets] all index the same set. *)
+  let conflicting = List.init ways (fun i -> i * sets) in
+  List.iter (fun vpn -> Tlb.install tlb (vpn * k4) ~page_size:Addr.Page_4k)
+    conflicting;
+  Alcotest.(check int) "set full" ways (Tlb.entry_count tlb);
+  (* Touch the oldest entry so it becomes most-recently-used ... *)
+  Alcotest.(check bool) "touch hit" true (Tlb.lookup tlb 0 <> None);
+  (* ... then overflow the set: the victim must be the stalest way
+     (vpn [sets], installed second), never the touched one. *)
+  Tlb.install tlb (ways * sets * k4) ~page_size:Addr.Page_4k;
+  Alcotest.(check int) "still full, one evicted" ways (Tlb.entry_count tlb);
+  Alcotest.(check bool) "MRU survived" true (Tlb.lookup tlb 0 <> None);
+  Alcotest.(check bool) "stalest evicted" true
+    (Tlb.lookup tlb (sets * k4) = None);
+  Alcotest.(check bool) "newcomer present" true
+    (Tlb.lookup tlb (ways * sets * k4) <> None)
+
+let test_install_refreshes_existing () =
+  let tlb = make_tlb () in
+  Tlb.install tlb (5 * k4) ~page_size:Addr.Page_4k;
+  Tlb.install tlb (5 * k4) ~page_size:Addr.Page_4k;
+  Alcotest.(check int) "no duplicate slot" 1 (Tlb.entry_count tlb)
+
+let test_flush_range_precision () =
+  let tlb = make_tlb () in
+  Tlb.install tlb (5 * k4) ~page_size:Addr.Page_4k;
+  Tlb.install tlb (6 * k4) ~page_size:Addr.Page_4k;
+  Tlb.install tlb m2 ~page_size:Addr.Page_2m;
+  (* One-page flush: only the exact page goes. *)
+  Tlb.flush_range tlb (Region.make ~base:(6 * k4) ~len:k4);
+  Alcotest.(check bool) "vpn 5 kept" true (Tlb.lookup tlb (5 * k4) <> None);
+  Alcotest.(check bool) "vpn 6 flushed" true (Tlb.lookup tlb (6 * k4) = None);
+  Alcotest.(check bool) "2M page kept" true (Tlb.lookup tlb (m2 + 0x40) <> None);
+  (* A flush overlapping the 2M page's tail catches it even though the
+     region starts mid-page. *)
+  Tlb.flush_range tlb (Region.make ~base:(m2 + (17 * k4)) ~len:k4);
+  Alcotest.(check bool) "2M page flushed by interior overlap" true
+    (Tlb.lookup tlb (m2 + 0x40) = None);
+  Alcotest.(check bool) "vpn 5 still kept" true (Tlb.lookup tlb (5 * k4) <> None)
+
+let test_flush_range_wide () =
+  let tlb = make_tlb () in
+  let sets, _ = Tlb.geometry tlb Addr.Page_4k in
+  (* Spread entries across every set, then flush a region wider than
+     the set count: everything inside goes, everything outside stays. *)
+  List.iter (fun i -> Tlb.install tlb (i * k4) ~page_size:Addr.Page_4k)
+    (List.init sets Fun.id);
+  Tlb.install tlb (4 * sets * k4) ~page_size:Addr.Page_4k;
+  Tlb.flush_range tlb (Region.make ~base:0 ~len:(2 * sets * k4));
+  Alcotest.(check int) "only the outsider survives" 1 (Tlb.entry_count tlb);
+  Alcotest.(check bool) "outsider intact" true
+    (Tlb.lookup tlb (4 * sets * k4) <> None)
+
+(* ------------------------------------------------------------------ *)
+
+let test_walk_cache_invalidation () =
+  let ept = Ept.create () in
+  Ept.map_region ept (Region.make ~base:0 ~len:m2);
+  Alcotest.(check bool) "mapped" true
+    (Result.is_ok (Ept.translate ept 0x1000 ~access:`Read));
+  let hits0, _ = Ept.walk_cache_stats ept in
+  Alcotest.(check bool) "second translate hits the cache" true
+    (Result.is_ok (Ept.translate ept 0x1800 ~access:`Read)
+    && fst (Ept.walk_cache_stats ept) > hits0);
+  Ept.unmap_region ept (Region.make ~base:0 ~len:m2);
+  (match Ept.translate ept 0x1000 ~access:`Read with
+  | Error v -> Alcotest.(check bool) "unmapped" true (v.Ept.reason = `Not_mapped)
+  | Ok _ -> Alcotest.fail "stale walk cache served an unmapped page");
+  Ept.map_region ept (Region.make ~base:0 ~len:m2);
+  Alcotest.(check bool) "remap visible" true
+    (Result.is_ok (Ept.translate ept 0x1000 ~access:`Write))
+
+let test_covers_memo_invalidation () =
+  let ept = Ept.create () in
+  Ept.map_region ept (Region.make ~base:0 ~len:m2);
+  Alcotest.(check bool) "covered" true (Ept.covers ept ~base:0 ~len:m2);
+  Alcotest.(check bool) "covered (memo)" true (Ept.covers ept ~base:0 ~len:m2);
+  Ept.unmap_region ept (Region.make ~base:0 ~len:(16 * k4));
+  Alcotest.(check bool) "hole visible despite memo" false
+    (Ept.covers ept ~base:0 ~len:m2)
+
+(* Property: with the walk cache on, every translate in a random
+   map/unmap/translate interleaving answers exactly as the uncached
+   reference does — including probes of stale windows right after the
+   mutation that invalidated them. *)
+let gen_ops =
+  QCheck2.Gen.(
+    list_size (int_range 1 25)
+      (triple (oneofl [ `Map; `Unmap; `Probe ]) (int_range 0 600)
+         (int_range 1 64)))
+
+let prop_cached_equals_uncached =
+  Covirt_test_util.Helpers.qtest ~count:80 "cached translate = uncached"
+    gen_ops
+    (fun ops ->
+      let cached = Ept.create ~max_page:Addr.Page_2m () in
+      let plain = Ept.create ~max_page:Addr.Page_2m ~walk_cache:false () in
+      List.for_all
+        (fun (op, page, pages) ->
+          let r = Region.make ~base:(page * k4) ~len:(pages * k4) in
+          match op with
+          | `Map ->
+              Ept.map_region cached r;
+              Ept.map_region plain r;
+              true
+          | `Unmap ->
+              Ept.unmap_region cached r;
+              Ept.unmap_region plain r;
+              true
+          | `Probe ->
+              List.for_all
+                (fun i ->
+                  let addr = (page + i) * k4 in
+                  Ept.translate cached addr ~access:`Read
+                  = Ept.translate plain addr ~access:`Read)
+                (List.init 80 Fun.id))
+        ops)
+
+(* ------------------------------------------------------------------ *)
+
+let make_machine () =
+  Machine.create ~zones:1 ~cores_per_zone:1 ~mem_per_zone:(64 * mib)
+    ~host_reserved_per_zone:(16 * mib) ()
+
+let test_charge_memo_identical () =
+  let m = make_machine () in
+  let cpu = Machine.cpu m 0 in
+  let charge () =
+    let t0 = Cpu.rdtsc cpu in
+    Machine.charge_random m cpu ~ops:5000 ~base:(32 * mib)
+      ~working_set:(8 * mib) ~sharers:2 ~page_size:Addr.Page_2m;
+    Cpu.rdtsc cpu - t0
+  in
+  let first = charge () in
+  let second = charge () in
+  Alcotest.(check int) "memoized charge is bit-identical" first second;
+  let hits, misses = Charge_memo.stats m.Machine.charge_memo in
+  Alcotest.(check bool) "memo hit on repeat" true (hits >= 1 && misses >= 1)
+
+let test_charge_memo_invalidation () =
+  let m = make_machine () in
+  let cpu = Machine.cpu m 0 in
+  let stream () =
+    Machine.charge_stream m cpu ~base:(32 * mib) ~bytes:(4 * mib) ~sharers:1
+      ~page_size:Addr.Page_2m
+  in
+  stream ();
+  stream ();
+  let _, misses_settled = Charge_memo.stats m.Machine.charge_memo in
+  (* Background pressure changes the cost inputs: the memo must not
+     serve the pre-pressure figure. *)
+  Machine.set_background_streamers m ~zone:0 2;
+  let t0 = Cpu.rdtsc cpu in
+  stream ();
+  let with_pressure = Cpu.rdtsc cpu - t0 in
+  let _, misses_after = Charge_memo.stats m.Machine.charge_memo in
+  Alcotest.(check bool) "new key after pressure change" true
+    (misses_after > misses_settled);
+  let t1 = Cpu.rdtsc cpu in
+  stream ();
+  let with_pressure' = Cpu.rdtsc cpu - t1 in
+  Alcotest.(check int) "stable under pressure" with_pressure with_pressure'
+
+let () =
+  Alcotest.run "translation"
+    [
+      ( "tlb",
+        [
+          Alcotest.test_case "geometry" `Quick test_geometry;
+          Alcotest.test_case "set-conflict eviction" `Quick
+            test_set_conflict_eviction;
+          Alcotest.test_case "install refreshes" `Quick
+            test_install_refreshes_existing;
+          Alcotest.test_case "flush_range precision" `Quick
+            test_flush_range_precision;
+          Alcotest.test_case "flush_range wide" `Quick test_flush_range_wide;
+        ] );
+      ( "ept caches",
+        [
+          Alcotest.test_case "walk-cache invalidation" `Quick
+            test_walk_cache_invalidation;
+          Alcotest.test_case "covers-memo invalidation" `Quick
+            test_covers_memo_invalidation;
+          prop_cached_equals_uncached;
+        ] );
+      ( "charge memo",
+        [
+          Alcotest.test_case "identical charges" `Quick
+            test_charge_memo_identical;
+          Alcotest.test_case "invalidation on pressure" `Quick
+            test_charge_memo_invalidation;
+        ] );
+    ]
