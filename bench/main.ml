@@ -12,6 +12,9 @@
                           + Bechamel ns/op estimates)
      --emit-baseline f    snapshot harness wall-clocks as TSV
      --check f            exit 1 if any harness regressed >25% vs f
+     --trace-out f        enable observability and write a Chrome
+                          trace_event JSON of the run (do not combine
+                          with --check: tracing adds recording work)
 
    Experiments: table1 fig3 fig4 fig5 fig6 fig7 fig8
                 ablate-coalesce ablate-piv ablate-sync bechamel *)
@@ -352,10 +355,47 @@ let run_bechamel () =
 
 let harness_timings : (string * float) list ref = ref []
 
+(* With --trace-out, observability is on: each experiment becomes a
+   profiler phase, and its metrics snapshot-diff is summarised after
+   the run (the same diff API the soak and the --check gate use). *)
+let tracing = ref false
+let exp_deltas : (string * Covirt_obs.Metrics.snapshot) list ref = ref []
+
 let timed name f =
+  let before =
+    if !tracing then begin
+      Covirt_obs.Profiler.set_phase name;
+      Some (Covirt_obs.Metrics.snapshot ())
+    end
+    else None
+  in
   let t0 = Unix.gettimeofday () in
   f ();
-  harness_timings := (name, Unix.gettimeofday () -. t0) :: !harness_timings
+  harness_timings := (name, Unix.gettimeofday () -. t0) :: !harness_timings;
+  Option.iter
+    (fun before ->
+      let delta =
+        Covirt_obs.Metrics.diff ~before
+          ~after:(Covirt_obs.Metrics.snapshot ())
+      in
+      exp_deltas := (name, delta) :: !exp_deltas)
+    before
+
+let print_obs_summary () =
+  section "Observability summary (per experiment)";
+  let t =
+    Covirt_sim.Table.create
+      ~columns:[ "experiment"; "vm exits"; "tlb miss"; "ept walk miss";
+                 "fault reports" ]
+  in
+  List.iter
+    (fun (name, d) ->
+      let c n = string_of_int (Covirt_obs.Metrics.total_counter d n) in
+      Covirt_sim.Table.add_row t
+        [ name; c "vmexit.count"; c "tlb.lookup.miss"; c "ept.walk.miss";
+          c "fault.report" ])
+    (List.rev !exp_deltas);
+  Covirt_sim.Table.print t
 
 let experiments ~quick =
   [
@@ -453,17 +493,28 @@ let () =
   let quick = List.mem "quick" args in
   let json = List.mem "--json" args in
   Covirt_sim.Table.set_tsv_mode (List.mem "--tsv" args);
-  let rec parse names check baseline_out = function
-    | [] -> (List.rev names, check, baseline_out)
-    | "--check" :: path :: rest -> parse names (Some path) baseline_out rest
-    | "--emit-baseline" :: path :: rest -> parse names check (Some path) rest
-    | ("--check" | "--emit-baseline") :: [] ->
-        Format.eprintf "--check/--emit-baseline need a file argument@.";
+  let rec parse names check baseline_out trace_out = function
+    | [] -> (List.rev names, check, baseline_out, trace_out)
+    | "--check" :: path :: rest ->
+        parse names (Some path) baseline_out trace_out rest
+    | "--emit-baseline" :: path :: rest ->
+        parse names check (Some path) trace_out rest
+    | "--trace-out" :: path :: rest ->
+        parse names check baseline_out (Some path) rest
+    | ("--check" | "--emit-baseline" | "--trace-out") :: [] ->
+        Format.eprintf
+          "--check/--emit-baseline/--trace-out need a file argument@.";
         exit 1
-    | ("quick" | "--tsv" | "--json") :: rest -> parse names check baseline_out rest
-    | a :: rest -> parse (a :: names) check baseline_out rest
+    | ("quick" | "--tsv" | "--json") :: rest ->
+        parse names check baseline_out trace_out rest
+    | a :: rest -> parse (a :: names) check baseline_out trace_out rest
   in
-  let names, check, baseline_out = parse [] None None args in
+  let names, check, baseline_out, trace_out = parse [] None None None args in
+  if trace_out <> None then begin
+    tracing := true;
+    Covirt_obs.enable ();
+    Covirt_obs.Exporter.enable ()
+  end;
   let table = experiments ~quick in
   (match names with
   | [] -> List.iter (fun (name, f) -> timed name f) table
@@ -480,5 +531,12 @@ let () =
               exit 1)
         names);
   if json then write_json ~quick;
+  Option.iter
+    (fun path ->
+      print_obs_summary ();
+      Covirt_obs.Exporter.write_chrome_json ~path;
+      Format.printf "@.wrote %d trace events to %s (%d dropped)@."
+        (Covirt_obs.Exporter.length ()) path (Covirt_obs.Exporter.dropped ()))
+    trace_out;
   Option.iter emit_baseline baseline_out;
   Option.iter check_baseline check

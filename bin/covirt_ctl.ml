@@ -264,6 +264,101 @@ let faults_cmd =
     (Cmd.info "faults" ~doc:"Inject a fault and report what happened")
     Term.(ret (const run_fault $ name_arg $ config))
 
+(* --- stats --- *)
+
+let run_stats quick seed trace_out jsonl_out =
+  let open Covirt_obs in
+  (* Metrics + profiler always; span collection only when an export
+     path was requested (spans are the bulkier stream). *)
+  enable ();
+  if trace_out <> None || jsonl_out <> None then Exporter.enable ();
+  reset ();
+  Profiler.set_phase "boot";
+  let rows = Covirt_harness.Fig3.run ~quick ~seed () in
+  Format.printf "figure-3 run (Selfish-Detour noise per configuration):@.";
+  Covirt_sim.Table.print (Covirt_harness.Fig3.table rows);
+  let snap = Metrics.snapshot () in
+  (* Per-exit-reason counts and latency quantiles, merged across
+     enclaves and CPUs.  Cycles are simulated TSC cycles; the µs column
+     uses the stock 1.7 GHz model clock. *)
+  let reasons = Metrics.dims snap "vmexit.cycles" in
+  if reasons = [] then
+    Format.printf "@.no VM exits recorded (native-only run?)@."
+  else begin
+    Format.printf "@.VM exits by reason (latency in simulated cycles):@.";
+    let t =
+      Covirt_sim.Table.create
+        ~columns:
+          [ "exit reason"; "exits"; "p50"; "p95"; "p99"; "max"; "p50 (us)" ]
+    in
+    List.iter
+      (fun reason ->
+        match Metrics.merged_hist snap "vmexit.cycles" ~dim:reason with
+        | None -> ()
+        | Some h ->
+            let q p = Metrics.Hist.quantile h ~p in
+            Covirt_sim.Table.add_row t
+              [
+                reason;
+                string_of_int h.Metrics.Hist.n;
+                Covirt_sim.Table.cell_f (q 50.);
+                Covirt_sim.Table.cell_f (q 95.);
+                Covirt_sim.Table.cell_f (q 99.);
+                Covirt_sim.Table.cell_f h.Metrics.Hist.max_v;
+                Covirt_sim.Table.cell_f (q 50. /. 1700.);
+              ])
+      reasons;
+    Covirt_sim.Table.print t
+  end;
+  Format.printf "@.%s@." (Profiler.attribution_table ());
+  Format.printf "@.%s@." (Profiler.phase_table ());
+  Format.printf "@.translation and enforcement counters:@.";
+  let t = Covirt_sim.Table.create ~columns:[ "counter"; "value" ] in
+  List.iter
+    (fun name ->
+      Covirt_sim.Table.add_row t
+        [ name; string_of_int (Metrics.total_counter snap name) ])
+    [
+      "tlb.lookup.hit"; "tlb.lookup.miss"; "tlb.flush"; "ept.walk.hit";
+      "ept.walk.miss"; "ept.violation"; "ept.entry_writes"; "ipi.filter";
+      "fault.report";
+    ];
+  Covirt_sim.Table.print t;
+  Option.iter
+    (fun path ->
+      Exporter.write_chrome_json ~path;
+      Format.printf "@.wrote %d trace events to %s (load in Perfetto or \
+                     chrome://tracing)@."
+        (Exporter.length ()) path)
+    trace_out;
+  Option.iter
+    (fun path ->
+      Exporter.write_jsonl ~path;
+      Format.printf "wrote %d trace events to %s (JSONL)@."
+        (Exporter.length ()) path)
+    jsonl_out;
+  `Ok ()
+
+let stats_cmd =
+  let seed =
+    let doc = "Simulation seed for the figure-3 run." in
+    Arg.(value & opt int 42 & info [ "seed"; "s" ] ~doc)
+  in
+  let trace_out =
+    let doc = "Write a Chrome trace_event JSON file (Perfetto-loadable)." in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let jsonl_out =
+    let doc = "Write the trace as one JSON event per line." in
+    Arg.(value & opt (some string) None & info [ "jsonl" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run the figure-3 sweep with observability enabled and print \
+          per-exit-reason counts, latency quantiles and cycle attribution")
+    Term.(ret (const run_stats $ quick $ seed $ trace_out $ jsonl_out))
+
 (* --- supervise --- *)
 
 let run_supervise trials seed timeline =
@@ -321,4 +416,5 @@ let () =
   let info = Cmd.info "covirt-ctl" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ experiment_cmd; demo_cmd; faults_cmd; supervise_cmd ]))
+       (Cmd.group info
+          [ experiment_cmd; demo_cmd; faults_cmd; supervise_cmd; stats_cmd ]))

@@ -15,6 +15,8 @@ type t = {
   backoff_cap : int;
   stability_window : int;
   watchdog_deadline : int;
+  observe : bool;
+  trace_spans : bool;
 }
 
 let native =
@@ -34,6 +36,10 @@ let native =
     backoff_cap = 25_000_000;
     stability_window = 50_000_000;
     watchdog_deadline = 5_000_000;
+    (* Observability is opt-in: the disabled path must stay a single
+       branch per instrumentation site. *)
+    observe = false;
+    trace_spans = false;
   }
 
 let none = { native with enabled = true }

@@ -38,6 +38,16 @@ type t = {
   watchdog_deadline : int;
       (** cycles of no VM exits and no control-channel traffic before
           the watchdog declares the enclave wedged *)
+  observe : bool;
+      (** enable the [Covirt_obs] metrics registry + profiler when a
+          controller attaches with this config.  Enable-only: a later
+          attach with [observe = false] does not switch recording back
+          off.  Recording is pure measurement — it never charges
+          simulated cycles, so results stay bit-identical. *)
+  trace_spans : bool;
+      (** additionally collect Chrome-trace spans ([Covirt_obs.Span])
+          for every VM exit and fault event; export with
+          [covirt-ctl stats --trace-out] or [bench --trace-out] *)
 }
 
 val native : t

@@ -56,7 +56,31 @@ let dropped_ipis t ~enclave_id =
 
 let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
 
+(* Fault-report observability: a per-kind counter and an instant on the
+   faulting (enclave, cpu) trace track. *)
+let m_fault = lazy (Covirt_obs.Metrics.counter "fault.report")
+
+let obs_report (report : Fault_report.t) =
+  let kind = Fault_report.kind_name report.Fault_report.kind in
+  if !Covirt_obs.Metrics.on then
+    Covirt_obs.Metrics.add
+      (Covirt_obs.Metrics.cell (Lazy.force m_fault)
+         {
+           Covirt_obs.Metrics.enclave = report.Fault_report.enclave;
+           cpu = report.Fault_report.cpu;
+           dim = kind;
+         })
+      1;
+  if !Covirt_obs.Exporter.on then
+    Covirt_obs.Span.instant
+      ~name:("fault:" ^ kind)
+      ~cat:"fault"
+      ~args:[ ("fatal", string_of_bool report.Fault_report.fatal) ]
+      ~pid:report.Fault_report.enclave ~tid:report.Fault_report.cpu
+      ~ts:report.Fault_report.tsc ()
+
 let record_report t (report : Fault_report.t) =
+  if !Covirt_obs.Metrics.on || !Covirt_obs.Exporter.on then obs_report report;
   (match instance_for t ~enclave_id:report.Fault_report.enclave with
   | Some i -> i.reports <- report :: i.reports
   | None ->
@@ -243,6 +267,12 @@ let on_destroyed t enclave =
 (* ------------------------------------------------------------------ *)
 
 let attach pisces ~config =
+  (* Observability knobs are enable-only: one instrumented controller
+     turns recording on, and a later plain attach cannot silence it. *)
+  if config.Config.observe || config.Config.trace_spans then
+    Covirt_obs.configure
+      ~cycles_per_us:((Pisces.machine pisces).Machine.model.Cost_model.ghz *. 1000.)
+      ~observe:config.Config.observe ~trace_spans:config.Config.trace_spans ();
   let t =
     {
       pisces;

@@ -5,18 +5,29 @@ type t = { ept : Ept.t }
 let create ~max_page = { ept = Ept.create ~max_page () }
 let ept t = t.ept
 
-let charge_writes machine ~host_cpu t f =
+(* Entry-write counter, labeled by operation (map/unmap): the cost the
+   paper attributes to EPT maintenance, now visible per run. *)
+let m_writes = lazy (Covirt_obs.Metrics.counter "ept.entry_writes")
+
+let charge_writes ?(op = "map") machine ~host_cpu t f =
   let before = Ept.entry_writes t.ept in
   f ();
   let writes = Ept.entry_writes t.ept - before in
+  if !Covirt_obs.Metrics.on then
+    Covirt_obs.Metrics.add
+      (Covirt_obs.Metrics.cell (Lazy.force m_writes)
+         { Covirt_obs.Metrics.no_label with dim = op })
+      writes;
   Cpu.charge host_cpu
     (writes * machine.Machine.model.Cost_model.ept_entry_update)
 
 let map machine ~host_cpu t region =
-  charge_writes machine ~host_cpu t (fun () -> Ept.map_region t.ept region)
+  charge_writes ~op:"map" machine ~host_cpu t (fun () ->
+      Ept.map_region t.ept region)
 
 let unmap machine ~host_cpu t region =
-  charge_writes machine ~host_cpu t (fun () -> Ept.unmap_region t.ept region)
+  charge_writes ~op:"unmap" machine ~host_cpu t (fun () ->
+      Ept.unmap_region t.ept region)
 
 let mapped_bytes t = Region.Set.total_bytes (Ept.regions t.ept)
 let leaf_counts t = Ept.leaf_counts t.ept

@@ -28,6 +28,14 @@ let kind_name = function
   | Queue_stall -> "queue-stall"
   | Watchdog_timeout -> "watchdog-timeout"
 
+let severity t =
+  if t.fatal then Covirt_sim.Trace.Error else Covirt_sim.Trace.Warn
+
+let rendered_detail t ~trace =
+  if Covirt_sim.Trace.would_record trace ~severity:(severity t) then
+    Lazy.force t.detail
+  else kind_name t.kind
+
 let pp ppf t =
   Format.fprintf ppf "[tsc %d] enclave %d cpu %d %s%s: %s" t.tsc t.enclave
     t.cpu (kind_name t.kind)

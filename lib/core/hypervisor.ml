@@ -58,6 +58,23 @@ let make_report t ~kind ~fatal detail =
 
 let emulate_cost = 200
 
+(* Observability families (interned once; cells are looked up per label
+   because the enclave/cpu pair varies per hypervisor instance).  Sites
+   guard on [!Metrics.on], keeping the disabled path to one branch. *)
+let m_ipi = lazy (Covirt_obs.Metrics.counter "ipi.filter")
+let m_shootdown = lazy (Covirt_obs.Metrics.counter "hv.tlb_shootdown")
+let m_emul = lazy (Covirt_obs.Metrics.counter "hv.emulation")
+
+let obs_incr t fam dim =
+  Covirt_obs.Metrics.add
+    (Covirt_obs.Metrics.cell (Lazy.force fam)
+       {
+         Covirt_obs.Metrics.enclave = t.vmcs.Vmcs.enclave;
+         cpu = t.cpu.Cpu.id;
+         dim;
+       })
+    1
+
 (* Drain the command queue: the controller already rewrote the
    hardware structures; we only activate/invalidate local state. *)
 let drain_queue t =
@@ -71,11 +88,13 @@ let drain_queue t =
           | Command.Flush_tlb region ->
               Tlb.flush_range t.cpu.Cpu.tlb region;
               t.flushes <- t.flushes + 1;
+              if !Covirt_obs.Metrics.on then obs_incr t m_shootdown "range";
               Cpu.charge t.cpu 300;
               killed
           | Command.Flush_tlb_all ->
               Tlb.flush_all t.cpu.Cpu.tlb;
               t.flushes <- t.flushes + 1;
+              if !Covirt_obs.Metrics.on then obs_incr t m_shootdown "all";
               Cpu.charge t.cpu 500;
               killed
           | Command.Reload_vmcs ->
@@ -108,9 +127,13 @@ let handle_exit t (reason : Vmcs.exit_reason) : Vmcs.action =
       Vmcs.Kill { reason = Lazy.force detail }
   | Vmcs.Icr_write icr ->
       Cpu.charge t.cpu t.machine.Machine.model.Cost_model.icr_whitelist_check;
-      if Whitelist.permits t.whitelist ~icr then Vmcs.Resume
+      if Whitelist.permits t.whitelist ~icr then begin
+        if !Covirt_obs.Metrics.on then obs_incr t m_ipi "allowed";
+        Vmcs.Resume
+      end
       else begin
         Whitelist.note_dropped t.whitelist;
+        if !Covirt_obs.Metrics.on then obs_incr t m_ipi "dropped";
         t.report
           (make_report t ~kind:Fault_report.Errant_ipi ~fatal:false
              (lazy (Format.asprintf "dropped %a" Apic.pp_icr icr)));
@@ -126,6 +149,7 @@ let handle_exit t (reason : Vmcs.exit_reason) : Vmcs.action =
       else begin
         (* Protected reads are emulated from the live register file. *)
         t.emulations <- t.emulations + 1;
+        if !Covirt_obs.Metrics.on then obs_incr t m_emul "msr-read";
         Cpu.charge t.cpu emulate_cost;
         Vmcs.Resume
       end
@@ -146,6 +170,8 @@ let handle_exit t (reason : Vmcs.exit_reason) : Vmcs.action =
       end
   | Vmcs.Cpuid | Vmcs.Xsetbv ->
       t.emulations <- t.emulations + 1;
+      if !Covirt_obs.Metrics.on then
+        obs_incr t m_emul (if reason = Vmcs.Cpuid then "cpuid" else "xsetbv");
       Cpu.charge t.cpu emulate_cost;
       Vmcs.Resume
   | Vmcs.Hlt ->

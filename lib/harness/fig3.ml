@@ -15,6 +15,9 @@ let run ?(quick = false) ?(seed = 42) () =
   let duration_s = if quick then 0.5 else 2.0 in
   List.map
     (fun (name, config) ->
+      (* Phase label per configuration: when the profiler is on,
+         covirt-ctl stats can attribute cycles to each sweep leg. *)
+      Covirt_obs.Profiler.set_phase name;
       Experiments.with_setup ~config ~seed (fun setup ->
           let ctx = List.hd (Experiments.contexts setup) in
           let result = Selfish.run ctx ~duration_s () in

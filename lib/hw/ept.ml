@@ -246,6 +246,14 @@ let fill_walk_entry t addr =
   in
   descend t.root 4
 
+(* Observability cells for the walk-cache hit/miss path and for
+   translation violations; interned once, guarded by one branch. *)
+let m_walk_hit = lazy Covirt_obs.Metrics.(unlabeled (counter "ept.walk.hit"))
+let m_walk_miss = lazy Covirt_obs.Metrics.(unlabeled (counter "ept.walk.miss"))
+
+let m_violation =
+  lazy (Covirt_obs.Metrics.counter "ept.violation" ~max_series:8)
+
 let find_leaf t addr =
   match t.walk_cache with
   | None -> find_leaf_uncached t addr
@@ -256,9 +264,15 @@ let find_leaf t addr =
       end;
       let key = addr lsr 21 in
       let s = cache.(key land (walk_cache_slots - 1)) in
-      if s.wkey = key then t.walk_hits <- t.walk_hits + 1
+      if s.wkey = key then begin
+        t.walk_hits <- t.walk_hits + 1;
+        if !Covirt_obs.Metrics.on then
+          Covirt_obs.Metrics.add (Lazy.force m_walk_hit) 1
+      end
       else begin
         t.walk_misses <- t.walk_misses + 1;
+        if !Covirt_obs.Metrics.on then
+          Covirt_obs.Metrics.add (Lazy.force m_walk_miss) 1;
         s.wentry <- fill_walk_entry t addr;
         s.wkey <- key
       end;
@@ -273,9 +287,21 @@ let find_leaf t addr =
               slots.(i) <- Some r;
               r))
 
+let note_violation reason =
+  if !Covirt_obs.Metrics.on then
+    let dim =
+      match reason with `Not_mapped -> "not-mapped" | `Perm_denied -> "perm"
+    in
+    Covirt_obs.Metrics.add
+      (Covirt_obs.Metrics.cell (Lazy.force m_violation)
+         { Covirt_obs.Metrics.no_label with dim })
+      1
+
 let translate t addr ~access =
   match find_leaf t addr with
-  | None -> Error { gpa = addr; access; reason = `Not_mapped }
+  | None ->
+      note_violation `Not_mapped;
+      Error { gpa = addr; access; reason = `Not_mapped }
   | Some (page_size, perms) ->
       let ok =
         match access with
@@ -284,7 +310,10 @@ let translate t addr ~access =
         | `Exec -> perms.exec
       in
       if ok then Ok page_size
-      else Error { gpa = addr; access; reason = `Perm_denied }
+      else begin
+        note_violation `Perm_denied;
+        Error { gpa = addr; access; reason = `Perm_denied }
+      end
 
 let page_size_at t addr = Option.map fst (find_leaf t addr)
 

@@ -29,17 +29,25 @@
     sequences). *)
 
 type perms = { read : bool; write : bool; exec : bool }
+(** Leaf permissions. *)
 
 val rwx : perms
+(** Read + write + execute — the identity-map default. *)
+
 val ro : perms
+(** Read-only. *)
 
 type violation = {
-  gpa : Addr.t;
-  access : [ `Read | `Write | `Exec ];
+  gpa : Addr.t;  (** the faulting guest-physical address *)
+  access : [ `Read | `Write | `Exec ];  (** what the guest attempted *)
   reason : [ `Not_mapped | `Perm_denied ];
+      (** no translation at all, vs a translation without the needed
+          permission *)
 }
+(** An EPT violation — the payload of the corresponding VM exit. *)
 
 type t
+(** One nested page table (one per enclave). *)
 
 val create : ?max_page:Addr.page_size -> ?walk_cache:bool -> unit -> t
 (** [max_page] defaults to [Page_1g].  [walk_cache] (default [true])
@@ -48,6 +56,7 @@ val create : ?max_page:Addr.page_size -> ?walk_cache:bool -> unit -> t
     cold-walk benchmarks compare against. *)
 
 val max_page : t -> Addr.page_size
+(** The largest leaf size coalescing may produce for this table. *)
 
 val uid : t -> int
 (** Unique per [create]d table — lets callers key their own memos by
@@ -74,12 +83,16 @@ val unmap_region : t -> Region.t -> unit
 
 val translate : t -> Addr.t -> access:[ `Read | `Write | `Exec ] ->
   (Addr.page_size, violation) result
+(** Hardware-walk one address: the leaf's page size on success (the
+    caller derives walk depth via {!walk_levels}), a {!violation}
+    otherwise. *)
 
 val covers : t -> base:Addr.t -> len:int -> bool
 (** Bulk check: the whole range is mapped (permissions not checked —
     Covirt maps everything RWX, violations are containment events). *)
 
 val page_size_at : t -> Addr.t -> Addr.page_size option
+(** Size of the leaf mapping this address, [None] if unmapped. *)
 
 val regions : t -> Region.Set.t
 (** The mapped set, from the index. *)
@@ -96,3 +109,4 @@ val walk_levels : Addr.page_size -> int
     1G leaf -> 2, 2M -> 3, 4K -> 4. *)
 
 val pp : Format.formatter -> t -> unit
+(** One-line summary: the mapped region set and per-size leaf counts. *)

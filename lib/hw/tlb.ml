@@ -72,6 +72,13 @@ let probe t b vpn =
   in
   go 0
 
+(* Observability cells, interned once: a TLB lookup is the hottest
+   operation in the translation path, so the disabled cost must stay at
+   the single [!Metrics.on] branch. *)
+let m_hit = lazy Covirt_obs.Metrics.(unlabeled (counter "tlb.lookup.hit"))
+let m_miss = lazy Covirt_obs.Metrics.(unlabeled (counter "tlb.lookup.miss"))
+let m_flush = lazy Covirt_obs.Metrics.(unlabeled (counter "tlb.flush"))
+
 let lookup t addr =
   let hit_in ps =
     let vpn = Addr.pfn addr ~size:(Addr.bytes_of_page_size ps) in
@@ -83,7 +90,12 @@ let lookup t addr =
     | [] -> None
     | ps :: rest -> ( match hit_in ps with Some _ as hit -> hit | None -> first rest)
   in
-  first classes
+  let result = first classes in
+  if !Covirt_obs.Metrics.on then
+    Covirt_obs.Metrics.add
+      (Lazy.force (match result with Some _ -> m_hit | None -> m_miss))
+      1;
+  result
 
 let install t addr ~page_size =
   let vpn = Addr.pfn addr ~size:(Addr.bytes_of_page_size page_size) in
@@ -114,7 +126,8 @@ let flush_all t =
   wipe t.b2m;
   wipe t.b1g;
   t.epoch <- t.epoch + 1;
-  t.flushes <- t.flushes + 1
+  t.flushes <- t.flushes + 1;
+  if !Covirt_obs.Metrics.on then Covirt_obs.Metrics.add (Lazy.force m_flush) 1
 
 let flush_range t region =
   (* An entry's page [vpn*bytes, (vpn+1)*bytes) overlaps [region] iff

@@ -27,10 +27,16 @@
     pattern that does not overcommit a set. *)
 
 type entry = { vpn : int; page_size : Addr.page_size; epoch : int }
+(** A cached translation: virtual page number, the size it was
+    installed at, and the flush epoch that validates it. *)
 
 type t
+(** A stateful per-CPU TLB (all size-class banks). *)
 
 val create : model:Cost_model.t -> rng:Covirt_sim.Rng.t -> t
+(** Fresh, empty TLB with the geometry [model] prescribes.  [rng] is
+    kept for compatibility with the historic random-victim policy; the
+    set-associative replacement no longer draws from it. *)
 
 val lookup : t -> Addr.t -> entry option
 (** Hit if a valid entry covers the address. *)
@@ -44,10 +50,14 @@ val geometry : t -> Addr.page_size -> int * int
 (** [(sets, ways)] of the bank holding entries of this page size. *)
 
 val flush_all : t -> unit
+(** Invalidate every entry and advance the flush epoch. *)
+
 val flush_range : t -> Region.t -> unit
 (** Invalidate entries whose page overlaps the region. *)
 
 val entry_count : t -> int
+(** Live (valid) entries across all banks. *)
+
 val flush_count : t -> int
 (** Number of full flushes performed (observability for tests). *)
 

@@ -95,6 +95,18 @@ let note_exit t reason =
   | Cpuid | Xsetbv -> s.exits_emul <- s.exits_emul + 1
   | Abort _ -> s.exits_abort <- s.exits_abort + 1
 
+let exit_reason_name = function
+  | Ept_violation _ -> "ept-violation"
+  | Icr_write _ -> "icr-write"
+  | Msr_access _ -> "msr-access"
+  | Io_access _ -> "io-access"
+  | Cpuid -> "cpuid"
+  | Xsetbv -> "xsetbv"
+  | Hlt -> "hlt"
+  | External_interrupt _ -> "external-interrupt"
+  | Nmi_exit -> "nmi"
+  | Abort _ -> "abort"
+
 let pp_exit_reason ppf = function
   | Ept_violation v ->
       Format.fprintf ppf "EPT-violation(gpa=%a,%s)" Addr.pp v.Ept.gpa

@@ -83,4 +83,11 @@ val no_controls : controls
 val note_exit : t -> exit_reason -> unit
 (** Update the per-reason counters. *)
 
+val exit_reason_name : exit_reason -> string
+(** Stable, payload-free short name for an exit reason
+    (["ept-violation"], ["icr-write"], ...) — the metric/trace label
+    dimension used by the observability layer. *)
+
 val pp_exit_reason : Format.formatter -> exit_reason -> unit
+(** Full rendering including the reason's payload (faulting GPA, MSR
+    number, vector, ...). *)

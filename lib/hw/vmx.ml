@@ -10,6 +10,7 @@ let vmlaunch ~model cpu vmcs =
 let vmexit_cost ~model = Cost_model.(model.vmexit_roundtrip + model.exit_dispatch)
 
 let deliver_exit ~model cpu vmcs reason =
+  let t0 = cpu.Cpu.tsc in
   Cpu.charge cpu (vmexit_cost ~model);
   Vmcs.note_exit vmcs reason;
   let action =
@@ -19,6 +20,11 @@ let deliver_exit ~model cpu vmcs reason =
         (* No hypervisor: nothing can make progress safely. *)
         Vmcs.Kill { reason = "no exit handler installed" }
   in
+  (* Record before acting so killed exits are attributed too.  Guarded
+     observation only: no simulated cycles move here. *)
+  if !Covirt_obs.Metrics.on || !Covirt_obs.Exporter.on then
+    Covirt_obs.Vmexit.record ~enclave:vmcs.Vmcs.enclave ~cpu:cpu.Cpu.id
+      ~reason:(Vmcs.exit_reason_name reason) ~t0 ~t1:cpu.Cpu.tsc;
   match action with
   | Vmcs.Kill { reason = why } ->
       cpu.Cpu.online <- false;

@@ -1,0 +1,58 @@
+(** Observability for the Covirt stack: metrics, cycle attribution, and
+    Chrome-trace export.
+
+    This is the library's public surface.  The three subsystems share a
+    design contract:
+
+    - {b zero-cost when disabled}: every instrumentation site in the hot
+      path guards on one [bool ref] ({!Metrics.on} or {!Exporter.on}),
+      so a build with observability off pays a single predictable branch
+      per site (enforced by the quick-bench 25% gate);
+    - {b measurement, not model}: recording never charges simulated
+      cycles, so enabling observability leaves simulation results — and
+      the golden transcript — bit-identical;
+    - {b process-global}: instrumentation sites anywhere in the layer
+      stack reach the registry without threading handles.
+
+    Wiring: [Config.observe] / [Config.trace_spans] feed
+    {!configure} when a controller attaches, and [covirt-ctl stats] /
+    [--trace-out] expose the results on the CLI. *)
+
+module Metrics = Metrics
+module Profiler = Profiler
+module Span = Span
+module Exporter = Exporter
+
+val enable : unit -> unit
+(** Turn on metrics + profiler recording (not span export). *)
+
+val disable : unit -> unit
+(** Turn off both metrics and span export.  Recorded data is kept. *)
+
+val enabled : unit -> bool
+(** True when metrics recording is on. *)
+
+val reset : unit -> unit
+(** Zero metrics, drop profiler attribution, clear the span buffer. *)
+
+val configure :
+  ?cycles_per_us:float -> observe:bool -> trace_spans:bool -> unit -> unit
+(** Apply config knobs.  Enable-only: [observe:true] turns metrics on,
+    [trace_spans:true] turns span export on, [false] leaves the current
+    state alone — so one instrumented controller among many is enough to
+    switch recording on, and a later plain attach cannot silence it.
+    [cycles_per_us] forwards to {!Exporter.set_cycles_per_us}. *)
+
+(** VM-exit recording hook, shared by every exit-delivery site. *)
+module Vmexit : sig
+  val record :
+    enclave:int -> cpu:int -> reason:string -> t0:int -> t1:int -> unit
+  (** [record ~enclave ~cpu ~reason ~t0 ~t1] attributes one delivered
+      exit whose handling spanned simulated cycles [t0..t1]: bumps the
+      per-label ["vmexit.count"] counter and ["vmexit.cycles"]
+      histogram, feeds the {!Profiler}, and (when export is on) emits a
+      complete span on the (enclave, cpu) track.  Safe to call
+      unconditionally — it carries its own enabled checks — but the
+      dispatch site guards anyway to keep the disabled path to one
+      branch. *)
+end

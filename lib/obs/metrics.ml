@@ -1,0 +1,332 @@
+(* Process-global metrics registry.  See metrics.mli for the contract.
+
+   Everything here is deliberately allocation-light on the record path:
+   a cell update is a field mutation (plus one array store for
+   histograms), and the disabled path is the caller's single [!on]
+   branch.  Nothing charges simulated cycles. *)
+
+let on = ref false
+let enable () = on := true
+let disable () = on := false
+let enabled () = !on
+
+(* ------------------------------------------------------------------ *)
+(* Labels.                                                             *)
+
+type label = { enclave : int; cpu : int; dim : string }
+
+let no_label = { enclave = -1; cpu = -1; dim = "" }
+let overflow_label = { enclave = -1; cpu = -1; dim = "(overflow)" }
+
+let pp_label ppf l =
+  let parts =
+    (if l.enclave >= 0 then [ Printf.sprintf "enclave=%d" l.enclave ] else [])
+    @ (if l.cpu >= 0 then [ Printf.sprintf "cpu=%d" l.cpu ] else [])
+    @ if l.dim <> "" then [ Printf.sprintf "dim=%s" l.dim ] else []
+  in
+  match parts with
+  | [] -> Format.pp_print_string ppf "(unlabeled)"
+  | ps -> Format.pp_print_string ppf (String.concat " " ps)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram snapshots.                                                *)
+
+(* Geometric buckets: bucket 0 covers [0, 1); bucket i >= 1 covers
+   [base^(i-1), base^i).  With base = 1.15 and 256 buckets the last
+   finite edge is ~3.5e15 — beyond any simulated cycle count — and the
+   relative quantile error is bounded by the 15% bucket growth. *)
+let hist_base = 1.15
+let hist_buckets = 256
+let log_base = log hist_base
+
+let bucket_of v =
+  if v < 1.0 then 0
+  else
+    let i = 1 + int_of_float (log v /. log_base) in
+    if i >= hist_buckets then hist_buckets - 1 else i
+
+(* Geometric midpoint of a bucket, used as its quantile representative. *)
+let bucket_mid i =
+  if i = 0 then 0.5 else hist_base ** (float_of_int i -. 0.5)
+
+module Hist = struct
+  type t = {
+    base : float;
+    counts : int array;
+    n : int;
+    sum : float;
+    max_v : float;
+  }
+
+  let is_zero h = h.n = 0
+
+  let quantile h ~p =
+    if h.n = 0 then 0.
+    else if p >= 100. then h.max_v
+    else begin
+      let rank =
+        let r = int_of_float (ceil (p /. 100. *. float_of_int h.n)) in
+        if r < 1 then 1 else if r > h.n then h.n else r
+      in
+      let acc = ref 0 and found = ref (-1) and i = ref 0 in
+      while !found < 0 && !i < Array.length h.counts do
+        acc := !acc + h.counts.(!i);
+        if !acc >= rank then found := !i;
+        incr i
+      done;
+      if !found < 0 then h.max_v else Float.min (bucket_mid !found) h.max_v
+    end
+
+  let merge a b =
+    let counts = Array.copy a.counts in
+    Array.iteri (fun i c -> counts.(i) <- counts.(i) + c) b.counts;
+    {
+      base = a.base;
+      counts;
+      n = a.n + b.n;
+      sum = a.sum +. b.sum;
+      max_v = Float.max a.max_v b.max_v;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Cells and families.                                                 *)
+
+type cell =
+  | C of { mutable c : int }
+  | G of { mutable g : float }
+  | H of {
+      counts : int array;
+      mutable n : int;
+      mutable sum : float;
+      mutable max_v : float;
+    }
+
+type kind = Kcounter | Kgauge | Khist
+
+let kind_name = function
+  | Kcounter -> "counter"
+  | Kgauge -> "gauge"
+  | Khist -> "histogram"
+
+type family = {
+  name : string;
+  kind : kind;
+  max_series : int;
+  series : (label, cell) Hashtbl.t;
+  mutable order : label list;  (* newest first *)
+  mutable dropped : int;
+  mutable overflow : cell option;
+}
+
+let registry : (string, family) Hashtbl.t = Hashtbl.create 32
+let reg_order : string list ref = ref []  (* newest first *)
+
+let new_cell = function
+  | Kcounter -> C { c = 0 }
+  | Kgauge -> G { g = 0. }
+  | Khist -> H { counts = Array.make hist_buckets 0; n = 0; sum = 0.; max_v = 0. }
+
+let intern ~kind ~max_series name =
+  match Hashtbl.find_opt registry name with
+  | Some f ->
+      if f.kind <> kind then
+        invalid_arg
+          (Printf.sprintf "Metrics: %S already registered as a %s" name
+             (kind_name f.kind));
+      f
+  | None ->
+      let f =
+        {
+          name;
+          kind;
+          max_series;
+          series = Hashtbl.create 8;
+          order = [];
+          dropped = 0;
+          overflow = None;
+        }
+      in
+      Hashtbl.replace registry name f;
+      reg_order := name :: !reg_order;
+      f
+
+let counter ?(max_series = 512) name = intern ~kind:Kcounter ~max_series name
+let gauge ?(max_series = 512) name = intern ~kind:Kgauge ~max_series name
+let histogram ?(max_series = 512) name = intern ~kind:Khist ~max_series name
+
+let cell f label =
+  match Hashtbl.find_opt f.series label with
+  | Some c -> c
+  | None ->
+      if Hashtbl.length f.series >= f.max_series then begin
+        f.dropped <- f.dropped + 1;
+        match f.overflow with
+        | Some c -> c
+        | None ->
+            let c = new_cell f.kind in
+            f.overflow <- Some c;
+            c
+      end
+      else begin
+        let c = new_cell f.kind in
+        Hashtbl.replace f.series label c;
+        f.order <- label :: f.order;
+        c
+      end
+
+let unlabeled f = cell f no_label
+let dropped_series f = f.dropped
+let series_count f = Hashtbl.length f.series
+
+let add c n = match c with C r -> r.c <- r.c + n | _ -> ()
+let set c v = match c with G r -> r.g <- v | _ -> ()
+
+let observe c v =
+  match c with
+  | H r ->
+      let b = bucket_of v in
+      r.counts.(b) <- r.counts.(b) + 1;
+      r.n <- r.n + 1;
+      r.sum <- r.sum +. v;
+      if v > r.max_v then r.max_v <- v
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots.                                                          *)
+
+type value = Counter of int | Gauge of float | Histogram of Hist.t
+
+type snapshot = (string * (label * value) list) list
+
+let value_of = function
+  | C r -> Counter r.c
+  | G r -> Gauge r.g
+  | H r ->
+      Histogram
+        {
+          Hist.base = hist_base;
+          counts = Array.copy r.counts;
+          n = r.n;
+          sum = r.sum;
+          max_v = r.max_v;
+        }
+
+let snapshot () =
+  List.rev_map
+    (fun name ->
+      let f = Hashtbl.find registry name in
+      let series =
+        List.rev_map
+          (fun l -> (l, value_of (Hashtbl.find f.series l)))
+          f.order
+      in
+      let series =
+        match f.overflow with
+        | Some c -> series @ [ (overflow_label, value_of c) ]
+        | None -> series
+      in
+      (name, series))
+    !reg_order
+
+let sub_value ~before ~after =
+  match (before, after) with
+  | Counter b, Counter a -> Counter (a - b)
+  | Gauge b, Gauge a -> Gauge (a -. b)
+  | Histogram b, Histogram a ->
+      let counts = Array.copy a.Hist.counts in
+      Array.iteri (fun i c -> counts.(i) <- counts.(i) - c) b.Hist.counts;
+      let n = a.Hist.n - b.Hist.n in
+      Histogram
+        {
+          Hist.base = a.Hist.base;
+          counts;
+          n;
+          sum = a.Hist.sum -. b.Hist.sum;
+          max_v = (if n > 0 then a.Hist.max_v else 0.);
+        }
+  | _, after -> after
+
+let diff ~before ~after =
+  List.map
+    (fun (name, series) ->
+      let bseries =
+        match List.assoc_opt name before with Some s -> s | None -> []
+      in
+      ( name,
+        List.map
+          (fun (label, v) ->
+            match List.assoc_opt label bseries with
+            | Some bv -> (label, sub_value ~before:bv ~after:v)
+            | None -> (label, v))
+          series ))
+    after
+
+let value_is_zero = function
+  | Counter c -> c = 0
+  | Gauge g -> g = 0.
+  | Histogram h -> Hist.is_zero h
+
+let is_zero snap =
+  List.for_all
+    (fun (_, series) -> List.for_all (fun (_, v) -> value_is_zero v) series)
+    snap
+
+let find snap name =
+  match List.assoc_opt name snap with Some s -> s | None -> []
+
+let total_counter snap name =
+  List.fold_left
+    (fun acc (_, v) -> match v with Counter c -> acc + c | _ -> acc)
+    0 (find snap name)
+
+let merged_hist snap name ~dim =
+  List.fold_left
+    (fun acc (l, v) ->
+      match v with
+      | Histogram h when l.dim = dim -> (
+          match acc with None -> Some h | Some m -> Some (Hist.merge m h))
+      | _ -> acc)
+    None (find snap name)
+
+let dims snap name =
+  List.fold_left
+    (fun acc (l, _) -> if List.mem l.dim acc then acc else acc @ [ l.dim ])
+    [] (find snap name)
+
+let pp ppf snap =
+  List.iter
+    (fun (name, series) ->
+      List.iter
+        (fun (l, v) ->
+          let pp_v ppf = function
+            | Counter c -> Format.fprintf ppf "%d" c
+            | Gauge g -> Format.fprintf ppf "%.3f" g
+            | Histogram h ->
+                Format.fprintf ppf "n=%d p50=%.1f p99=%.1f max=%.1f" h.Hist.n
+                  (Hist.quantile h ~p:50.) (Hist.quantile h ~p:99.)
+                  h.Hist.max_v
+          in
+          Format.fprintf ppf "@[<h>%s{%a} = %a@]@." name pp_label l pp_v v)
+        series)
+    snap
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle.                                                          *)
+
+let reset_cell = function
+  | C r -> r.c <- 0
+  | G r -> r.g <- 0.
+  | H r ->
+      Array.fill r.counts 0 (Array.length r.counts) 0;
+      r.n <- 0;
+      r.sum <- 0.;
+      r.max_v <- 0.
+
+let reset () =
+  Hashtbl.iter
+    (fun _ f ->
+      Hashtbl.iter (fun _ c -> reset_cell c) f.series;
+      Option.iter reset_cell f.overflow;
+      f.dropped <- 0)
+    registry

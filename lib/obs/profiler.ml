@@ -1,0 +1,83 @@
+(* Cycle attribution per exit reason and per guest phase.  Process
+   global; the record path is two hashtable upserts on pre-allocated
+   mutable rows. *)
+
+type acc = { mutable a_exits : int; mutable a_cycles : int }
+
+let reasons : (string, acc) Hashtbl.t = Hashtbl.create 16
+let reason_order : string list ref = ref []  (* newest first *)
+let phases : (string, acc) Hashtbl.t = Hashtbl.create 16
+let phase_order : string list ref = ref []  (* newest first *)
+let phase = ref ""
+
+let set_phase name = phase := name
+let current_phase () = !phase
+
+let bump table order key ~cycles =
+  let a =
+    match Hashtbl.find_opt table key with
+    | Some a -> a
+    | None ->
+        let a = { a_exits = 0; a_cycles = 0 } in
+        Hashtbl.replace table key a;
+        order := key :: !order;
+        a
+  in
+  a.a_exits <- a.a_exits + 1;
+  a.a_cycles <- a.a_cycles + cycles
+
+let record ~reason ~cycles =
+  bump reasons reason_order reason ~cycles;
+  bump phases phase_order !phase ~cycles
+
+type row = { key : string; exits : int; cycles : int }
+
+let rows table order =
+  List.rev_map
+    (fun key ->
+      let a = Hashtbl.find table key in
+      { key; exits = a.a_exits; cycles = a.a_cycles })
+    !order
+
+let by_reason () =
+  List.sort (fun a b -> compare b.cycles a.cycles) (rows reasons reason_order)
+
+let by_phase () = rows phases phase_order
+
+let render ~title ~key_col rws =
+  let total = List.fold_left (fun acc r -> acc + r.cycles) 0 rws in
+  let t =
+    Covirt_sim.Table.create
+      ~columns:[ key_col; "exits"; "cycles"; "cyc/exit"; "share" ]
+  in
+  List.iter
+    (fun r ->
+      let mean =
+        if r.exits = 0 then 0. else float_of_int r.cycles /. float_of_int r.exits
+      in
+      let share =
+        if total = 0 then 0. else float_of_int r.cycles /. float_of_int total
+      in
+      Covirt_sim.Table.add_row t
+        [
+          r.key;
+          string_of_int r.exits;
+          string_of_int r.cycles;
+          Covirt_sim.Table.cell_f mean;
+          Covirt_sim.Table.cell_pct share;
+        ])
+    rws;
+  Printf.sprintf "%s\n%s" title (Covirt_sim.Table.render t)
+
+let attribution_table () =
+  render ~title:"cycle attribution by exit reason" ~key_col:"exit reason"
+    (by_reason ())
+
+let phase_table () =
+  render ~title:"cycle attribution by phase" ~key_col:"phase" (by_phase ())
+
+let reset () =
+  Hashtbl.reset reasons;
+  reason_order := [];
+  Hashtbl.reset phases;
+  phase_order := []

@@ -30,8 +30,11 @@ type fault =
           fault class only the watchdog can notice *)
 
 val pp_fault : Format.formatter -> fault -> unit
+(** Human-readable fault name with its payload. *)
 
 val is_wedge : fault -> bool
+(** True for {!Wedge} — the class that produces no trap and must be
+    caught by the watchdog rather than containment. *)
 
 val is_fatal_under_full_protection : fault -> bool
 (** Whether the fault, injected under the full protection config,
@@ -44,10 +47,15 @@ type trigger =
   | At_cycle of int  (** fire once, at the first check past this TSC *)
 
 type rule = { target : string; trigger : trigger; fault : fault }
+(** Inject [fault] into the enclave named [target] when [trigger]
+    fires. *)
 
 type t
+(** One injector: a seeded stream plus a (mutable) schedule. *)
 
 val create : seed:int -> ?rules:rule list -> unit -> t
+(** Fresh injector.  Equal [seed]s yield equal {!draw} sequences;
+    [rules] seeds the schedule (default none). *)
 
 val draw : t -> machine_mem:int -> victim_bsp:int -> fault
 (** Next fault from the seeded random stream — the campaign taxonomy:

@@ -16,6 +16,7 @@ type result = {
   sibling_unperturbed : bool;
   timeline : Supervisor.event list;
   incarnations : (string * int) list;
+  metrics_delta : Covirt_obs.Metrics.snapshot;
 }
 
 let gib = Covirt_sim.Units.gib
@@ -87,6 +88,10 @@ let reference_residual ~seed =
       hpcg_residual [ Kitten.context kitten ~core:(Enclave.bsp enclave) ]
 
 let run ?(trials = 200) ?(seed = 2026) () =
+  (* Snapshot-diff around the whole campaign: when observability is on,
+     the delta isolates this run's counters from whatever else the
+     process recorded.  With it off the delta is all-zero. *)
+  let obs_before = Covirt_obs.Metrics.snapshot () in
   let machine =
     Machine.create ~seed ~zones:2 ~cores_per_zone:3 ~mem_per_zone:(4 * gib) ()
   in
@@ -218,6 +223,9 @@ let run ?(trials = 200) ?(seed = 2026) () =
       List.map
         (fun name -> (name, Supervisor.incarnation sup ~name))
         (Supervisor.names sup);
+    metrics_delta =
+      Covirt_obs.Metrics.diff ~before:obs_before
+        ~after:(Covirt_obs.Metrics.snapshot ());
   }
 
 let table r =
@@ -239,4 +247,13 @@ let table r =
   add "sibling residual" (Printf.sprintf "%.6e" r.sibling_residual);
   add "reference residual" (Printf.sprintf "%.6e" r.reference_residual);
   add "sibling unperturbed" (string_of_bool r.sibling_unperturbed);
+  (* Observability rows only when something was recorded, so the table
+     is unchanged — and the golden transcript stable — with obs off. *)
+  if not (Covirt_obs.Metrics.is_zero r.metrics_delta) then begin
+    let total name = Covirt_obs.Metrics.total_counter r.metrics_delta name in
+    add "obs: vm exits" (string_of_int (total "vmexit.count"));
+    add "obs: fault reports" (string_of_int (total "fault.report"));
+    add "obs: supervisor events" (string_of_int (total "supervisor.events"));
+    add "obs: watchdog polls" (string_of_int (total "watchdog.polls"))
+  end;
   t

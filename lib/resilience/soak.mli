@@ -32,6 +32,10 @@ type result = {
           matches the reference exactly *)
   timeline : Supervisor.event list;  (** full recovery timeline *)
   incarnations : (string * int) list;  (** relaunch count per enclave *)
+  metrics_delta : Covirt_obs.Metrics.snapshot;
+      (** snapshot-diff of the observability registry across the run:
+          the campaign's own counters, isolated from anything recorded
+          before it.  All-zero when observability is disabled. *)
 }
 
 val run : ?trials:int -> ?seed:int -> unit -> result

@@ -107,10 +107,41 @@ let find_exn t name =
   | Some m -> m
   | None -> invalid_arg (Printf.sprintf "Supervisor: %S is not managed" name)
 
+let event_tag = function
+  | Fault_detected _ -> "fault-detected"
+  | Wedge_detected _ -> "wedge-detected"
+  | Torn_down -> "torn-down"
+  | Backing_off _ -> "backing-off"
+  | Relaunched _ -> "relaunched"
+  | Relaunch_failed _ -> "relaunch-failed"
+  | Quarantine _ -> "quarantine"
+
+(* Recovery events feed the observability layer: a per-kind counter and
+   an instant on the host track (pid 0 — supervision is host work). *)
+let m_events = lazy (Covirt_obs.Metrics.counter "supervisor.events")
+
 let push t m kind =
+  let tsc = now t in
+  (if !Covirt_obs.Metrics.on || !Covirt_obs.Exporter.on then
+     let tag = event_tag kind in
+     if !Covirt_obs.Metrics.on then
+       Covirt_obs.Metrics.add
+         (Covirt_obs.Metrics.cell (Lazy.force m_events)
+            { Covirt_obs.Metrics.no_label with dim = tag })
+         1;
+     if !Covirt_obs.Exporter.on then
+       Covirt_obs.Span.instant
+         ~name:("supervisor:" ^ tag)
+         ~cat:"supervision"
+         ~args:
+           [
+             ("managed", m.m_name);
+             ("incarnation", string_of_int m.incarnation);
+           ]
+         ~pid:0
+         ~tid:(host_cpu t).Cpu.id ~ts:tsc ());
   t.events <-
-    { tsc = now t; name = m.m_name; incarnation = m.incarnation; kind }
-    :: t.events
+    { tsc; name = m.m_name; incarnation = m.incarnation; kind } :: t.events
 
 let manage t ~name ~launch =
   if find t name <> None then
@@ -236,10 +267,16 @@ let run_protected t ~name f =
               let cause =
                 match consume_pending t crash.Pisces.enclave_id with
                 | Some r ->
+                    (* Route the detail through the trace-severity gate:
+                       forcing it unconditionally here would undo the
+                       report's laziness for severity-filtered events. *)
+                    let trace =
+                      (Pisces.machine pisces).Machine.trace
+                    in
                     Format.asprintf "%s on cpu %d (%s)"
                       (Covirt.Fault_report.kind_name r.Covirt.Fault_report.kind)
                       r.Covirt.Fault_report.cpu
-                      (Lazy.force r.Covirt.Fault_report.detail)
+                      (Covirt.Fault_report.rendered_detail r ~trace)
                 | None -> crash.Pisces.reason
               in
               push t m (Fault_detected cause);

@@ -42,15 +42,18 @@ val policy_of_config : Covirt.Config.t -> policy
 (** Lift the supervision knobs out of a protection config. *)
 
 val default_policy : policy
+(** {!policy_of_config} of the default protection config. *)
 
+(** What happened at one step of the recovery protocol. *)
 type event_kind =
-  | Fault_detected of string
-  | Wedge_detected of string
-  | Torn_down
+  | Fault_detected of string  (** a fatal fault report arrived *)
+  | Wedge_detected of string  (** the watchdog escalated a stall *)
+  | Torn_down  (** cores halted, partition reclaimed *)
   | Backing_off of { cycles : int; attempt : int }
-  | Relaunched of { enclave_id : int }
-  | Relaunch_failed of string
-  | Quarantine of string
+      (** waiting before relaunch attempt [attempt] *)
+  | Relaunched of { enclave_id : int }  (** a fresh incarnation is up *)
+  | Relaunch_failed of string  (** the launch closure failed *)
+  | Quarantine of string  (** the circuit breaker tripped *)
 
 type event = {
   tsc : int;  (** host TSC when the event was recorded *)
@@ -60,10 +63,14 @@ type event = {
 }
 
 val pp_event : Format.formatter -> event -> unit
+(** One timeline line: TSC, enclave, incarnation, kind. *)
 
 type status = Healthy | Quarantined of string
+(** An enclave is either restartable or permanently parked (with the
+    ledger explanation). *)
 
 type t
+(** One supervisor; manages any number of named enclaves. *)
 
 val create : ?policy:policy -> seed:int -> Covirt.Controller.t -> t
 (** Attach to the controller's fault feed.  [policy] defaults to
@@ -94,18 +101,31 @@ val escalate_wedged : t -> name:string -> detail:string -> unit
     report against the current incarnation, then run the same
     teardown-and-recovery protocol as a crash. *)
 
-(* Introspection. *)
+(** {2 Introspection} *)
 
 val names : t -> string list
+(** Managed enclave names, in management order. *)
+
 val enclave : t -> name:string -> Enclave.t option
+(** The current incarnation's enclave, [None] if unmanaged or down. *)
+
 val kitten : t -> name:string -> Kitten.t option
+(** The current incarnation's kernel, [None] if unmanaged or down. *)
+
 val status : t -> name:string -> status
+(** {!Healthy} unless quarantined.  Unmanaged names are healthy. *)
+
 val attempts : t -> name:string -> int
 (** Restarts consumed since the budget was last reset. *)
 
 val incarnation : t -> name:string -> int
+(** 0 for the original launch, +1 per successful relaunch. *)
+
 val controller : t -> Covirt.Controller.t
+(** The controller this supervisor subscribed to. *)
+
 val policy : t -> policy
+(** The active restart policy. *)
 
 val timeline : t -> event list
 (** All events, oldest first. *)

@@ -41,7 +41,16 @@ let signature t (enclave : Enclave.t) =
 let now t =
   Cpu.rdtsc (Pisces.host_cpu (Covirt.Controller.pisces (Supervisor.controller t.sup)))
 
+(* Health-monitoring observability: how often the watchdog looked, and
+   how often it had to pull the trigger. *)
+let m_polls = lazy Covirt_obs.Metrics.(unlabeled (counter "watchdog.polls"))
+
+let m_escalations =
+  lazy Covirt_obs.Metrics.(unlabeled (counter "watchdog.escalations"))
+
 let poll t =
+  if !Covirt_obs.Metrics.on then
+    Covirt_obs.Metrics.add (Lazy.force m_polls) 1;
   let deadline = (Supervisor.policy t.sup).Supervisor.watchdog_deadline in
   let tsc = now t in
   List.filter
@@ -82,6 +91,8 @@ let poll t =
             if snap.s_stalled < deadline then false
             else begin
               let exits, msgs = current in
+              if !Covirt_obs.Metrics.on then
+                Covirt_obs.Metrics.add (Lazy.force m_escalations) 1;
               Supervisor.escalate_wedged t.sup ~name
                 ~detail:
                   (Printf.sprintf

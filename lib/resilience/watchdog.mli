@@ -18,6 +18,7 @@
     fresh grace period. *)
 
 type t
+(** One watchdog, bound to a supervisor's set of managed enclaves. *)
 
 val create : Supervisor.t -> t
 (** Watch every enclave managed by the supervisor (including ones
