@@ -264,6 +264,243 @@ let faults_cmd =
     (Cmd.info "faults" ~doc:"Inject a fault and report what happened")
     Term.(ret (const run_fault $ name_arg $ config))
 
+(* --- analyze --- *)
+
+let corrupt_names = [ "cross-owner"; "free-map"; "stale-grant"; "freed-access" ]
+
+(* Each corruption class maps to the typed violation the sanitizer must
+   produce for it.  The static verifier and the shadow sanitizer overlap
+   on EPT corruption (one sees the stale table, the other the write), so
+   either typed form counts as detection for those classes. *)
+let detects corrupt (v : Covirt_analysis.Violation.t) =
+  let open Covirt_analysis.Violation in
+  match (corrupt, v.kind) with
+  | "cross-owner", (Cross_owner_mapping _ | Shadow_corrupt_mapping _) -> true
+  | "free-map", (Unbacked_mapping | Shadow_corrupt_mapping _) -> true
+  | "stale-grant", Stale_grant _ -> true
+  | "freed-access", Shadow_freed_access -> true
+  | _ -> false
+
+let run_analyze sanitize json_out corrupt =
+  let open Covirt_analysis in
+  let mib = Covirt_sim.Units.mib in
+  match corrupt with
+  | Some c when not (List.mem c corrupt_names) ->
+      `Error
+        ( false,
+          Printf.sprintf "unknown corruption %S (expected: %s)" c
+            (String.concat ", " corrupt_names) )
+  | _ -> (
+      (* The freed-access demo needs accesses to reach memory (EPT
+         enforcement would suppress the stale store before the shadow
+         sees it), so it runs unprotected with the sanitizer armed. *)
+      let needs_shadow = sanitize || corrupt = Some "freed-access" in
+      let base_config =
+        if corrupt = Some "freed-access" then Covirt.Config.none
+        else Covirt.Config.full
+      in
+      let config = { base_config with Covirt.Config.sanitize = needs_shadow } in
+      let machine =
+        Covirt_hw.Machine.create ~zones:2 ~cores_per_zone:3
+          ~mem_per_zone:(8 * gib) ()
+      in
+      let hobbes = Covirt_hobbes.Hobbes.create machine ~host_core:0 in
+      let ctrl = Covirt.enable (Covirt_hobbes.Hobbes.pisces hobbes) ~config in
+      let run () =
+        let launch nm cs zone =
+          match
+            Covirt_hobbes.Hobbes.launch_enclave hobbes ~name:nm ~cores:cs
+              ~mem:[ (zone, 1 * gib) ] ()
+          with
+          | Ok pair -> pair
+          | Error e -> failwith e
+        in
+        let alpha, alpha_kitten = launch "alpha" [ 1; 2 ] 0 in
+        let beta, _ = launch "beta" [ 4 ] 1 in
+        let first_region (e : Covirt_pisces.Enclave.t) =
+          match Covirt_hw.Region.Set.to_list e.Covirt_pisces.Enclave.memory with
+          | r :: _ -> r
+          | [] -> failwith "enclave has no memory"
+        in
+        (* A legitimate cross-enclave share and doorbell pair: the
+           verifier must bless these, not flag them. *)
+        let xemem = Covirt_hobbes.Hobbes.xemem hobbes in
+        let share =
+          let r = first_region alpha in
+          Covirt_hw.Region.make ~base:r.Covirt_hw.Region.base ~len:(2 * mib)
+        in
+        (match
+           Covirt_xemem.Xemem.export xemem
+             ~exporter:
+               (Covirt_xemem.Name_service.Enclave_export
+                  alpha.Covirt_pisces.Enclave.id)
+             ~name:"analyze-share" ~pages:[ share ]
+         with
+        | Ok _ -> ()
+        | Error e -> failwith e);
+        (match Covirt_xemem.Xemem.attach xemem beta ~name:"analyze-share" with
+        | Ok _ -> ()
+        | Error e -> failwith e);
+        (match Covirt_hobbes.Hobbes.grant_vector_pair hobbes alpha beta with
+        | Ok _ -> ()
+        | Error e -> failwith e);
+        (* Real traffic so the shadow sanitizer has accesses to check. *)
+        let ctxs =
+          List.map
+            (fun core -> Covirt_kitten.Kitten.context alpha_kitten ~core)
+            (Covirt_kitten.Kitten.cores alpha_kitten)
+        in
+        (match Covirt_workloads.Stream.run ctxs ~elems:200_000 ~iters:2 () with
+        | Ok _ -> ()
+        | Error e -> failwith e);
+        let instance_of (e : Covirt_pisces.Enclave.t) =
+          match
+            Covirt.Controller.instance_for ctrl
+              ~enclave_id:e.Covirt_pisces.Enclave.id
+          with
+          | Some i -> i
+          | None -> failwith "enclave has no controller instance"
+        in
+        let ept_of inst =
+          match inst.Covirt.Controller.ept_mgr with
+          | Some mgr -> Covirt.Ept_manager.ept mgr
+          | None -> failwith "no EPT under this configuration"
+        in
+        (match corrupt with
+        | None -> ()
+        | Some "cross-owner" ->
+            (* Alpha's EPT suddenly maps a window of beta's memory. *)
+            let r = first_region beta in
+            Covirt_hw.Ept.map_region
+              (ept_of (instance_of alpha))
+              (Covirt_hw.Region.make ~base:r.Covirt_hw.Region.base
+                 ~len:(4 * mib))
+        | Some "free-map" ->
+            (* Map a region that belongs to nobody: carve it from the
+               free pool, release it, then wire it into alpha's EPT. *)
+            let mem = machine.Covirt_hw.Machine.mem in
+            let r =
+              match
+                Covirt_hw.Phys_mem.alloc mem ~owner:Covirt_hw.Owner.Host
+                  ~zone:1 ~len:(4 * mib)
+              with
+              | Ok r -> r
+              | Error e -> failwith e
+            in
+            Covirt_hw.Phys_mem.release mem r;
+            Covirt_hw.Ept.map_region (ept_of (instance_of alpha)) r
+        | Some "stale-grant" ->
+            (* Grant a doorbell towards a core no live enclave owns. *)
+            Covirt.Whitelist.grant (instance_of alpha).Covirt.Controller.whitelist
+              ~vector:0xd1 ~dest:5
+        | Some "freed-access" ->
+            (* Hot-add memory, hot-remove it, then touch the stale
+               address: only the shadow sanitizer can see this one. *)
+            let pisces = Covirt_hobbes.Hobbes.pisces hobbes in
+            let r =
+              match
+                Covirt_pisces.Pisces.add_memory pisces alpha ~zone:0
+                  ~len:(4 * mib)
+              with
+              | Ok r -> r
+              | Error e -> failwith e
+            in
+            (match Covirt_pisces.Pisces.remove_memory pisces alpha r with
+            | Ok () -> ()
+            | Error e -> failwith e);
+            let ctx = Covirt_kitten.Kitten.context alpha_kitten ~core:1 in
+            (match
+               Covirt_pisces.Pisces.run_guarded pisces (fun () ->
+                   Covirt_kitten.Kitten.store_addr ctx
+                     (r.Covirt_hw.Region.base + 64))
+             with
+            | Ok () | Error _ -> ())
+        | Some _ -> assert false);
+        let report =
+          Verifier.run ~registry:(Covirt_xemem.Xemem.registry xemem) ctrl
+        in
+        let shadow_vs = if Shadow.active () then Shadow.violations () else [] in
+        if report.Verifier.violations <> [] then
+          Covirt_sim.Table.print (Verifier.table report);
+        Format.printf
+          "static verifier: %d enclave(s), %d EPT leaves, %d grant(s) checked, \
+           %d violation(s)@."
+          report.Verifier.enclaves_checked report.Verifier.leaves_checked
+          report.Verifier.grants_checked
+          (List.length report.Verifier.violations);
+        if needs_shadow then begin
+          let s = Shadow.stats () in
+          Format.printf
+            "shadow sanitizer: %d accesses, %d EPT writes, %d TLB installs \
+             checked, %d violation(s)@."
+            s.accesses s.ept_writes s.tlb_installs (List.length shadow_vs);
+          if shadow_vs <> [] then Covirt_sim.Table.print (Shadow.table ())
+        end;
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            if needs_shadow then
+              Printf.fprintf oc {|{"verifier":%s,"shadow":%s}|}
+                (Verifier.to_json report) (Shadow.to_json ())
+            else output_string oc (Verifier.to_json report);
+            close_out oc;
+            Format.printf "wrote JSON report to %s@." path)
+          json_out;
+        let all = report.Verifier.violations @ shadow_vs in
+        match corrupt with
+        | None ->
+            if all = [] then begin
+              Format.printf "isolation verified: no violations@.";
+              `Ok ()
+            end
+            else
+              `Error
+                ( false,
+                  Printf.sprintf "%d isolation violation(s) detected"
+                    (List.length all) )
+        | Some c ->
+            if List.exists (detects c) all then begin
+              Format.printf "injected corruption %S detected as expected@." c;
+              `Ok ()
+            end
+            else
+              `Error
+                ( false,
+                  Printf.sprintf "injected corruption %S was NOT detected" c )
+      in
+      let result = try run () with Failure msg -> `Error (false, msg) in
+      if needs_shadow then Shadow.release ();
+      result)
+
+let analyze_cmd =
+  let sanitize =
+    let doc =
+      "Also arm the shadow sanitizer: mirror every EPT write, TLB install \
+       and translated access into a shadow ownership map and report \
+       boundary crossings as they happen."
+    in
+    Arg.(value & flag & info [ "sanitize" ] ~doc)
+  in
+  let json_out =
+    let doc = "Write the full violation report as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let corrupt =
+    let doc =
+      "Inject a known corruption before verifying and require its typed \
+       violation to be detected: cross-owner, free-map, stale-grant or \
+       freed-access."
+    in
+    Arg.(value & opt (some string) None & info [ "corrupt" ] ~docv:"CLASS" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Boot a protected two-enclave stack with a XEMEM share, then run \
+          the static isolation verifier (EPT leaves vs ownership, whitelist \
+          grants vs live cores) and optionally the shadow sanitizer")
+    Term.(ret (const run_analyze $ sanitize $ json_out $ corrupt))
+
 (* --- stats --- *)
 
 let run_stats quick seed trace_out jsonl_out =
@@ -361,9 +598,9 @@ let stats_cmd =
 
 (* --- supervise --- *)
 
-let run_supervise trials seed timeline =
+let run_supervise trials seed timeline sanitize =
   let open Covirt_resilience in
-  let r = Soak.run ~trials ~seed () in
+  let r = Soak.run ~trials ~seed ~sanitize () in
   Covirt_sim.Table.print (Soak.table r);
   if r.Soak.quarantined <> [] then begin
     Format.printf "@.quarantine ledger:@.";
@@ -401,13 +638,20 @@ let supervise_cmd =
     let doc = "Print the full recovery timeline." in
     Arg.(value & flag & info [ "timeline" ] ~doc)
   in
+  let sanitize =
+    let doc =
+      "Run the whole soak under the shadow sanitizer and report how many \
+       trials it flagged."
+    in
+    Arg.(value & flag & info [ "sanitize" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "supervise"
        ~doc:
          "Run the supervised soak: inject faults and wedges into two worker \
           enclaves, let the supervisor and watchdog recover them, and check \
           an untouched sibling")
-    Term.(ret (const run_supervise $ trials $ seed $ timeline))
+    Term.(ret (const run_supervise $ trials $ seed $ timeline $ sanitize))
 
 (* --- top level --- *)
 
@@ -417,4 +661,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ experiment_cmd; demo_cmd; faults_cmd; supervise_cmd; stats_cmd ]))
+          [
+            experiment_cmd; demo_cmd; faults_cmd; analyze_cmd; supervise_cmd;
+            stats_cmd;
+          ]))

@@ -1,0 +1,157 @@
+(* covirt-lint: the repo's source-convention gate.
+
+   Purely line/regex-based — no ppx, no compiler-libs — so it stays
+   cheap enough to run on every CI push.  Three checks:
+
+   1. every module under lib/ has an interface (.mli next to the .ml);
+   2. the hot layers (lib/hw, lib/core) never print to stdout/stderr
+      directly — output goes through pp functions or the sim Table;
+   3. observability emission calls (Metrics.add, Span.instant, ...) in the hot
+      layers sit behind a [!Metrics.on] / [!Exporter.on] guard within
+      the preceding few lines, preserving the zero-cost-when-off
+      contract.
+
+   Usage: covirt_lint [ROOT]   (ROOT defaults to ".", must contain lib/) *)
+
+let errors = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr errors;
+      Printf.printf "lint: %s\n" msg)
+    fmt
+
+(* --- tiny filesystem walk (stdlib only) --- *)
+
+let rec walk dir f =
+  match Sys.readdir dir with
+  | entries ->
+      Array.sort compare entries;
+      Array.iter
+        (fun e ->
+          let path = Filename.concat dir e in
+          if Sys.is_directory path then (
+            if e <> "_build" && e <> ".git" then walk path f)
+          else f path)
+        entries
+  | exception Sys_error _ -> ()
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let has_suffix s suf =
+  String.length s >= String.length suf
+  && String.sub s (String.length s - String.length suf) (String.length suf)
+     = suf
+
+(* [find_sub line pat] — index of [pat] in [line], if any. *)
+let find_sub line pat =
+  let n = String.length line and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = pat then Some i
+    else go (i + 1)
+  in
+  if m = 0 then None else go 0
+
+let contains line pat = find_sub line pat <> None
+
+(* A match counts as a call only if it is not part of a longer
+   identifier: the preceding character must not be alphanumeric, '_',
+   or '.' (so [Format.pp_print_string] does not trip "print_string"). *)
+let contains_word line pat =
+  match find_sub line pat with
+  | None -> false
+  | Some 0 -> true
+  | Some i -> (
+      match line.[i - 1] with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' -> false
+      | _ -> true)
+
+(* --- check 1: every lib module has an interface --- *)
+
+let check_mli root =
+  walk
+    (Filename.concat root "lib")
+    (fun path ->
+      if has_suffix path ".ml" then
+        let mli = path ^ "i" in
+        if not (Sys.file_exists mli) then
+          fail "%s has no interface (%s missing)" path mli)
+
+(* --- check 2: no direct printing in the hot layers --- *)
+
+let print_patterns =
+  [ "Printf.printf"; "Printf.eprintf"; "Format.printf"; "Format.eprintf";
+    "print_endline"; "print_string"; "prerr_endline"; "prerr_string" ]
+
+let check_no_printing path lines =
+  List.iteri
+    (fun i line ->
+      List.iter
+        (fun pat ->
+          if contains_word line pat then
+            fail "%s:%d: direct output via %s (use a pp function or Table)"
+              path (i + 1) pat)
+        print_patterns)
+    lines
+
+(* --- check 3: obs emission guarded in the hot layers --- *)
+
+let emission_patterns = [ "Metrics.add"; "Span.instant"; "Span.push" ]
+let guard_patterns = [ "Metrics.on"; "Exporter.on"; "Sanitize.on" ]
+let lookback = 25
+
+let check_guards path lines =
+  let arr = Array.of_list lines in
+  Array.iteri
+    (fun i line ->
+      if List.exists (contains line) emission_patterns then begin
+        let guarded = ref false in
+        for j = max 0 (i - lookback) to i do
+          if List.exists (contains arr.(j)) guard_patterns then guarded := true
+        done;
+        if not !guarded then
+          fail
+            "%s:%d: obs emission without a Metrics.on/Exporter.on guard \
+             within %d lines"
+            path (i + 1) lookback
+      end)
+    arr
+
+(* --- driver --- *)
+
+let hot_layers = [ "lib/hw"; "lib/core" ]
+
+let () =
+  let root = if Array.length Sys.argv > 1 then Sys.argv.(1) else "." in
+  if not (Sys.file_exists (Filename.concat root "lib")) then begin
+    Printf.printf "lint: no lib/ under %s\n" root;
+    exit 2
+  end;
+  check_mli root;
+  List.iter
+    (fun layer ->
+      walk
+        (Filename.concat root layer)
+        (fun path ->
+          if has_suffix path ".ml" then begin
+            let lines = read_lines path in
+            check_no_printing path lines;
+            check_guards path lines
+          end))
+    hot_layers;
+  if !errors > 0 then begin
+    Printf.printf "lint: %d problem(s)\n" !errors;
+    exit 1
+  end
+  else print_endline "lint: clean"

@@ -1,0 +1,3 @@
+module Violation = Violation
+module Verifier = Verifier
+module Shadow = Shadow

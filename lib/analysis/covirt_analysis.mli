@@ -1,0 +1,19 @@
+(** The isolation sanitizer ([covirt.analysis]).
+
+    A correctness backstop for everything the rest of the repo trusts:
+    that the EPT manager, the IPI whitelist and the [Phys_mem]
+    ownership bookkeeping actually agree with each other.  Three
+    parts:
+
+    - {!Verifier} — an offline static pass cross-checking every EPT
+      leaf and whitelist grant against authoritative ownership;
+    - {!Shadow} — an opt-in runtime mode (ASan-style) that catches
+      ownership-boundary crossings the instant they happen;
+    - [bin/covirt_lint] — the source-convention gate (separate
+      executable; no library surface).
+
+    Surfaced as [covirt-ctl analyze]. *)
+
+module Violation = Violation
+module Verifier = Verifier
+module Shadow = Shadow

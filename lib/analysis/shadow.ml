@@ -1,0 +1,59 @@
+open Covirt_hw
+
+let request = Sanitize.request
+let requested = Sanitize.requested
+let release = Sanitize.release
+let active = Sanitize.active
+let violation_count = Sanitize.violation_count
+
+type stats = Sanitize.stats = {
+  accesses : int;
+  ept_writes : int;
+  tlb_installs : int;
+}
+
+let stats = Sanitize.stats
+
+let convert (v : Sanitize.violation) =
+  let kind =
+    match v.Sanitize.kind with
+    | Sanitize.Cross_owner { actual } -> Violation.Shadow_cross_owner { actual }
+    | Sanitize.Freed_access -> Violation.Shadow_freed_access
+    | Sanitize.Corrupt_mapping { actual } ->
+        Violation.Shadow_corrupt_mapping { actual }
+  in
+  {
+    Violation.owner = v.Sanitize.owner;
+    gpa = v.Sanitize.addr;
+    hpa = v.Sanitize.addr;
+    len = v.Sanitize.len;
+    severity = Violation.Critical;
+    kind;
+    detail = Format.asprintf "%a" Sanitize.pp_violation v;
+  }
+
+let violations () = List.map convert (Sanitize.violations ())
+
+let table () =
+  let t =
+    Covirt_sim.Table.create ~columns:[ "kind"; "owner"; "addr"; "len"; "detail" ]
+  in
+  List.iter
+    (fun (v : Violation.t) ->
+      Covirt_sim.Table.add_row t
+        [
+          Violation.kind_name v.kind;
+          Owner.to_string v.owner;
+          Format.asprintf "%a" Addr.pp v.gpa;
+          string_of_int v.len;
+          v.detail;
+        ])
+    (violations ());
+  t
+
+let to_json () =
+  let s = stats () in
+  Printf.sprintf
+    {|{"accesses":%d,"ept_writes":%d,"tlb_installs":%d,"violation_count":%d,"violations":[%s]}|}
+    s.accesses s.ept_writes s.tlb_installs (violation_count ())
+    (String.concat "," (List.map Violation.to_json (violations ())))

@@ -1,0 +1,44 @@
+(** The shadow sanitizer, in analysis-layer terms.
+
+    A thin policy wrapper over {!Covirt_hw.Sanitize} (the hook
+    registry the hw hot paths feed): request/release the mode, and
+    read back what it caught as typed {!Violation.t}s instead of raw
+    hw records.
+
+    Enable it either via [Config.sanitize] on a controller attach, or
+    by calling {!request} before building a stack — the next attach
+    arms the shadow state for its machine.  Zero simulated-cycle cost
+    and a byte-identical golden transcript are part of the contract
+    (enforced by [test/test_analysis.ml]). *)
+
+val request : unit -> unit
+(** Sticky opt-in: the next controller attach arms the sanitizer. *)
+
+val requested : unit -> bool
+val release : unit -> unit
+(** Clear the request and tear down any active shadow state. *)
+
+val active : unit -> bool
+(** A shadow state is currently armed and checking. *)
+
+val violations : unit -> Violation.t list
+(** What the sanitizer caught since it was armed, oldest first (the hw
+    layer caps retention at 512 records; {!violation_count} keeps
+    counting past the cap). *)
+
+val violation_count : unit -> int
+(** Cumulative count across re-arms — campaigns diff this per trial. *)
+
+type stats = Covirt_hw.Sanitize.stats = {
+  accesses : int;  (** translated accesses checked *)
+  ept_writes : int;  (** EPT map/unmap events mirrored *)
+  tlb_installs : int;  (** TLB fills mirrored *)
+}
+
+val stats : unit -> stats
+
+val table : unit -> Covirt_sim.Table.t
+(** Current violations as a rendered table. *)
+
+val to_json : unit -> string
+(** Stats plus violations as one JSON object. *)

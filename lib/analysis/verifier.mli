@@ -1,0 +1,36 @@
+(** The static isolation verifier.
+
+    An offline pass over an attached controller: walks every enclave's
+    4-level EPT radix tables leaf by leaf ({!Covirt_hw.Ept.fold_leaves})
+    and cross-checks each 4K/2M/1G leaf against the authoritative
+    {!Covirt_hw.Phys_mem} ownership snapshot, then audits every IPI
+    whitelist grant against live core ownership.
+
+    The verifier trusts nothing the controller believes: the blessed
+    set comes from the enclave's own resource records (plus the
+    XEMEM registry when supplied), the actual owners from [Phys_mem],
+    and the leaves from the radix structure the hardware would walk.
+    Anything inconsistent becomes a typed {!Violation.t}. *)
+
+type report = {
+  enclaves_checked : int;  (** live controller instances examined *)
+  leaves_checked : int;  (** EPT leaves walked across all enclaves *)
+  grants_checked : int;  (** whitelist grants audited *)
+  violations : Violation.t list;  (** discovery order *)
+}
+
+val run :
+  ?registry:Covirt_xemem.Name_service.t -> Covirt.Controller.t -> report
+(** Verify every instance of the controller.  [registry] supplies the
+    XEMEM name service, so registered shared segments an enclave
+    exported or attached count as legitimately accessible; without it,
+    only the enclave's own resource records bless a mapping. *)
+
+val clean : report -> bool
+(** No violations at all. *)
+
+val table : report -> Covirt_sim.Table.t
+(** The violations as a rendered report table (empty when clean). *)
+
+val to_json : report -> string
+(** The whole report as one JSON object — the CI artifact format. *)

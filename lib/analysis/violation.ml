@@ -1,0 +1,82 @@
+open Covirt_hw
+
+type severity = Info | Warning | Critical
+
+type kind =
+  | Cross_owner_mapping of { actual : Owner.t }
+  | Unbacked_mapping
+  | Overlapping_leaves of { other : Addr.t }
+  | Writable_device_bar of { device : string }
+  | Stale_grant of { vector : int; dest : int }
+  | Shadow_cross_owner of { actual : Owner.t }
+  | Shadow_freed_access
+  | Shadow_corrupt_mapping of { actual : Owner.t }
+
+type t = {
+  owner : Owner.t;
+  gpa : Addr.t;
+  hpa : Addr.t;
+  len : int;
+  severity : severity;
+  kind : kind;
+  detail : string;
+}
+
+let severity_name = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Critical -> "critical"
+
+let kind_name = function
+  | Cross_owner_mapping _ -> "cross-owner-mapping"
+  | Unbacked_mapping -> "unbacked-mapping"
+  | Overlapping_leaves _ -> "overlapping-leaves"
+  | Writable_device_bar _ -> "writable-device-bar"
+  | Stale_grant _ -> "stale-grant"
+  | Shadow_cross_owner _ -> "shadow-cross-owner"
+  | Shadow_freed_access -> "shadow-freed-access"
+  | Shadow_corrupt_mapping _ -> "shadow-corrupt-mapping"
+
+let pp_kind ppf = function
+  | Cross_owner_mapping { actual } ->
+      Format.fprintf ppf "cross-owner mapping (actual %a)" Owner.pp actual
+  | Unbacked_mapping -> Format.pp_print_string ppf "mapping into free memory"
+  | Overlapping_leaves { other } ->
+      Format.fprintf ppf "overlaps leaf at %a" Addr.pp other
+  | Writable_device_bar { device } ->
+      Format.fprintf ppf "writable BAR of undelegated device %s" device
+  | Stale_grant { vector; dest } ->
+      Format.fprintf ppf "stale grant vec%d -> core%d" vector dest
+  | Shadow_cross_owner { actual } ->
+      Format.fprintf ppf "shadow: cross-owner access (actual %a)" Owner.pp
+        actual
+  | Shadow_freed_access ->
+      Format.pp_print_string ppf "shadow: freed-region access"
+  | Shadow_corrupt_mapping { actual } ->
+      Format.fprintf ppf "shadow: corrupt mapping (actual %a)" Owner.pp actual
+
+let pp ppf t =
+  Format.fprintf ppf "[%s] %a gpa %a+%d: %a — %s" (severity_name t.severity)
+    Owner.pp t.owner Addr.pp t.gpa t.len pp_kind t.kind t.detail
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  Printf.sprintf
+    {|{"kind":"%s","severity":"%s","owner":"%s","gpa":%d,"hpa":%d,"len":%d,"detail":"%s"}|}
+    (kind_name t.kind)
+    (severity_name t.severity)
+    (json_escape (Owner.to_string t.owner))
+    t.gpa t.hpa t.len (json_escape t.detail)

@@ -1,0 +1,54 @@
+(** Typed isolation violations.
+
+    The common currency of the analysis layer: both the static
+    verifier ({!Verifier}) and the shadow sanitizer ({!Shadow}) report
+    in these terms, so tests assert on structure rather than on
+    message strings. *)
+
+open Covirt_hw
+
+type severity = Info | Warning | Critical
+
+type kind =
+  | Cross_owner_mapping of { actual : Owner.t }
+      (** an EPT leaf maps memory owned by [actual] — the host,
+          another enclave, or an undelegated device — outside any
+          XEMEM-registered shared region *)
+  | Unbacked_mapping  (** an EPT leaf maps [Free] / unassigned memory *)
+  | Overlapping_leaves of { other : Addr.t }
+      (** two live leaves cover the same GPA (radix corruption —
+          unreachable through the public [Ept] API, checked anyway) *)
+  | Writable_device_bar of { device : string }
+      (** a writable leaf over the BAR of a device that was never
+          delegated to this enclave *)
+  | Stale_grant of { vector : int; dest : int }
+      (** a whitelist grant whose destination core no longer belongs
+          to any live enclave *)
+  | Shadow_cross_owner of { actual : Owner.t }
+      (** runtime: an access crossed an ownership boundary *)
+  | Shadow_freed_access  (** runtime: an access hit a freed region *)
+  | Shadow_corrupt_mapping of { actual : Owner.t }
+      (** runtime: an EPT leaf was installed over foreign memory,
+          caught at write time *)
+
+type t = {
+  owner : Owner.t;  (** the enclave whose state is at fault *)
+  gpa : Addr.t;  (** guest-physical start of the offending range *)
+  hpa : Addr.t;  (** host-physical (identity-mapped: equals [gpa]) *)
+  len : int;  (** bytes; [0] for non-memory violations *)
+  severity : severity;
+  kind : kind;
+  detail : string;  (** human-readable elaboration *)
+}
+
+val severity_name : severity -> string
+(** ["info"] / ["warning"] / ["critical"]. *)
+
+val kind_name : kind -> string
+(** Stable kebab-case name, e.g. ["cross-owner-mapping"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line rendering. *)
+
+val to_json : t -> string
+(** One JSON object (hand-rolled; no dependency). *)

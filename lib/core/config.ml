@@ -17,6 +17,7 @@ type t = {
   watchdog_deadline : int;
   observe : bool;
   trace_spans : bool;
+  sanitize : bool;
 }
 
 let native =
@@ -40,6 +41,8 @@ let native =
        branch per instrumentation site. *)
     observe = false;
     trace_spans = false;
+    (* The shadow sanitizer follows the same opt-in contract. *)
+    sanitize = false;
   }
 
 let none = { native with enabled = true }

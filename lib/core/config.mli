@@ -48,6 +48,12 @@ type t = {
       (** additionally collect Chrome-trace spans ([Covirt_obs.Span])
           for every VM exit and fault event; export with
           [covirt-ctl stats --trace-out] or [bench --trace-out] *)
+  sanitize : bool;
+      (** arm the shadow isolation sanitizer
+          ([Covirt_hw.Sanitize] / [Covirt_analysis.Shadow]) when a
+          controller attaches with this config.  Same contract as
+          [observe]: enable-only, zero simulated-cycle cost, golden
+          transcript stays byte-identical. *)
 }
 
 val native : t

@@ -18,7 +18,7 @@ type registration = {
   r_pre_map : Enclave.t -> Region.t -> unit;
   r_post_unmap : Enclave.t -> Region.t -> unit;
   r_grant : Enclave.t -> vector:int -> peer_core:int -> unit;
-  r_revoke : Enclave.t -> vector:int -> unit;
+  r_revoke : Enclave.t -> vector:int -> dest:int option -> unit;
   r_destroyed : Enclave.t -> unit;
 }
 
@@ -99,6 +99,19 @@ let total_flush_commands t =
         i.hypervisors)
     0 t.instances
 
+(* Shadow-sanitizer violations surface as non-fatal reports: the
+   supervisor only reacts to fatal ones, so detection never perturbs
+   recovery behavior (and record_report charges no cycles). *)
+let sanitizer_report t (v : Sanitize.violation) =
+  {
+    Fault_report.enclave = v.Sanitize.enclave;
+    cpu = v.Sanitize.cpu;
+    tsc = Cpu.rdtsc (Pisces.host_cpu t.pisces);
+    kind = Fault_report.Sanitizer;
+    fatal = false;
+    detail = lazy (Format.asprintf "%a" Sanitize.pp_violation v);
+  }
+
 let config_for t enclave =
   Option.value ~default:t.default_config
     (Hashtbl.find_opt t.overrides enclave.Enclave.name)
@@ -127,6 +140,19 @@ let on_created t enclave =
         reports = [];
       }
     in
+    (* Seed the shadow sanitizer before the first EPT write, so the
+       pre-built identity map is checked against a blessed set rather
+       than flagged. *)
+    if !Sanitize.on then begin
+      Sanitize.note_enclave ~id:enclave.Enclave.id
+        (Region.Set.to_list (Enclave.accessible enclave));
+      match ept_mgr with
+      | Some mgr ->
+          Sanitize.note_ept
+            ~ept_uid:(Ept.uid (Ept_manager.ept mgr))
+            ~id:enclave.Enclave.id
+      | None -> ()
+    end;
     (* Pre-build the identity map of the assigned memory before any
        core can boot. *)
     (match ept_mgr with
@@ -178,6 +204,7 @@ let on_pre_map t enclave region =
   match instance_for t ~enclave_id:enclave.Enclave.id with
   | None -> ()
   | Some instance ->
+      if !Sanitize.on then Sanitize.allow ~id:enclave.Enclave.id region;
       with_ept instance (fun mgr ->
           let machine = Pisces.machine t.pisces in
           (* Map first, transmit after: the enclave only learns of
@@ -235,7 +262,8 @@ let on_post_unmap t enclave region =
              protocol's postcondition anyway. *)
           List.iter
             (fun (_, hv) -> assert (Command.pending (Hypervisor.queue hv) = 0))
-            instance.hypervisors)
+            instance.hypervisors);
+      if !Sanitize.on then Sanitize.disallow ~id:enclave.Enclave.id region
 
 let on_vector_grant t enclave ~vector ~peer_core =
   match instance_for t ~enclave_id:enclave.Enclave.id with
@@ -244,11 +272,11 @@ let on_vector_grant t enclave ~vector ~peer_core =
       Whitelist.grant instance.whitelist ~vector ~dest:peer_core;
       Cpu.charge (Pisces.host_cpu t.pisces) 150
 
-let on_vector_revoke t enclave ~vector =
+let on_vector_revoke t enclave ~vector ~dest =
   match instance_for t ~enclave_id:enclave.Enclave.id with
   | None -> ()
   | Some instance ->
-      Whitelist.revoke instance.whitelist ~vector;
+      Whitelist.revoke ?dest instance.whitelist ~vector;
       (* Revocation must synchronize: a core might be mid-decision. *)
       signal_all_cores t instance Command.Whitelist_updated
 
@@ -262,13 +290,35 @@ let on_destroyed t enclave =
         (Whitelist.dropped i.whitelist)
   | None -> ());
   t.instances <-
-    List.filter (fun (id, _) -> id <> enclave.Enclave.id) t.instances
+    List.filter (fun (id, _) -> id <> enclave.Enclave.id) t.instances;
+  if !Sanitize.on then Sanitize.drop_enclave ~id:enclave.Enclave.id;
+  (* Grants aimed at the dead enclave's cores are stale the moment
+     those cores return to the host; prune them from every surviving
+     instance so the static verifier's stale-grant check starts from a
+     clean slate. *)
+  let dead = enclave.Enclave.cores in
+  List.iter
+    (fun (_, inst) ->
+      let stale =
+        List.filter
+          (fun (_, d) -> List.mem d dead)
+          (Whitelist.grants inst.whitelist)
+      in
+      if stale <> [] then begin
+        List.iter
+          (fun (vector, dest) ->
+            Whitelist.revoke ~dest inst.whitelist ~vector)
+          stale;
+        signal_all_cores t inst Command.Whitelist_updated
+      end)
+    t.instances
 
 (* ------------------------------------------------------------------ *)
 
 let attach pisces ~config =
   (* Observability knobs are enable-only: one instrumented controller
      turns recording on, and a later plain attach cannot silence it. *)
+  if config.Config.sanitize then Sanitize.request ();
   if config.Config.observe || config.Config.trace_spans then
     Covirt_obs.configure
       ~cycles_per_us:((Pisces.machine pisces).Machine.model.Cost_model.ghz *. 1000.)
@@ -291,11 +341,19 @@ let attach pisces ~config =
       r_pre_map = on_pre_map t;
       r_post_unmap = on_post_unmap t;
       r_grant = (fun e ~vector ~peer_core -> on_vector_grant t e ~vector ~peer_core);
-      r_revoke = (fun e ~vector -> on_vector_revoke t e ~vector);
+      r_revoke = (fun e ~vector ~dest -> on_vector_revoke t e ~vector ~dest);
       r_destroyed = on_destroyed t;
     }
   in
   t.registered <- Some reg;
+  (* Arm the shadow sanitizer for this machine if anyone asked for it
+     (via Config.sanitize here, or Sanitize.request from a harness). *)
+  if Sanitize.requested () then begin
+    let mem = (Pisces.machine pisces).Machine.mem in
+    Sanitize.enable ~mem_uid:(Phys_mem.uid mem)
+      ~assignments:(Phys_mem.snapshot mem);
+    Sanitize.on_violation := (fun v -> record_report t (sanitizer_report t v))
+  end;
   let hooks = Pisces.hooks pisces in
   hooks.Hooks.on_enclave_created <-
     hooks.Hooks.on_enclave_created @ [ reg.r_created ];
@@ -334,4 +392,7 @@ let detach t =
       hooks.Hooks.on_enclave_destroyed <-
         without reg.r_destroyed hooks.Hooks.on_enclave_destroyed;
       t.registered <- None);
+  (* No grant state may outlive the controller that installed it —
+     the verifier's stale-grant check starts clean after a detach. *)
+  List.iter (fun (_, inst) -> Whitelist.clear inst.whitelist) t.instances;
   Hooks.clear_boot_interposer hooks

@@ -6,6 +6,7 @@ type kind =
   | Abort_fault
   | Queue_stall
   | Watchdog_timeout
+  | Sanitizer
 
 type t = {
   enclave : int;
@@ -27,6 +28,7 @@ let kind_name = function
   | Abort_fault -> "abort"
   | Queue_stall -> "queue-stall"
   | Watchdog_timeout -> "watchdog-timeout"
+  | Sanitizer -> "sanitizer"
 
 let severity t =
   if t.fatal then Covirt_sim.Trace.Error else Covirt_sim.Trace.Warn

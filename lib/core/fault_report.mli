@@ -17,6 +17,10 @@ type kind =
   | Watchdog_timeout
       (** the enclave showed no VM exits and no control-channel
           activity within the watchdog deadline (wedged, not crashed) *)
+  | Sanitizer
+      (** the shadow isolation sanitizer flagged an ownership-boundary
+          crossing ([Covirt_hw.Sanitize]); always non-fatal — detection
+          is the point, recovery policy is unchanged *)
 
 type t = {
   enclave : int;

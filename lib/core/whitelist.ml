@@ -12,8 +12,17 @@ let grant t ~vector ~dest =
   if not (List.mem (vector, dest) t.allowed) then
     t.allowed <- (vector, dest) :: t.allowed
 
-let revoke t ~vector =
-  t.allowed <- List.filter (fun (v, _) -> v <> vector) t.allowed
+(* [dest] narrows the revocation to one (vector, dest) grant; without
+   it every destination for the vector is dropped (full revocation of
+   the vector). *)
+let revoke ?dest t ~vector =
+  t.allowed <-
+    List.filter
+      (fun (v, d) ->
+        v <> vector || match dest with Some d' -> d <> d' | None -> false)
+      t.allowed
+
+let clear t = t.allowed <- []
 
 let permits t ~icr =
   let { Apic.dest; vector; kind } = icr in

@@ -14,7 +14,16 @@ type t
 
 val create : enclave_cores:int list -> t
 val grant : t -> vector:int -> dest:int -> unit
-val revoke : t -> vector:int -> unit
+val revoke : ?dest:int -> t -> vector:int -> unit
+(** Remove the grant for [(vector, dest)] only; with [dest] omitted,
+    remove every destination granted that vector.  Other grants are
+    untouched — revoking one peer's doorbell must not kill the same
+    vector granted to a different core. *)
+
+val clear : t -> unit
+(** Drop every grant (controller detach — no stale entries may outlive
+    the controller that installed them). *)
+
 val permits : t -> icr:Apic.icr -> bool
 val note_dropped : t -> unit
 val dropped : t -> int

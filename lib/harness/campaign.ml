@@ -12,6 +12,7 @@ type row = {
   node_down : int;
   collateral : int;
   latent : int;
+  sanitizer_flagged : int;
 }
 
 let gib = Covirt_sim.Units.gib
@@ -59,8 +60,13 @@ let one_trial ~config ~seed ~injector fault_of =
             | Fault_injector.Wedge _ ->
                 Latent (* still livelocked; only a watchdog notices *)))
 
-let run ?(trials = 60) ?(seed = 2026) () =
-  List.map
+let run ?(trials = 60) ?(seed = 2026) ?(sanitize = false) () =
+  (* The request is sticky: each trial's [Covirt.enable] arms the
+     shadow sanitizer for its fresh machine.  Restore the prior state
+     afterwards so default campaign runs stay byte-identical. *)
+  let had_request = Covirt_hw.Sanitize.requested () in
+  if sanitize then Covirt_hw.Sanitize.request ();
+  let rows = List.map
     (fun (name, config) ->
       (* One injector per configuration sweep: the same seed replays
          the same fault sequence against every configuration. *)
@@ -70,12 +76,20 @@ let run ?(trials = 60) ?(seed = 2026) () =
         Hashtbl.replace tally outcome
           (1 + Option.value ~default:0 (Hashtbl.find_opt tally outcome))
       in
+      let flagged = ref 0 in
       for i = 1 to trials do
         let machine_mem = 8 * gib in
+        (* Gate on the [sanitize] argument, not on global sanitizer
+           state: a campaign that wasn't asked to report flags must
+           produce the same table even if a caller armed the shadow
+           for its own purposes (golden byte-identity). *)
+        let before = if sanitize then Covirt_hw.Sanitize.violation_count () else 0 in
         let outcome =
           one_trial ~config ~seed:(seed + i) ~injector (fun ~victim_bsp ->
               Fault_injector.draw injector ~machine_mem ~victim_bsp)
         in
+        if sanitize && Covirt_hw.Sanitize.violation_count () > before then
+          incr flagged;
         bump outcome
       done;
       let count o = Option.value ~default:0 (Hashtbl.find_opt tally o) in
@@ -86,18 +100,28 @@ let run ?(trials = 60) ?(seed = 2026) () =
         node_down = count Node_down;
         collateral = count Collateral;
         latent = count Latent;
+        sanitizer_flagged = !flagged;
       })
     (Covirt.Config.presets @ [ ("full(+msr+io)", Covirt.Config.full) ])
+  in
+  if sanitize && not had_request then Covirt_hw.Sanitize.release ();
+  rows
 
 let table rows =
+  (* The sanitizer column only appears when the campaign actually ran
+     under the sanitizer — the default table stays byte-identical for
+     the golden transcript. *)
+  let with_sanitizer = List.exists (fun r -> r.sanitizer_flagged > 0) rows in
+  let base =
+    [ "config"; "trials"; "contained"; "node down"; "collateral"; "latent" ]
+  in
   let t =
     Covirt_sim.Table.create
-      ~columns:
-        [ "config"; "trials"; "contained"; "node down"; "collateral"; "latent" ]
+      ~columns:(if with_sanitizer then base @ [ "flagged" ] else base)
   in
   List.iter
     (fun r ->
-      Covirt_sim.Table.add_row t
+      let cells =
         [
           r.config;
           string_of_int r.trials;
@@ -105,7 +129,11 @@ let table rows =
           string_of_int r.node_down;
           string_of_int r.collateral;
           string_of_int r.latent;
-        ])
+        ]
+      in
+      Covirt_sim.Table.add_row t
+        (if with_sanitizer then cells @ [ string_of_int r.sanitizer_flagged ]
+         else cells))
     rows;
   t
 

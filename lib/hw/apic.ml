@@ -44,6 +44,13 @@ let irr_pending t ~vector =
 
 let pending_count t = Array.fold_left (fun n b -> if b then n + 1 else n) 0 t.irr
 
+let pending_vectors t =
+  let acc = ref [] in
+  for v = 255 downto 0 do
+    if t.irr.(v) then acc := v :: !acc
+  done;
+  !acc
+
 let pir_post t ~vector =
   check_vector vector;
   t.pir.(vector) <- true

@@ -29,6 +29,10 @@ val ack_highest : t -> int option
 val irr_pending : t -> vector:int -> bool
 val pending_count : t -> int
 
+val pending_vectors : t -> int list
+(** Every vector currently raised in the IRR, ascending — lets the
+    static verifier name what a stale whitelist grant left behind. *)
+
 (* Posted-interrupt descriptor. *)
 
 val pir_post : t -> vector:int -> unit

@@ -424,7 +424,10 @@ let map_region t ?(perms = rwx) region =
       remove_leaves t r)
     covered;
   install_range t region ~perms;
-  t.index <- Region.Set.add t.index region
+  t.index <- Region.Set.add t.index region;
+  if !Sanitize.on then
+    Sanitize.ept_write ~ept_uid:t.uid ~base:region.Region.base
+      ~len:region.Region.len ~present:true
 
 let unmap_region t region =
   if not (aligned_4k region) then invalid_arg "Ept.unmap_region: unaligned";
@@ -435,7 +438,10 @@ let unmap_region t region =
       split_straddling t r (Region.limit r - Addr.page_size_4k);
       remove_leaves t r)
     present;
-  t.index <- Region.Set.remove t.index region
+  t.index <- Region.Set.remove t.index region;
+  if !Sanitize.on then
+    Sanitize.ept_write ~ept_uid:t.uid ~base:region.Region.base
+      ~len:region.Region.len ~present:false
 
 let covers t ~base ~len =
   (* Memoized per (base, len): workloads re-check the same buffer on
@@ -451,6 +457,25 @@ let covers t ~base ~len =
       let answer = Region.Set.mem_range t.index ~base ~len in
       Hashtbl.replace t.covers_cache (base, len) answer;
       answer
+
+(* Offline descent over every live leaf in ascending GPA order — the
+   static verifier's raw material.  Walks the radix structure itself
+   (not the index) so a verifier cross-checks what the hardware would
+   actually translate. *)
+let fold_leaves t ~init ~f =
+  let sorted_keys entries =
+    Hashtbl.fold (fun k _ acc -> k :: acc) entries [] |> List.sort compare
+  in
+  let rec go node level base acc =
+    List.fold_left
+      (fun acc idx ->
+        let slot_base = base + (idx * (1 lsl level_shift level)) in
+        match Hashtbl.find node.entries idx with
+        | Leaf { page_size; perms } -> f acc ~base:slot_base ~page_size ~perms
+        | Table child -> go child (level - 1) slot_base acc)
+      acc (sorted_keys node.entries)
+  in
+  go t.root 4 0 init
 
 let regions t = t.index
 let leaf_counts t = (t.n4k, t.n2m, t.n1g)

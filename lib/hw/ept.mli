@@ -94,6 +94,15 @@ val covers : t -> base:Addr.t -> len:int -> bool
 val page_size_at : t -> Addr.t -> Addr.page_size option
 (** Size of the leaf mapping this address, [None] if unmapped. *)
 
+val fold_leaves :
+  t ->
+  init:'a ->
+  f:('a -> base:Addr.t -> page_size:Addr.page_size -> perms:perms -> 'a) ->
+  'a
+(** Fold over every live leaf in ascending GPA order, by walking the
+    radix structure itself (not the index) — so an offline verifier
+    cross-checks exactly what the hardware would translate. *)
+
 val regions : t -> Region.Set.t
 (** The mapped set, from the index. *)
 

@@ -197,10 +197,16 @@ let data_cost t (cpu : Cpu.t) addr =
   let local = Numa.is_local t.topology ~core:cpu.Cpu.id ~addr in
   if local then t.model.Cost_model.l2_hit else t.model.Cost_model.l3_hit
 
+let sanitize_access t (cpu : Cpu.t) ~base ~len ~access =
+  if !Sanitize.on then
+    Sanitize.access ~mem_uid:(Phys_mem.uid t.mem) ~cpu:cpu.Cpu.id
+      ~owner:cpu.Cpu.owner ~base ~len ~access
+
 let load t cpu addr =
   match translate_granular t cpu addr ~access:`Read with
   | `Suppressed -> ()
   | `Proceed ->
+      if !Sanitize.on then sanitize_access t cpu ~base:addr ~len:1 ~access:`Read;
       Cpu.charge cpu (data_cost t cpu addr);
       read_effect t cpu addr
 
@@ -208,6 +214,8 @@ let store t cpu addr =
   match translate_granular t cpu addr ~access:`Write with
   | `Suppressed -> ()
   | `Proceed ->
+      if !Sanitize.on then
+        sanitize_access t cpu ~base:addr ~len:1 ~access:`Write;
       Cpu.charge cpu (data_cost t cpu addr);
       write_effect t cpu addr
 
@@ -312,6 +320,7 @@ let memoized t (cpu : Cpu.t) ~kind ~base ~len ~sharers ~page_size compute =
 
 let charge_stream t (cpu : Cpu.t) ~base ~bytes ~sharers ~page_size =
   if bytes <= 0 then invalid_arg "Machine.charge_stream";
+  if !Sanitize.on then sanitize_access t cpu ~base ~len:bytes ~access:`Read;
   let m = t.model in
   let lines = float_of_int (max 1 (bytes / m.Cost_model.line_bytes)) in
   let per_line =
@@ -340,6 +349,8 @@ let charge_stream t (cpu : Cpu.t) ~base ~bytes ~sharers ~page_size =
 
 let charge_random t (cpu : Cpu.t) ~ops ~base ~working_set ~sharers ~page_size =
   if ops <= 0 || working_set <= 0 then invalid_arg "Machine.charge_random";
+  if !Sanitize.on then
+    sanitize_access t cpu ~base ~len:working_set ~access:`Read;
   let m = t.model in
   let per_op =
     memoized t cpu ~kind:`Random ~base ~len:working_set ~sharers ~page_size

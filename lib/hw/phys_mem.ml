@@ -1,6 +1,7 @@
 type assignment = { region : Region.t; owner : Owner.t }
 
 type t = {
+  uid : int;
   topology : Numa.t;
   mutable assignments : assignment list; (* disjoint, unsorted *)
   mutable free : Region.Set.t;
@@ -9,7 +10,10 @@ type t = {
   devices : (string, Region.t) Hashtbl.t;
 }
 
+let uid_counter = ref 0
+
 let create ~topology ~host_reserved_per_zone =
+  incr uid_counter;
   let total = Numa.total_mem topology in
   let free = ref (Region.Set.of_list [ Region.make ~base:0 ~len:total ]) in
   let assignments = ref [] in
@@ -20,6 +24,7 @@ let create ~topology ~host_reserved_per_zone =
     assignments := { region = host; owner = Owner.Host } :: !assignments
   done;
   {
+    uid = !uid_counter;
     topology;
     assignments = !assignments;
     free = !free;
@@ -29,6 +34,15 @@ let create ~topology ~host_reserved_per_zone =
   }
 
 let topology t = t.topology
+let uid t = t.uid
+
+let snapshot t =
+  List.map (fun a -> (a.region, a.owner)) t.assignments
+
+(* Mirror an ownership change into the shadow sanitizer; one branch,
+   nothing else, when the mode is off. *)
+let sanitize_event t region owner =
+  if !Sanitize.on then Sanitize.phys_event ~mem_uid:t.uid region owner
 
 let align = Addr.page_size_2m
 
@@ -52,6 +66,7 @@ let alloc t ~owner ~zone ~len =
   | Some region ->
       t.free <- Region.Set.remove t.free region;
       t.assignments <- { region; owner } :: t.assignments;
+      sanitize_event t region owner;
       Ok region
 
 let assign t ~owner region =
@@ -59,6 +74,7 @@ let assign t ~owner region =
   then begin
     t.free <- Region.Set.remove t.free region;
     t.assignments <- { region; owner } :: t.assignments;
+    sanitize_event t region owner;
     Ok ()
   end
   else Error "Phys_mem.assign: region not entirely free"
@@ -79,7 +95,8 @@ let release t region =
       cut
   in
   t.assignments <- remnants @ keep;
-  t.free <- Region.Set.add t.free region
+  t.free <- Region.Set.add t.free region;
+  sanitize_event t region Owner.Free
 
 let owner_at t addr =
   if addr >= t.mmio_base then
@@ -113,6 +130,7 @@ let add_device t ~name ~len =
   t.next_mmio <- t.next_mmio + len;
   t.assignments <- { region; owner = Owner.Device name } :: t.assignments;
   Hashtbl.replace t.devices name region;
+  sanitize_event t region (Owner.Device name);
   region
 
 let find_device t ~name = Hashtbl.find_opt t.devices name
@@ -130,7 +148,8 @@ let chown t region owner =
       cut
   in
   t.free <- Region.Set.remove t.free region;
-  t.assignments <- ({ region; owner } :: remnants) @ keep
+  t.assignments <- ({ region; owner } :: remnants) @ keep;
+  sanitize_event t region owner
 
 let mmio_base t = t.mmio_base
 

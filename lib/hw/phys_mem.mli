@@ -15,6 +15,14 @@ val create : topology:Numa.t -> host_reserved_per_zone:int -> t
 
 val topology : t -> Numa.t
 
+val uid : t -> int
+(** Unique per [create]d map — the shadow sanitizer keys its mirror by
+    this, so hooks from other machines are ignored. *)
+
+val snapshot : t -> (Region.t * Owner.t) list
+(** Every current assignment (disjoint, unsorted) — seeds the shadow
+    sanitizer and backs the static verifier's cross-check. *)
+
 val alloc :
   t -> owner:Owner.t -> zone:Numa.zone -> len:int -> (Region.t, string) result
 (** Carve a contiguous, 2M-aligned block out of free memory in the

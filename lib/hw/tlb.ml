@@ -98,6 +98,8 @@ let lookup t addr =
   result
 
 let install t addr ~page_size =
+  if !Sanitize.on then
+    Sanitize.tlb_install addr ~page_size:(Addr.bytes_of_page_size page_size);
   let vpn = Addr.pfn addr ~size:(Addr.bytes_of_page_size page_size) in
   let b = bank_for t page_size in
   let base = vpn land (b.sets - 1) * b.ways in

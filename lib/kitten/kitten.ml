@@ -95,9 +95,12 @@ let handle_host_msg t msg =
   | Message.Grant_ipi_vector { seq; vector; peer_core } ->
       t.allowed_vectors <- (vector, peer_core) :: t.allowed_vectors;
       ack seq
-  | Message.Revoke_ipi_vector { seq; vector } ->
+  | Message.Revoke_ipi_vector { seq; vector; dest } ->
       t.allowed_vectors <-
-        List.filter (fun (v, _) -> v <> vector) t.allowed_vectors;
+        List.filter
+          (fun (v, d) ->
+            v <> vector || match dest with Some d' -> d <> d' | None -> false)
+          t.allowed_vectors;
       ack seq
   | Message.Assign_device { seq; device; window } ->
       Memmap.add_device t.memmap ~name:device window;

@@ -25,7 +25,10 @@ type t = {
   mutable pre_memory_map : (Enclave.t -> Region.t -> unit) list;
   mutable post_memory_unmap : (Enclave.t -> Region.t -> unit) list;
   mutable pre_vector_grant : (Enclave.t -> vector:int -> peer_core:int -> unit) list;
-  mutable post_vector_revoke : (Enclave.t -> vector:int -> unit) list;
+  mutable post_vector_revoke :
+    (Enclave.t -> vector:int -> dest:int option -> unit) list;
+      (** [dest = None] means every destination for the vector was
+          revoked; [Some core] narrows it to one grant *)
   mutable on_enclave_destroyed : (Enclave.t -> unit) list;
   mutable boot_interposer :
     (Enclave.t -> Cpu.t -> bsp:bool -> (unit -> unit) -> unit) option;

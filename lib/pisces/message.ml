@@ -6,7 +6,7 @@ type host_to_enclave =
   | Xemem_map of { seq : int; segid : int; pages : Region.t list }
   | Xemem_unmap of { seq : int; segid : int; pages : Region.t list }
   | Grant_ipi_vector of { seq : int; vector : int; peer_core : int }
-  | Revoke_ipi_vector of { seq : int; vector : int }
+  | Revoke_ipi_vector of { seq : int; vector : int; dest : int option }
   | Assign_device of { seq : int; device : string; window : Region.t }
   | Revoke_device of { seq : int; device : string; window : Region.t }
   | Syscall_reply of { seq : int; ret : int }
@@ -46,8 +46,11 @@ let pp_host_msg ppf = function
         (List.length pages)
   | Grant_ipi_vector { seq; vector; peer_core } ->
       Format.fprintf ppf "grant-ipi#%d vec%d core%d" seq vector peer_core
-  | Revoke_ipi_vector { seq; vector } ->
-      Format.fprintf ppf "revoke-ipi#%d vec%d" seq vector
+  | Revoke_ipi_vector { seq; vector; dest } ->
+      Format.fprintf ppf "revoke-ipi#%d vec%d%s" seq vector
+        (match dest with
+        | Some d -> Printf.sprintf " core%d" d
+        | None -> "")
   | Assign_device { seq; device; window } ->
       Format.fprintf ppf "assign-device#%d %s %a" seq device Region.pp window
   | Revoke_device { seq; device; window } ->

@@ -16,7 +16,8 @@ type host_to_enclave =
       (** attach: make a foreign segment's frames usable *)
   | Xemem_unmap of { seq : int; segid : int; pages : Region.t list }
   | Grant_ipi_vector of { seq : int; vector : int; peer_core : int }
-  | Revoke_ipi_vector of { seq : int; vector : int }
+  | Revoke_ipi_vector of { seq : int; vector : int; dest : int option }
+      (** [dest = None] revokes the vector for every destination *)
   | Assign_device of { seq : int; device : string; window : Region.t }
       (** delegate a device's MMIO window to the enclave *)
   | Revoke_device of { seq : int; device : string; window : Region.t }

@@ -338,17 +338,25 @@ let grant_ipi_vector t enclave ~vector ~peer_core =
     | Error e -> Error e
   end
 
-let revoke_ipi_vector t enclave ~vector =
+let revoke_ipi_vector ?peer_core t enclave ~vector =
   if not (Enclave.is_running enclave) then Error "enclave not running"
   else
     let seq = Enclave.next_seq enclave in
     match
-      transact t enclave (Message.Revoke_ipi_vector { seq; vector }) ~seq
+      transact t enclave
+        (Message.Revoke_ipi_vector { seq; vector; dest = peer_core })
+        ~seq
     with
     | Ok () ->
         enclave.Enclave.granted_vectors <-
-          List.filter (fun (v, _) -> v <> vector) enclave.Enclave.granted_vectors;
-        List.iter (fun f -> f enclave ~vector) t.hooks.Hooks.post_vector_revoke;
+          List.filter
+            (fun (v, d) ->
+              v <> vector
+              || match peer_core with Some pc -> d <> pc | None -> false)
+            enclave.Enclave.granted_vectors;
+        List.iter
+          (fun f -> f enclave ~vector ~dest:peer_core)
+          t.hooks.Hooks.post_vector_revoke;
         Ok ()
     | Error e -> Error e
 
@@ -399,6 +407,10 @@ let release_resources t enclave =
   enclave.Enclave.devices <- [];
   enclave.Enclave.memory <- Region.Set.empty;
   enclave.Enclave.shared <- Region.Set.empty;
+  (* Per-vector grant state must not outlive the enclave: a dead
+     enclave with live grants is exactly the stale-grant violation the
+     static verifier hunts. *)
+  enclave.Enclave.granted_vectors <- [];
   List.iter
     (fun core ->
       let cpu = Machine.cpu t.machine core in

@@ -90,7 +90,11 @@ val revoke_device : t -> Enclave.t -> device:string -> (unit, string) result
 val grant_ipi_vector :
   t -> Enclave.t -> vector:int -> peer_core:int -> (unit, string) result
 
-val revoke_ipi_vector : t -> Enclave.t -> vector:int -> (unit, string) result
+val revoke_ipi_vector :
+  ?peer_core:int -> t -> Enclave.t -> vector:int -> (unit, string) result
+(** Revoke the grant for [(vector, peer_core)] only; with [peer_core]
+    omitted, revoke the vector for every destination.  Grants of the
+    same vector to other cores survive a narrowed revocation. *)
 
 val set_syscall_handler : t -> (number:int -> arg:int -> int) -> unit
 (** Host-side servicing of forwarded system calls. *)

@@ -17,6 +17,7 @@ type result = {
   timeline : Supervisor.event list;
   incarnations : (string * int) list;
   metrics_delta : Covirt_obs.Metrics.snapshot;
+  sanitizer_flags : int option;
 }
 
 let gib = Covirt_sim.Units.gib
@@ -87,11 +88,14 @@ let reference_residual ~seed =
   | Ok (enclave, kitten) ->
       hpcg_residual [ Kitten.context kitten ~core:(Enclave.bsp enclave) ]
 
-let run ?(trials = 200) ?(seed = 2026) () =
+let run ?(trials = 200) ?(seed = 2026) ?(sanitize = false) () =
   (* Snapshot-diff around the whole campaign: when observability is on,
      the delta isolates this run's counters from whatever else the
      process recorded.  With it off the delta is all-zero. *)
   let obs_before = Covirt_obs.Metrics.snapshot () in
+  let had_request = Covirt_hw.Sanitize.requested () in
+  if sanitize then Covirt_hw.Sanitize.request ();
+  let sanitize_before = Covirt_hw.Sanitize.violation_count () in
   let machine =
     Machine.create ~seed ~zones:2 ~cores_per_zone:3 ~mem_per_zone:(4 * gib) ()
   in
@@ -179,7 +183,16 @@ let run ?(trials = 200) ?(seed = 2026) () =
   | `Ok -> ()
   | `Recovered | `Quarantined _ ->
       failwith "soak: sibling needed recovery during the final solve");
+  (* Count the soaked machine's sanitizer flags before the clean
+     reference machine attaches (its attach re-arms the shadow state
+     for the reference machine). *)
+  let sanitizer_flags =
+    if sanitize then
+      Some (Covirt_hw.Sanitize.violation_count () - sanitize_before)
+    else None
+  in
   let reference = reference_residual ~seed in
+  if sanitize && not had_request then Covirt_hw.Sanitize.release ();
   let timeline = Supervisor.timeline sup in
   let budget_respected =
     List.for_all
@@ -226,6 +239,7 @@ let run ?(trials = 200) ?(seed = 2026) () =
     metrics_delta =
       Covirt_obs.Metrics.diff ~before:obs_before
         ~after:(Covirt_obs.Metrics.snapshot ());
+    sanitizer_flags;
   }
 
 let table r =
@@ -256,4 +270,9 @@ let table r =
     add "obs: supervisor events" (string_of_int (total "supervisor.events"));
     add "obs: watchdog polls" (string_of_int (total "watchdog.polls"))
   end;
+  (* A sanitizer row only when the soak actually ran under it, keeping
+     default output byte-identical. *)
+  (match r.sanitizer_flags with
+  | Some n -> add "sanitizer violations" (string_of_int n)
+  | None -> ());
   t

@@ -36,10 +36,20 @@ type result = {
       (** snapshot-diff of the observability registry across the run:
           the campaign's own counters, isolated from anything recorded
           before it.  All-zero when observability is disabled. *)
+  sanitizer_flags : int option;
+      (** violations the shadow sanitizer recorded during the soak;
+          [None] when the soak ran without [sanitize].  Under the full
+          protection config this should be [Some 0]: every injected
+          fault is contained before it can reach foreign memory, and a
+          nonzero count here means the sanitizer produced a false
+          positive under heavy fault-and-recovery churn. *)
 }
 
-val run : ?trials:int -> ?seed:int -> unit -> result
-(** Defaults: 200 trials, seed 2026. *)
+val run : ?trials:int -> ?seed:int -> ?sanitize:bool -> unit -> result
+(** Defaults: 200 trials, seed 2026.  [sanitize] (default [false])
+    runs the whole soak — injections, recoveries, the final solve —
+    under the shadow sanitizer ({!Covirt_hw.Sanitize}); timelines and
+    residuals are unchanged (the sanitizer charges nothing). *)
 
 val table : result -> Covirt_sim.Table.t
 (** Summary table for the CLI. *)

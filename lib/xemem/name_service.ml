@@ -39,6 +39,15 @@ let register t ~name ~exporter ~pages =
   end
 
 let lookup t ~name = Hashtbl.find_opt t.by_name name
+
+let regions_for t ~enclave =
+  Hashtbl.fold
+    (fun _ s acc ->
+      if
+        s.exporter = Enclave_export enclave || List.mem enclave s.attachers
+      then List.fold_left Region.Set.add acc s.pages
+      else acc)
+    t.by_segid Region.Set.empty
 let lookup_segid t ~segid = Hashtbl.find_opt t.by_segid segid
 
 let note_attach t ~segid ~enclave =

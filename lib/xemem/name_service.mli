@@ -29,6 +29,12 @@ val register :
     shares whole frames). *)
 
 val lookup : t -> name:string -> segment option
+
+val regions_for : t -> enclave:int -> Covirt_hw.Region.Set.t
+(** Every frame of every live segment the enclave exported or is
+    attached to — the registered-share closure the static verifier
+    treats as legitimately cross-owner. *)
+
 val lookup_segid : t -> segid:int -> segment option
 val note_attach : t -> segid:int -> enclave:int -> unit
 val note_detach : t -> segid:int -> enclave:int -> unit
