@@ -15,14 +15,21 @@
      --trace-out f        enable observability and write a Chrome
                           trace_event JSON of the run (do not combine
                           with --check: tracing adds recording work)
+     --domains N          fleet placement for the sharded harnesses
+                          (default Domain.recommended_domain_count);
+                          changes wall-clocks only, never a result byte
 
    Experiments: table1 fig3 fig4 fig5 fig6 fig7 fig8
-                ablate-coalesce ablate-piv ablate-sync bechamel *)
+                ablate-coalesce ablate-piv ablate-sync fleet bechamel *)
 
 open Covirt_harness
 
 let section title =
   Format.printf "@.=== %s ===@.@." title
+
+(* Fleet placement for the sharded harnesses, set by --domains.  This
+   is physical placement only: any value renders the same bytes. *)
+let domains_arg : int option ref = ref None
 
 let run_table1 () =
   section "Table I: Benchmark Versions and Parameters";
@@ -37,7 +44,7 @@ let run_table1 () =
 
 let run_fig3 ~quick () =
   section "Fig. 3: Selfish-Detour noise profiles";
-  let rows = Fig3.run ~quick () in
+  let rows = Fig3.run ~quick ?domains:!domains_arg () in
   Covirt_sim.Table.print_auto (Fig3.table rows);
   Fig3.print_scatter rows ~duration_s:(if quick then 0.5 else 2.0);
   Format.printf "@.";
@@ -58,7 +65,7 @@ let run_fig4 ~quick () =
 
 let run_fig5 ~quick () =
   section "Fig. 5(a): STREAM";
-  let rows = Fig5.run ~quick () in
+  let rows = Fig5.run ~quick ?domains:!domains_arg () in
   Covirt_sim.Table.print_auto (Fig5.stream_table rows);
   section "Fig. 5(b): RandomAccess";
   Covirt_sim.Table.print_auto (Fig5.gups_table rows);
@@ -93,7 +100,8 @@ let run_fig8 ~quick () =
 
 let run_ablate_coalesce ~quick () =
   section "Ablation: EPT large-page coalescing (RandomAccess)";
-  Covirt_sim.Table.print_auto (Ablate.coalescing_table (Ablate.coalescing ~quick ()))
+  Covirt_sim.Table.print_auto
+    (Ablate.coalescing_table (Ablate.coalescing ~quick ?domains:!domains_arg ()))
 
 let run_ablate_piv () =
   section "Ablation: posted interrupts vs full APIC virtualization";
@@ -124,7 +132,8 @@ let run_isolation ~quick () =
 let run_campaign ~quick () =
   section "Fault-injection campaign: containment rates by configuration";
   let trials = if quick then 25 else 60 in
-  Covirt_sim.Table.print_auto (Campaign.table (Campaign.run ~trials ()));
+  Covirt_sim.Table.print_auto
+    (Campaign.table (Campaign.run ~trials ?domains:!domains_arg ()));
   Format.printf
     "Random faults from the paper's taxonomy against a two-tenant node.@.\
      Each feature contains exactly its own fault classes (mem: wild@.\
@@ -142,7 +151,8 @@ let run_noise () =
 
 let run_scale ~quick () =
   section "Scale: protection cost vs co-resident enclave count";
-  Covirt_sim.Table.print_auto (Scale.table (Scale.run ~quick ()));
+  Covirt_sim.Table.print_auto
+    (Scale.table (Scale.run ~quick ?domains:!domains_arg ()));
   Format.printf
     "Per-core hypervisor contexts and per-enclave EPTs: the protection@.\
      cost each enclave pays is independent of its neighbours.@."
@@ -154,6 +164,52 @@ let run_kernels () =
     "Three kernel architectures from different points of the paper's@.\
      integration axis, all protected by the same controller with zero@.\
      kernel-specific code.@."
+
+(* ------------------------------------------------------------------ *)
+(* The fleet experiment: the one place wall-clock is the measurement.
+   A sharded soak runs once on a single domain and once on the fleet;
+   the rendered result tables must be byte-identical (the determinism
+   contract), and the wall-clock ratio is recorded as fleet_speedup. *)
+
+let fleet_speedup : float option ref = ref None
+
+let run_fleet ~quick () =
+  section "Fleet: domain-sharded soak, determinism and wall-clock speedup";
+  let domains =
+    match !domains_arg with
+    | Some d -> d
+    | None -> Covirt_fleet.Fleet.recommended_domains ()
+  in
+  let trials = if quick then 400 else 1600 in
+  let shards = 16 in
+  let soak d =
+    let t0 = Unix.gettimeofday () in
+    let r = Covirt_resilience.Soak.run ~trials ~seed:2026 ~shards ~domains:d () in
+    (Covirt_sim.Table.render (Covirt_resilience.Soak.table r),
+     Unix.gettimeofday () -. t0)
+  in
+  let seq_out, seq_t = soak 1 in
+  let par_out, par_t = soak domains in
+  let speedup = seq_t /. Float.max par_t 1e-9 in
+  fleet_speedup := Some speedup;
+  let t =
+    Covirt_sim.Table.create ~columns:[ "domains"; "wall s"; "speedup" ]
+  in
+  Covirt_sim.Table.add_row t [ "1"; Printf.sprintf "%.2f" seq_t; "1.00x" ];
+  Covirt_sim.Table.add_row t
+    [ string_of_int domains; Printf.sprintf "%.2f" par_t;
+      Printf.sprintf "%.2fx" speedup ];
+  Covirt_sim.Table.print t;
+  Format.printf
+    "%d-shard soak (%d trials), byte-identical across placements: %b@."
+    shards trials (String.equal seq_out par_out);
+  if not (String.equal seq_out par_out) then begin
+    Format.eprintf
+      "fleet: DETERMINISM VIOLATION — domains:1 and domains:%d rendered \
+       different soak tables@."
+      domains;
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the hot paths.                          *)
@@ -415,6 +471,7 @@ let experiments ~quick =
     ("isolation", run_isolation ~quick);
     ("scale", run_scale ~quick);
     ("kernels", run_kernels);
+    ("fleet", run_fleet ~quick);
     ("bechamel", run_bechamel);
   ]
 
@@ -428,6 +485,9 @@ let write_json ~quick =
   in
   Printf.fprintf oc
     "{\n  \"schema\": \"covirt-bench/1\",\n  \"quick\": %b,\n" quick;
+  Option.iter
+    (fun s -> Printf.fprintf oc "  \"fleet_speedup\": %.3f,\n" s)
+    !fleet_speedup;
   Printf.fprintf oc "  \"harness_wall_seconds\": {\n%s\n  },\n"
     (entries !harness_timings);
   Printf.fprintf oc "  \"microbench_ns_per_op\": {\n%s\n  }\n}\n"
@@ -501,9 +561,17 @@ let () =
         parse names check (Some path) trace_out rest
     | "--trace-out" :: path :: rest ->
         parse names check baseline_out (Some path) rest
-    | ("--check" | "--emit-baseline" | "--trace-out") :: [] ->
+    | "--domains" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some d when d >= 1 ->
+            domains_arg := Some d;
+            parse names check baseline_out trace_out rest
+        | _ ->
+            Format.eprintf "--domains needs a positive integer, got %S@." n;
+            exit 1)
+    | ("--check" | "--emit-baseline" | "--trace-out" | "--domains") :: [] ->
         Format.eprintf
-          "--check/--emit-baseline/--trace-out need a file argument@.";
+          "--check/--emit-baseline/--trace-out/--domains need an argument@.";
         exit 1
     | ("quick" | "--tsv" | "--json") :: rest ->
         parse names check baseline_out trace_out rest
@@ -526,7 +594,7 @@ let () =
           | None ->
               Format.eprintf
                 "unknown experiment %S (try: table1 fig3..fig8 \
-                 ablate-coalesce ablate-piv ablate-sync bechamel)@."
+                 ablate-coalesce ablate-piv ablate-sync fleet bechamel)@."
                 name;
               exit 1)
         names);

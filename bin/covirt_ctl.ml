@@ -14,6 +14,14 @@ let quick =
   let doc = "Use reduced problem sizes (seconds instead of minutes)." in
   Arg.(value & flag & info [ "quick"; "q" ] ~doc)
 
+let domains =
+  let doc =
+    "Domains for the fleet-sharded harnesses (campaign, soak, sweeps). \
+     Defaults to Domain.recommended_domain_count.  Placement only: any \
+     value produces byte-identical results, only wall-clock changes."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
 let config_conv =
   let parse s =
     match List.assoc_opt s Covirt.Config.presets with
@@ -40,7 +48,7 @@ let experiment_names =
     "ablate-coalesce"; "ablate-piv"; "ablate-sync"; "compare"; "kernels";
     "noise"; "scale"; "campaign"; "isolation" ]
 
-let run_experiment name quick =
+let run_experiment name quick domains =
   let open Covirt_harness in
   match name with
   | "table1" ->
@@ -53,7 +61,7 @@ let run_experiment name quick =
       Covirt_sim.Table.print t;
       Ok ()
   | "fig3" ->
-      let rows = Fig3.run ~quick () in
+      let rows = Fig3.run ~quick ?domains () in
       Covirt_sim.Table.print (Fig3.table rows);
       Fig3.print_histograms rows;
       Ok ()
@@ -61,7 +69,7 @@ let run_experiment name quick =
       Covirt_sim.Table.print (Fig4.table (Fig4.run ~quick ()));
       Ok ()
   | "fig5" ->
-      let rows = Fig5.run ~quick () in
+      let rows = Fig5.run ~quick ?domains () in
       Covirt_sim.Table.print (Fig5.stream_table rows);
       Covirt_sim.Table.print (Fig5.gups_table rows);
       Ok ()
@@ -77,7 +85,8 @@ let run_experiment name quick =
       Covirt_sim.Table.print (Fig8.table (Fig8.run ~quick ()));
       Ok ()
   | "ablate-coalesce" ->
-      Covirt_sim.Table.print (Ablate.coalescing_table (Ablate.coalescing ~quick ()));
+      Covirt_sim.Table.print
+        (Ablate.coalescing_table (Ablate.coalescing ~quick ?domains ()));
       Ok ()
   | "ablate-piv" ->
       Covirt_sim.Table.print (Ablate.piv_table (Ablate.piv_vs_full ()));
@@ -97,11 +106,12 @@ let run_experiment name quick =
       Covirt_sim.Table.print (Noise_compare.table (Noise_compare.run ()));
       Ok ()
   | "scale" ->
-      Covirt_sim.Table.print (Scale.table (Scale.run ~quick ()));
+      Covirt_sim.Table.print (Scale.table (Scale.run ~quick ?domains ()));
       Ok ()
   | "campaign" ->
       Covirt_sim.Table.print
-        (Campaign.table (Campaign.run ~trials:(if quick then 25 else 60) ()));
+        (Campaign.table
+           (Campaign.run ~trials:(if quick then 25 else 60) ?domains ()));
       Ok ()
   | "isolation" ->
       Covirt_sim.Table.print (Isolation.table (Isolation.run ~quick ()));
@@ -116,14 +126,14 @@ let experiment_cmd =
     let doc = "Experiment to run: table1, fig3..fig8 or ablate-*." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
   in
-  let run name quick =
-    match run_experiment name quick with
+  let run name quick domains =
+    match run_experiment name quick domains with
     | Ok () -> `Ok ()
     | Error msg -> `Error (false, msg)
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper")
-    Term.(ret (const run $ name_arg $ quick))
+    Term.(ret (const run $ name_arg $ quick $ domains))
 
 (* --- demo --- *)
 
@@ -280,6 +290,23 @@ let detects corrupt (v : Covirt_analysis.Violation.t) =
   | "stale-grant", Stale_grant _ -> true
   | "freed-access", Shadow_freed_access -> true
   | _ -> false
+
+(* analyze --campaign: the statistical form of the same question.  The
+   randomized fault campaign runs under the shadow sanitizer, sharded
+   over the fleet; the flagged column counts trials in which the
+   analyzer detected an ownership violation as it happened. *)
+let run_analyze_campaign trials seed domains =
+  let open Covirt_harness in
+  let rows = Campaign.run ~trials ~seed ~sanitize:true ?domains () in
+  Covirt_sim.Table.print (Campaign.table rows);
+  let flagged =
+    List.fold_left (fun acc r -> acc + r.Campaign.sanitizer_flagged) 0 rows
+  in
+  Format.printf
+    "campaign: %d trials x %d configs, sanitizer flagged %d trial-config \
+     pairs@."
+    trials (List.length rows) flagged;
+  `Ok ()
 
 let run_analyze sanitize json_out corrupt =
   let open Covirt_analysis in
@@ -493,13 +520,37 @@ let analyze_cmd =
     in
     Arg.(value & opt (some string) None & info [ "corrupt" ] ~docv:"CLASS" ~doc)
   in
+  let campaign =
+    let doc =
+      "Instead of a single stack, run the randomized fault-injection \
+       campaign under the shadow sanitizer, sharded over the fleet \
+       (see --domains)."
+    in
+    Arg.(value & flag & info [ "campaign" ] ~doc)
+  in
+  let trials =
+    let doc = "Trials per configuration for --campaign." in
+    Arg.(value & opt int 60 & info [ "trials"; "t" ] ~doc)
+  in
+  let seed =
+    let doc = "Seed for --campaign." in
+    Arg.(value & opt int 2026 & info [ "seed"; "s" ] ~doc)
+  in
+  let dispatch sanitize json_out corrupt campaign trials seed domains =
+    if campaign then run_analyze_campaign trials seed domains
+    else run_analyze sanitize json_out corrupt
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Boot a protected two-enclave stack with a XEMEM share, then run \
           the static isolation verifier (EPT leaves vs ownership, whitelist \
-          grants vs live cores) and optionally the shadow sanitizer")
-    Term.(ret (const run_analyze $ sanitize $ json_out $ corrupt))
+          grants vs live cores) and optionally the shadow sanitizer; or, \
+          with --campaign, the randomized sanitized fault campaign")
+    Term.(
+      ret
+        (const dispatch $ sanitize $ json_out $ corrupt $ campaign $ trials
+       $ seed $ domains))
 
 (* --- stats --- *)
 
@@ -598,9 +649,9 @@ let stats_cmd =
 
 (* --- supervise --- *)
 
-let run_supervise trials seed timeline sanitize =
+let run_supervise trials seed timeline sanitize shards domains =
   let open Covirt_resilience in
-  let r = Soak.run ~trials ~seed ~sanitize () in
+  let r = Soak.run ~trials ~seed ~sanitize ~shards ?domains () in
   Covirt_sim.Table.print (Soak.table r);
   if r.Soak.quarantined <> [] then begin
     Format.printf "@.quarantine ledger:@.";
@@ -645,13 +696,24 @@ let supervise_cmd =
     in
     Arg.(value & flag & info [ "sanitize" ] ~doc)
   in
+  let shards =
+    let doc =
+      "Cut the trial range into this many shards, each soaked on its own \
+       machine stack.  Part of the experiment's identity: a different \
+       shard count is a different (equally valid) experiment."
+    in
+    Arg.(value & opt int 8 & info [ "shards" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "supervise"
        ~doc:
          "Run the supervised soak: inject faults and wedges into two worker \
           enclaves, let the supervisor and watchdog recover them, and check \
           an untouched sibling")
-    Term.(ret (const run_supervise $ trials $ seed $ timeline $ sanitize))
+    Term.(
+      ret
+        (const run_supervise $ trials $ seed $ timeline $ sanitize $ shards
+       $ domains))
 
 (* --- top level --- *)
 

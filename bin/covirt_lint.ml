@@ -9,7 +9,12 @@
    3. observability emission calls (Metrics.add, Span.instant, ...) in the hot
       layers sit behind a [!Metrics.on] / [!Exporter.on] guard within
       the preceding few lines, preserving the zero-cost-when-off
-      contract.
+      contract;
+   4. domain spawning is the fleet's monopoly: [Domain.spawn] appears
+      in lib/ only under lib/fleet, and lib/fleet never references
+      [Covirt_hw] — shards must build hardware state through their
+      body closures, so no mutable hardware type can cross a domain
+      boundary behind the runner's back.
 
    Usage: covirt_lint [ROOT]   (ROOT defaults to ".", must contain lib/) *)
 
@@ -128,6 +133,34 @@ let check_guards path lines =
       end)
     arr
 
+(* --- check 4: the fleet's domain monopoly --- *)
+
+(* Parallelism is confined to lib/fleet so the shard-determinism
+   contract has one owner.  Two directions: nobody else under lib/
+   spawns a domain, and the fleet itself never touches lib/hw (its
+   shards receive hardware state only through closures they build). *)
+let check_fleet_monopoly root =
+  walk
+    (Filename.concat root "lib")
+    (fun path ->
+      if has_suffix path ".ml" || has_suffix path ".mli" then begin
+        let in_fleet = contains path "lib/fleet" in
+        let lines = read_lines path in
+        List.iteri
+          (fun i line ->
+            if (not in_fleet) && contains_word line "Domain.spawn" then
+              fail
+                "%s:%d: Domain.spawn outside lib/fleet (go through \
+                 Covirt_fleet.Fleet)"
+                path (i + 1);
+            if in_fleet && contains_word line "Covirt_hw" then
+              fail
+                "%s:%d: lib/fleet must not reference Covirt_hw (hardware \
+                 state stays shard-local)"
+                path (i + 1))
+          lines
+      end)
+
 (* --- driver --- *)
 
 let hot_layers = [ "lib/hw"; "lib/core" ]
@@ -139,6 +172,7 @@ let () =
     exit 2
   end;
   check_mli root;
+  check_fleet_monopoly root;
   List.iter
     (fun layer ->
       walk

@@ -352,7 +352,7 @@ let attach pisces ~config =
     let mem = (Pisces.machine pisces).Machine.mem in
     Sanitize.enable ~mem_uid:(Phys_mem.uid mem)
       ~assignments:(Phys_mem.snapshot mem);
-    Sanitize.on_violation := (fun v -> record_report t (sanitizer_report t v))
+    Sanitize.set_on_violation (fun v -> record_report t (sanitizer_report t v))
   end;
   let hooks = Pisces.hooks pisces in
   hooks.Hooks.on_enclave_created <-

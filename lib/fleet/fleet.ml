@@ -1,0 +1,79 @@
+(* Shard-deterministic parallel runner.  See fleet.mli for the
+   contract; the load-bearing properties are all here:
+
+   - shard index, not domain, decides the seed (Rng.split_seed);
+   - shards map to domains as contiguous blocks, no stealing, so a
+     shard's neighbours-in-domain are a pure function of (shards,
+     domains) — and nothing about the result depends on them anyway;
+   - results are returned in index order (the per-domain blocks are
+     ascending and contiguous, so concatenation IS the index order);
+   - a shard's exception is caught inside its own slot, retried, and
+     never unwinds another domain. *)
+
+type error = { shard : int; attempts : int; message : string }
+
+exception Shard_failed of error
+
+let () =
+  Printexc.register_printer (function
+    | Shard_failed { shard; attempts; message } ->
+        Some
+          (Printf.sprintf "Fleet.Shard_failed(shard %d after %d attempts: %s)"
+             shard attempts message)
+    | _ -> None)
+
+let recommended_domains () = max 1 (Domain.recommended_domain_count ())
+
+let slice ~n ~shards k =
+  let q = n / shards and r = n mod shards in
+  let lo = (k * q) + min k r in
+  let hi = lo + q + if k < r then 1 else 0 in
+  (lo, hi)
+
+(* Run one shard to a result, retrying on any exception.  A retry
+   re-derives the same shard seed, so a deterministic body either
+   succeeds identically or fails identically — retries only help
+   against nondeterministic failures, and a deterministic failure
+   costs [retries] extra attempts before surfacing. *)
+let attempt ~retries ~seed ~index f =
+  let shard_seed = Covirt_sim.Rng.split_seed ~seed ~index in
+  let rec go attempts =
+    match f ~shard_seed ~index with
+    | v -> Ok v
+    | exception exn ->
+        if attempts <= retries then go (attempts + 1)
+        else
+          Error
+            { shard = index; attempts; message = Printexc.to_string exn }
+  in
+  go 1
+
+let map_result ?domains ?(retries = 1) ~seed ~shards f =
+  if shards < 0 then invalid_arg "Fleet.map: shards must be non-negative";
+  let requested =
+    match domains with Some d -> d | None -> recommended_domains ()
+  in
+  if requested < 1 then invalid_arg "Fleet.map: domains must be positive";
+  let blocks = max 1 (min requested shards) in
+  let run_block k =
+    let lo, hi = slice ~n:shards ~shards:blocks k in
+    Array.init (hi - lo) (fun j -> attempt ~retries ~seed ~index:(lo + j) f)
+  in
+  let per_block =
+    if blocks = 1 then [| run_block 0 |]
+    else begin
+      let spawned =
+        Array.init (blocks - 1) (fun i ->
+            Domain.spawn (fun () -> run_block (i + 1)))
+      in
+      (* The calling domain takes block 0 while the others run. *)
+      let own = run_block 0 in
+      Array.append [| own |] (Array.map Domain.join spawned)
+    end
+  in
+  Array.concat (Array.to_list per_block)
+
+let map ?domains ?retries ~seed ~shards f =
+  Array.map
+    (function Ok v -> v | Error e -> raise (Shard_failed e))
+    (map_result ?domains ?retries ~seed ~shards f)

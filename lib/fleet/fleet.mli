@@ -1,0 +1,80 @@
+(** Shard-deterministic parallel runner on OCaml 5 domains.
+
+    The repo's strongest invariant is seeded bit-for-bit determinism;
+    this module parallelises the statistical harnesses — campaigns,
+    soaks, configuration sweeps, bench repetitions — without giving it
+    up.  The contract:
+
+    - Work is cut into [shards] {e semantic} units.  The shard count
+      is part of an experiment's identity: changing it may change
+      results (each shard owns an RNG stream and a machine stack).
+    - The {e domain} count is physical placement only.  Shards are
+      assigned to domains as contiguous index blocks with no work
+      stealing, every shard derives its seed as
+      [Covirt_sim.Rng.split_seed ~seed ~index], results land in the
+      slot keyed by their index, and the caller's merge is a pure left
+      fold over that array — so [domains:1] and [domains:8] produce
+      byte-identical tables, golden files and JSON.
+    - No shared mutable hardware state crosses a domain boundary:
+      every shard builds its own [Machine], and the per-domain
+      observability / sanitizer registries (Domain-local storage in
+      [lib/obs] and [lib/hw/sanitize]) keep measurement domain-local.
+      This library depends only on [covirt_sim]; the lint gate forbids
+      it from reaching into [lib/hw], and forbids [Domain.spawn]
+      anywhere else in [lib/].
+
+    A shard that raises fails only its own slot: it is retried
+    ([retries] times, default once), and if it still fails the error
+    is carried as a typed {!error} — the other shards complete
+    normally. *)
+
+type error = {
+  shard : int;  (** index of the failing shard *)
+  attempts : int;  (** attempts made, including retries *)
+  message : string;  (** [Printexc.to_string] of the last exception *)
+}
+
+exception Shard_failed of error
+(** Raised by {!map} (after every shard has completed) for the
+    lowest-indexed shard whose final retry still raised. *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count ()], clamped to at least 1.  The
+    default for every [?domains] argument in the harnesses. *)
+
+val slice : n:int -> shards:int -> int -> int * int
+(** [slice ~n ~shards k] is the half-open range [(lo, hi)] of the [n]
+    work items owned by shard [k] of [shards]: contiguous, balanced
+    (sizes differ by at most one), and covering [0..n-1] exactly.
+    Consumers that shard a trial loop (e.g. the soak) use this so the
+    global trial numbers — which schedule wedges and alternate targets
+    — are preserved whatever the shard count. *)
+
+val map :
+  ?domains:int ->
+  ?retries:int ->
+  seed:int ->
+  shards:int ->
+  (shard_seed:int -> index:int -> 'a) ->
+  'a array
+(** [map ~domains ~seed ~shards f] evaluates
+    [f ~shard_seed:(Rng.split_seed ~seed ~index) ~index] for every
+    [index] in [0..shards-1], distributing contiguous index blocks
+    over [domains] domains (default {!recommended_domains}; clamped to
+    [shards]), and returns the results in index order.  [domains:1]
+    runs inline on the calling domain.  A shard whose body raises is
+    retried [retries] times (default [1]); if the last attempt still
+    raises, [map] finishes the remaining shards and then raises
+    {!Shard_failed}.  Raises [Invalid_argument] on negative [shards]
+    or non-positive [domains]. *)
+
+val map_result :
+  ?domains:int ->
+  ?retries:int ->
+  seed:int ->
+  shards:int ->
+  (shard_seed:int -> index:int -> 'a) ->
+  ('a, error) result array
+(** Like {!map}, but a failed shard surfaces as [Error] in its own
+    slot instead of raising, so callers can tolerate partial
+    completion. *)

@@ -20,7 +20,11 @@ type coalescing_row = {
   leaves : int;
 }
 
-val coalescing : ?quick:bool -> unit -> coalescing_row list
+val coalescing : ?quick:bool -> ?domains:int -> unit -> coalescing_row list
+(** The native baseline and the three EPT-page cases run as fleet
+    shards over [domains] domains (placement only — rows are identical
+    for any value). *)
+
 val coalescing_table : coalescing_row list -> Covirt_sim.Table.t
 
 type ipi_row = {

@@ -60,51 +60,75 @@ let one_trial ~config ~seed ~injector fault_of =
             | Fault_injector.Wedge _ ->
                 Latent (* still livelocked; only a watchdog notices *)))
 
-let run ?(trials = 60) ?(seed = 2026) ?(sanitize = false) () =
+let configs () = Covirt.Config.presets @ [ ("full(+msr+io)", Covirt.Config.full) ]
+
+let run ?(trials = 60) ?(seed = 2026) ?(sanitize = false) ?domains () =
   (* The request is sticky: each trial's [Covirt.enable] arms the
-     shadow sanitizer for its fresh machine.  Restore the prior state
-     afterwards so default campaign runs stay byte-identical. *)
+     shadow sanitizer for its fresh machine (per-domain, so shards
+     don't interfere).  Restore the prior state afterwards so default
+     campaign runs stay byte-identical.  It must be set before the
+     fleet spawns — shards only read it. *)
   let had_request = Covirt_hw.Sanitize.requested () in
   if sanitize then Covirt_hw.Sanitize.request ();
-  let rows = List.map
-    (fun (name, config) ->
-      (* One injector per configuration sweep: the same seed replays
-         the same fault sequence against every configuration. *)
-      let injector = Fault_injector.create ~seed () in
-      let tally = Hashtbl.create 4 in
-      let bump outcome =
-        Hashtbl.replace tally outcome
-          (1 + Option.value ~default:0 (Hashtbl.find_opt tally outcome))
-      in
-      let flagged = ref 0 in
-      for i = 1 to trials do
-        let machine_mem = 8 * gib in
-        (* Gate on the [sanitize] argument, not on global sanitizer
-           state: a campaign that wasn't asked to report flags must
-           produce the same table even if a caller armed the shadow
-           for its own purposes (golden byte-identity). *)
-        let before = if sanitize then Covirt_hw.Sanitize.violation_count () else 0 in
-        let outcome =
-          one_trial ~config ~seed:(seed + i) ~injector (fun ~victim_bsp ->
-              Fault_injector.draw injector ~machine_mem ~victim_bsp)
-        in
-        if sanitize && Covirt_hw.Sanitize.violation_count () > before then
-          incr flagged;
-        bump outcome
-      done;
-      let count o = Option.value ~default:0 (Hashtbl.find_opt tally o) in
-      {
-        config = name;
-        trials;
-        contained = count Contained;
-        node_down = count Node_down;
-        collateral = count Collateral;
-        latent = count Latent;
-        sanitizer_flagged = !flagged;
-      })
-    (Covirt.Config.presets @ [ ("full(+msr+io)", Covirt.Config.full) ])
+  let configs = configs () in
+  (* One shard per trial.  A shard replays the {e same} fault against
+     every configuration: each per-config injector is seeded with the
+     shard seed, and the machine seed is split off it — so the
+     cross-config comparison (the whole point of the campaign table)
+     holds whatever the shard-to-domain placement. *)
+  let per_trial =
+    Covirt_fleet.Fleet.map ?domains ~seed ~shards:trials
+      (fun ~shard_seed ~index:_ ->
+        let machine_seed = Covirt_sim.Rng.split_seed ~seed:shard_seed ~index:1 in
+        List.map
+          (fun (_name, config) ->
+            let injector = Fault_injector.create ~seed:shard_seed () in
+            let machine_mem = 8 * gib in
+            (* Gate on the [sanitize] argument, not on global sanitizer
+               state: a campaign that wasn't asked to report flags must
+               produce the same table even if a caller armed the shadow
+               for its own purposes (golden byte-identity). *)
+            let before =
+              if sanitize then Covirt_hw.Sanitize.violation_count () else 0
+            in
+            let outcome =
+              one_trial ~config ~seed:machine_seed ~injector
+                (fun ~victim_bsp ->
+                  Fault_injector.draw injector ~machine_mem ~victim_bsp)
+            in
+            let flagged =
+              sanitize && Covirt_hw.Sanitize.violation_count () > before
+            in
+            (outcome, flagged))
+          configs)
   in
   if sanitize && not had_request then Covirt_hw.Sanitize.release ();
+  (* Merge: a pure left fold over the trial slots, per configuration. *)
+  let rows =
+    List.mapi
+      (fun ci (name, _config) ->
+        let count o =
+          Array.fold_left
+            (fun acc trial ->
+              if fst (List.nth trial ci) = o then acc + 1 else acc)
+            0 per_trial
+        in
+        let flagged =
+          Array.fold_left
+            (fun acc trial -> if snd (List.nth trial ci) then acc + 1 else acc)
+            0 per_trial
+        in
+        {
+          config = name;
+          trials;
+          contained = count Contained;
+          node_down = count Node_down;
+          collateral = count Collateral;
+          latent = count Latent;
+          sanitizer_flagged = flagged;
+        })
+      configs
+  in
   rows
 
 let table rows =

@@ -31,13 +31,21 @@ type row = {
           ownership violation; [0] when [sanitize] was off *)
 }
 
-val run : ?trials:int -> ?seed:int -> ?sanitize:bool -> unit -> row list
+val run :
+  ?trials:int -> ?seed:int -> ?sanitize:bool -> ?domains:int -> unit -> row list
 (** [trials] faults per configuration (default 60).  With [sanitize]
     (default [false]) every trial runs under the shadow sanitizer
     ([Covirt_hw.Sanitize]), so injected EPT/ownership corruption is
     {e detected by the analyzer} rather than merely observed as a
     crash or a latent time bomb; outcomes and the fault sequence are
-    unchanged (the sanitizer charges nothing). *)
+    unchanged (the sanitizer charges nothing).
+
+    Trials run as fleet shards over [domains] domains (default
+    [Covirt_fleet.Fleet.recommended_domains ()]); each trial derives
+    its fault and machine seeds from [Rng.split_seed ~seed ~index], and
+    within a trial the same fault is replayed against every
+    configuration.  Rows are a pure fold over trial order, so the
+    table is byte-identical for any [domains]. *)
 
 val table : row list -> Covirt_sim.Table.t
 (** Adds a ["flagged"] column only when some row has

@@ -11,37 +11,45 @@ type row = {
   detours : (float * float) list;  (* (at_us, duration_us) *)
 }
 
-let run ?(quick = false) ?(seed = 42) () =
+let run ?(quick = false) ?(seed = 42) ?domains () =
   let duration_s = if quick then 0.5 else 2.0 in
-  List.map
-    (fun (name, config) ->
-      (* Phase label per configuration: when the profiler is on,
-         covirt-ctl stats can attribute cycles to each sweep leg. *)
-      Covirt_obs.Profiler.set_phase name;
-      Experiments.with_setup ~config ~seed (fun setup ->
-          let ctx = List.hd (Experiments.contexts setup) in
-          let result = Selfish.run ctx ~duration_s () in
-          let durations =
-            Array.of_list
-              (List.map (fun d -> d.Selfish.duration_us) result.Selfish.detours)
-          in
-          {
-            config = name;
-            detour_count = List.length result.Selfish.detours;
-            total_detour_us = result.Selfish.total_detour_us;
-            noise_fraction = result.Selfish.noise_fraction;
-            median_detour_us =
-              (if Array.length durations = 0 then 0.0
-               else Covirt_sim.Stats.percentile durations ~p:50.0);
-            max_detour_us =
-              Array.fold_left Float.max 0.0 durations;
-            histogram = result.Selfish.histogram;
-            detours =
-              List.map
-                (fun d -> (d.Selfish.at_us, d.Selfish.duration_us))
-                result.Selfish.detours;
-          }))
-    Covirt.Config.presets
+  let presets = Array.of_list Covirt.Config.presets in
+  (* One fleet shard per configuration.  Each leg is deterministic in
+     (config, seed) — the shard seed is deliberately unused, so the
+     rows match a sequential sweep exactly for any [domains]. *)
+  let rows =
+    Covirt_fleet.Fleet.map ?domains ~seed ~shards:(Array.length presets)
+      (fun ~shard_seed:_ ~index ->
+        let name, config = presets.(index) in
+        (* Phase label per configuration: when the profiler is on,
+           covirt-ctl stats can attribute cycles to each sweep leg. *)
+        Covirt_obs.Profiler.set_phase name;
+        Experiments.with_setup ~config ~seed (fun setup ->
+            let ctx = List.hd (Experiments.contexts setup) in
+            let result = Selfish.run ctx ~duration_s () in
+            let durations =
+              Array.of_list
+                (List.map
+                   (fun d -> d.Selfish.duration_us)
+                   result.Selfish.detours)
+            in
+            {
+              config = name;
+              detour_count = List.length result.Selfish.detours;
+              total_detour_us = result.Selfish.total_detour_us;
+              noise_fraction = result.Selfish.noise_fraction;
+              median_detour_us =
+                (if Array.length durations = 0 then 0.0
+                 else Covirt_sim.Stats.percentile durations ~p:50.0);
+              max_detour_us = Array.fold_left Float.max 0.0 durations;
+              histogram = result.Selfish.histogram;
+              detours =
+                List.map
+                  (fun d -> (d.Selfish.at_us, d.Selfish.duration_us))
+                  result.Selfish.detours;
+            }))
+  in
+  Array.to_list rows
 
 let table rows =
   let t =

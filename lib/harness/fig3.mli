@@ -17,9 +17,13 @@ type row = {
   detours : (float * float) list;  (** (at_us, duration_us) *)
 }
 
-val run : ?quick:bool -> ?seed:int -> unit -> row list
+val run : ?quick:bool -> ?seed:int -> ?domains:int -> unit -> row list
 (** One row per preset configuration (native, none, mem, ipi,
-    mem+ipi); [quick] shortens the probed interval. *)
+    mem+ipi); [quick] shortens the probed interval.  Configurations
+    run as fleet shards over [domains] domains (default
+    [Covirt_fleet.Fleet.recommended_domains ()]); each leg is
+    deterministic in (config, seed), so the rows are identical for any
+    [domains]. *)
 
 val table : row list -> Covirt_sim.Table.t
 val print_histograms : row list -> unit

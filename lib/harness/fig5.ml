@@ -35,11 +35,18 @@ let measure ~quick ~seed config =
         r_gups = gups.Random_access.gups;
       })
 
-let run ?(quick = false) ?(seed = 42) () =
+let run ?(quick = false) ?(seed = 42) ?domains () =
+  let presets = Array.of_list Covirt.Config.presets in
+  (* One fleet shard per configuration; each measurement is
+     deterministic in (config, seed), so the shard seed is unused and
+     the table is identical for any [domains].  The native baseline
+     divide happens after the join — it needs all rows. *)
   let raws =
-    List.map
-      (fun (name, config) -> (name, measure ~quick ~seed config))
-      Covirt.Config.presets
+    Array.to_list
+      (Covirt_fleet.Fleet.map ?domains ~seed ~shards:(Array.length presets)
+         (fun ~shard_seed:_ ~index ->
+           let name, config = presets.(index) in
+           (name, measure ~quick ~seed config)))
   in
   let baseline = List.assoc "native" raws in
   List.map

@@ -14,6 +14,11 @@ type row = {
   gups_overhead : float;
 }
 
-val run : ?quick:bool -> ?seed:int -> unit -> row list
+val run : ?quick:bool -> ?seed:int -> ?domains:int -> unit -> row list
+(** One row per preset configuration, measured as fleet shards over
+    [domains] domains (placement only — rows are identical for any
+    value); overheads are computed against the native row after the
+    join. *)
+
 val stream_table : row list -> Covirt_sim.Table.t
 val gups_table : row list -> Covirt_sim.Table.t

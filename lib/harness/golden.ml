@@ -21,9 +21,9 @@ let linef buf fmt = Format.kasprintf (Buffer.add_string buf) (fmt ^^ "@\n")
    a small perturbation; the raw rows are dumped at full precision. *)
 let f = Printf.sprintf "%.17g"
 
-let figures buf =
+let figures ?domains buf =
   section buf "fig3";
-  let rows = Fig3.run ~quick:true () in
+  let rows = Fig3.run ~quick:true ?domains () in
   table buf (Fig3.table rows);
   List.iter
     (fun (r : Fig3.row) ->
@@ -39,7 +39,7 @@ let figures buf =
         (f p.Fig4.covirt_us) (f p.Fig4.overhead))
     points;
   section buf "fig5";
-  let rows = Fig5.run ~quick:true () in
+  let rows = Fig5.run ~quick:true ?domains () in
   table buf (Fig5.stream_table rows);
   table buf (Fig5.gups_table rows);
   List.iter
@@ -82,9 +82,9 @@ let figures buf =
         r.Fig8.cells)
     rows
 
-let studies buf =
+let studies ?domains buf =
   section buf "ablate-coalesce";
-  table buf (Ablate.coalescing_table (Ablate.coalescing ~quick:true ()));
+  table buf (Ablate.coalescing_table (Ablate.coalescing ~quick:true ?domains ()));
   section buf "ablate-piv";
   table buf (Ablate.piv_table (Ablate.piv_vs_full ()));
   section buf "ablate-sync";
@@ -95,13 +95,13 @@ let studies buf =
   section buf "noise";
   table buf (Noise_compare.table (Noise_compare.run ()));
   section buf "scale";
-  table buf (Scale.table (Scale.run ~quick:true ()));
+  table buf (Scale.table (Scale.run ~quick:true ?domains ()));
   section buf "kernels";
   table buf (Kernels.table (Kernels.matrix ()));
   section buf "isolation";
   table buf (Isolation.table (Isolation.run ~quick:true ()));
   section buf "campaign";
-  let rows = Campaign.run ~trials:30 () in
+  let rows = Campaign.run ~trials:30 ?domains () in
   table buf (Campaign.table rows);
   List.iter
     (fun (r : Campaign.row) ->
@@ -110,9 +110,9 @@ let studies buf =
         r.Campaign.collateral r.Campaign.latent)
     rows
 
-let soak buf =
+let soak ?domains buf =
   section buf "soak";
-  let r = Covirt_resilience.Soak.run ~trials:60 ~seed:2026 () in
+  let r = Covirt_resilience.Soak.run ~trials:60 ~seed:2026 ?domains () in
   linef buf "soak faults=%d fatal_recoveries=%d wedges=%d/%d budget=%b"
     r.Covirt_resilience.Soak.faults_injected
     r.Covirt_resilience.Soak.fatal_recoveries
@@ -196,10 +196,28 @@ let granular buf =
           | None -> linef buf "granular ept none")
       | None -> linef buf "granular host mode")
 
-let capture () =
+(* The sharded soak is part of the golden surface: its merged counters
+   must be a pure function of the shard seeds — the same whether the
+   four shards ran on one domain or eight. *)
+let soak_sharded ?domains buf =
+  section buf "soak-sharded";
+  let r = Covirt_resilience.Soak.run ~trials:60 ~seed:2026 ~shards:4 ?domains () in
+  linef buf "soak4 faults=%d fatal_recoveries=%d wedges=%d/%d budget=%b"
+    r.Covirt_resilience.Soak.faults_injected
+    r.Covirt_resilience.Soak.fatal_recoveries
+    r.Covirt_resilience.Soak.wedges_detected
+    r.Covirt_resilience.Soak.wedges_injected
+    r.Covirt_resilience.Soak.budget_respected;
+  linef buf "soak4 unperturbed=%b" r.Covirt_resilience.Soak.sibling_unperturbed;
+  List.iter
+    (fun (name, n) -> linef buf "soak4 incarnations %s=%d" name n)
+    r.Covirt_resilience.Soak.incarnations
+
+let capture ?domains () =
   let buf = Buffer.create (1 lsl 16) in
-  figures buf;
-  studies buf;
-  soak buf;
+  figures ?domains buf;
+  studies ?domains buf;
+  soak ?domains buf;
+  soak_sharded ?domains buf;
   granular buf;
   Buffer.contents buf

@@ -1,9 +1,15 @@
 (** Golden snapshot of the simulated observables guarded by the
     translation-fast-path bit-equality invariant: every figure table
     (rendered and at full float precision), the ablation and campaign
-    studies, the supervised-soak residuals, and the per-CPU TSC values
-    of a granular load/store scenario.  The capture contains no host
-    timing, so equal code ⇒ equal string; the committed copy under
-    [test/golden/] is asserted by [test_golden]. *)
+    studies, the supervised-soak residuals — sequential and sharded —
+    and the per-CPU TSC values of a granular load/store scenario.  The
+    capture contains no host timing, so equal code ⇒ equal string; the
+    committed copy under [test/golden/] is asserted by [test_golden].
 
-val capture : unit -> string
+    [domains] is the fleet placement used for the campaign, soak and
+    sweep sections (default
+    [Covirt_fleet.Fleet.recommended_domains ()]).  It must never
+    change a byte of the capture — [test_fleet] asserts
+    [capture ~domains:1 () = capture ~domains:4 ()]. *)
+
+val capture : ?domains:int -> unit -> string

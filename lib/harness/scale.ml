@@ -58,18 +58,23 @@ let run_n ~quick n =
   in
   (gups_each, total_ept_leaves)
 
-let run ?(max_enclaves = 3) ?(quick = false) () =
-  let solo, _ = run_n ~quick 1 in
-  let solo_gups = List.hd solo in
+let run ?(max_enclaves = 3) ?(quick = false) ?domains () =
+  (* One fleet shard per co-residency level ([run_n] is deterministic
+     in [n]; the shard seed is unused).  The solo baseline IS the n=1
+     shard — a separate warm-up run would repeat it bit-identically. *)
+  let per_n =
+    Covirt_fleet.Fleet.map ?domains ~seed:42 ~shards:max_enclaves
+      (fun ~shard_seed:_ ~index -> run_n ~quick (index + 1))
+  in
+  let solo_gups = List.hd (fst per_n.(0)) in
   List.init max_enclaves (fun i ->
-      let n = i + 1 in
-      let gups_each, total_ept_leaves = run_n ~quick n in
+      let gups_each, total_ept_leaves = per_n.(i) in
       let worst_vs_solo =
         List.fold_left
           (fun acc g -> Float.max acc ((solo_gups -. g) /. solo_gups))
           0.0 gups_each
       in
-      { enclaves = n; gups_each; worst_vs_solo; total_ept_leaves })
+      { enclaves = i + 1; gups_each; worst_vs_solo; total_ept_leaves })
 
 let table rows =
   let t =

@@ -14,5 +14,9 @@ type row = {
   total_ept_leaves : int;
 }
 
-val run : ?max_enclaves:int -> ?quick:bool -> unit -> row list
+val run : ?max_enclaves:int -> ?quick:bool -> ?domains:int -> unit -> row list
+(** One fleet shard per co-residency level, over [domains] domains
+    (placement only — rows are identical for any value); the n=1 shard
+    doubles as the solo baseline. *)
+
 val table : row list -> Covirt_sim.Table.t

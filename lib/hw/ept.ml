@@ -55,12 +55,14 @@ type t = {
   mutable covers_cache_gen : int;
 }
 
-let next_uid = ref 0
+(* Atomic: EPTs are created concurrently by fleet shards, and the uid
+   keys per-domain sanitizer/memo tables — a duplicated uid would
+   alias two machines' state. *)
+let next_uid = Atomic.make 0
 
 let create ?(max_page = Addr.Page_1g) ?(walk_cache = true) () =
-  incr next_uid;
   {
-    uid = !next_uid;
+    uid = 1 + Atomic.fetch_and_add next_uid 1;
     root = { entries = Hashtbl.create 16 };
     max_page;
     index = Region.Set.empty;

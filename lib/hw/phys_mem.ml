@@ -10,10 +10,12 @@ type t = {
   devices : (string, Region.t) Hashtbl.t;
 }
 
-let uid_counter = ref 0
+(* Atomic: machines are created concurrently by fleet shards, and the
+   uid gates the per-domain shadow-sanitizer hooks. *)
+let uid_counter = Atomic.make 0
 
 let create ~topology ~host_reserved_per_zone =
-  incr uid_counter;
+  let uid = 1 + Atomic.fetch_and_add uid_counter 1 in
   let total = Numa.total_mem topology in
   let free = ref (Region.Set.of_list [ Region.make ~base:0 ~len:total ]) in
   let assignments = ref [] in
@@ -24,7 +26,7 @@ let create ~topology ~host_reserved_per_zone =
     assignments := { region = host; owner = Owner.Host } :: !assignments
   done;
   {
-    uid = !uid_counter;
+    uid;
     topology;
     assignments = !assignments;
     free = !free;

@@ -49,20 +49,20 @@ let pp_violation ppf v =
   Format.fprintf ppf "%s by %a cpu%d at %a+%d: %a" (source_name v.source)
     Owner.pp v.owner v.cpu Addr.pp v.addr v.len pp_kind v.kind
 
-(* --- global switches ------------------------------------------------ *)
+(* --- switches ------------------------------------------------------- *)
 
 (* [on] is the single branch every hot-path site tests.  [wanted] is
    the sticky request flag: harnesses flip it before building a stack,
    and the next [Covirt.Controller.attach] arms the shadow state for
-   its machine. *)
+   its machine.  Both are shared across domains and must only be
+   written outside a fleet (before spawn / after join); the shadow
+   state itself is per-domain (below), so each fleet shard arms and
+   tears down its own machine's sanitizer without touching its
+   neighbours'. *)
 let on = ref false
 let wanted = ref false
 let request () = wanted := true
 let requested () = !wanted
-
-(* Cumulative across enables — survives re-attach so campaigns can
-   diff it per trial. *)
-let total_violations = ref 0
 
 type stats = {
   accesses : int;  (** translated accesses checked *)
@@ -87,13 +87,33 @@ type state = {
 }
 
 let max_kept = 512
-let state : state option ref = ref None
-let on_violation : (violation -> unit) ref = ref (fun _ -> ())
+
+(* Per-domain: the armed shadow state, the cumulative violation count
+   (survives re-attach so campaigns can diff it per trial), and the
+   controller's violation callback.  All three travel together — a
+   violation raised in one domain must never invoke another domain's
+   controller. *)
+type dls = {
+  mutable st : state option;
+  mutable total : int;
+  mutable callback : violation -> unit;
+}
+
+let dls_key =
+  Domain.DLS.new_key (fun () ->
+      { st = None; total = 0; callback = (fun _ -> ()) })
+
+let dls () = Domain.DLS.get dls_key
+
+let set_on_violation f = (dls ()).callback <- f
 
 let disable () =
-  on := false;
-  state := None;
-  on_violation := (fun _ -> ())
+  let d = dls () in
+  d.st <- None;
+  d.callback <- (fun _ -> ());
+  (* Other domains' shards may still be armed under the same sticky
+     request, so a disable only drops [on] once the request is gone. *)
+  on := !wanted
 
 let release () =
   wanted := false;
@@ -126,7 +146,7 @@ let enable ~mem_uid ~assignments =
       (fun acc (region, owner) -> shadow_add acc owner region)
       [] assignments
   in
-  state :=
+  (dls ()).st <-
     Some
       {
         mem_uid;
@@ -143,7 +163,7 @@ let enable ~mem_uid ~assignments =
 
 (* --- controller-facing feeds ---------------------------------------- *)
 
-let with_state f = match !state with Some st -> f st | None -> ()
+let with_state f = match (dls ()).st with Some st -> f st | None -> ()
 
 let note_enclave ~id regions =
   with_state (fun st ->
@@ -180,17 +200,18 @@ let drop_enclave ~id =
 (* --- violation recording -------------------------------------------- *)
 
 let report st v =
-  incr total_violations;
+  let d = dls () in
+  d.total <- d.total + 1;
   if st.kept < max_kept then begin
     st.violations <- v :: st.violations;
     st.kept <- st.kept + 1
   end;
-  !on_violation v
+  d.callback v
 
 (* --- hw-facing hooks ------------------------------------------------- *)
 
 let phys_event ~mem_uid region owner =
-  match !state with
+  match (dls ()).st with
   | Some st when st.mem_uid = mem_uid ->
       let cleared = shadow_clear st.shadow region in
       st.shadow <-
@@ -220,7 +241,7 @@ let classify st ~id ~allowed ~base ~len ~mk =
     offending
 
 let access ~mem_uid ~cpu ~owner ~base ~len ~access:(_ : access) =
-  match !state with
+  match (dls ()).st with
   | Some st when st.mem_uid = mem_uid -> (
       match owner with
       | Owner.Enclave id -> (
@@ -278,12 +299,12 @@ let tlb_install (_ : Addr.t) ~page_size:(_ : int) =
 (* --- introspection --------------------------------------------------- *)
 
 let violations () =
-  match !state with Some st -> List.rev st.violations | None -> []
+  match (dls ()).st with Some st -> List.rev st.violations | None -> []
 
-let violation_count () = !total_violations
+let violation_count () = (dls ()).total
 
 let stats () =
-  match !state with
+  match (dls ()).st with
   | Some st ->
       {
         accesses = st.accesses;

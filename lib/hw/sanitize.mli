@@ -16,7 +16,14 @@
     {!Owner}, so every other hw module may feed it.  Policy — which
     enclave may touch what — flows {e down} from the controller via
     {!note_enclave} / {!allow} / {!disallow}, exactly as upward-visible
-    data flows into [lib/obs]. *)
+    data flows into [lib/obs].
+
+    Domains: the [on] / {!request} switches are shared (write them
+    only before spawning a fleet or after joining it), but the armed
+    shadow state, the cumulative {!violation_count} and the
+    {!set_on_violation} callback are per-domain — each fleet shard's
+    controller arms the sanitizer for its own machine without touching
+    the shards running beside it. *)
 
 type access = [ `Read | `Write | `Exec ]
 
@@ -58,7 +65,7 @@ val requested : unit -> bool
 (** Whether {!request} is pending ([Config.sanitize] also sets it). *)
 
 val release : unit -> unit
-(** Clear the request and tear down any active shadow state. *)
+(** Clear the request and tear down this domain's shadow state. *)
 
 val enable : mem_uid:int -> assignments:(Region.t * Owner.t) list -> unit
 (** Arm the shadow map for the machine whose [Phys_mem] has [mem_uid],
@@ -66,14 +73,17 @@ val enable : mem_uid:int -> assignments:(Region.t * Owner.t) list -> unit
     only events for that machine are mirrored afterwards. *)
 
 val disable : unit -> unit
-(** Drop the shadow state and stop checking. *)
+(** Drop this domain's shadow state and callback.  [on] only falls
+    back to [false] when no sticky {!request} is pending — another
+    domain's shard may still be armed under it. *)
 
 val active : unit -> bool
 (** [!on], as a function. *)
 
-val on_violation : (violation -> unit) ref
-(** Called synchronously for every violation (the controller turns
-    these into non-fatal [Fault_report]s).  Reset by {!disable}. *)
+val set_on_violation : (violation -> unit) -> unit
+(** Install this domain's violation callback, invoked synchronously
+    for every violation (the controller turns these into non-fatal
+    [Fault_report]s).  Reset by {!disable}. *)
 
 (** {1 Controller-facing feeds} *)
 
@@ -124,8 +134,9 @@ val violations : unit -> violation list
     the count keeps incrementing past the cap). *)
 
 val violation_count : unit -> int
-(** Cumulative violations across enables — campaigns diff this per
-    trial. *)
+(** Cumulative violations across enables in this domain — campaigns
+    diff this per trial (each trial runs wholly inside one shard, so
+    the delta is well-defined). *)
 
 type stats = {
   accesses : int;  (** translated accesses checked *)

@@ -18,18 +18,30 @@ type event = {
   args : (string * string) list;
 }
 
+(* [capacity] and the cycle/us scale are configuration — shared, set
+   before a run; the buffer itself is per-domain (Domain-local
+   storage) so fleet shards trace into their own rings. *)
 let capacity = ref 65536
-let buf : event array ref = ref [||]
-let len = ref 0
-let dropped_count = ref 0
 let cycles_per_us = ref 1700.
 
 let set_cycles_per_us c = cycles_per_us := c
 
+type ring = {
+  mutable buf : event array;
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let ring_key =
+  Domain.DLS.new_key (fun () -> { buf = [||]; len = 0; dropped = 0 })
+
+let ring () = Domain.DLS.get ring_key
+
 let clear () =
-  buf := [||];
-  len := 0;
-  dropped_count := 0
+  let r = ring () in
+  r.buf <- [||];
+  r.len <- 0;
+  r.dropped <- 0
 
 let set_capacity c =
   capacity := max 1 c;
@@ -39,16 +51,20 @@ let dummy =
   { name = ""; cat = ""; ph = ""; ts = 0; dur = 0; pid = 0; tid = 0; args = [] }
 
 let emit e =
-  if Array.length !buf = 0 then buf := Array.make !capacity dummy;
-  if !len >= Array.length !buf then incr dropped_count
+  let r = ring () in
+  if Array.length r.buf = 0 then r.buf <- Array.make !capacity dummy;
+  if r.len >= Array.length r.buf then r.dropped <- r.dropped + 1
   else begin
-    !buf.(!len) <- e;
-    incr len
+    r.buf.(r.len) <- e;
+    r.len <- r.len + 1
   end
 
-let events () = Array.to_list (Array.sub !buf 0 !len)
-let length () = !len
-let dropped () = !dropped_count
+let events () =
+  let r = ring () in
+  Array.to_list (Array.sub r.buf 0 r.len)
+
+let length () = (ring ()).len
+let dropped () = (ring ()).dropped
 
 (* ------------------------------------------------------------------ *)
 (* Serialisation.                                                      *)
@@ -92,17 +108,18 @@ let event_json b e =
   Buffer.add_string b "}}"
 
 let to_chrome_json () =
-  let b = Buffer.create (256 * !len + 128) in
+  let r = ring () in
+  let b = Buffer.create ((256 * r.len) + 128) in
   Buffer.add_string b "{\"traceEvents\":[";
-  for i = 0 to !len - 1 do
+  for i = 0 to r.len - 1 do
     if i > 0 then Buffer.add_char b ',';
     Buffer.add_char b '\n';
-    event_json b !buf.(i)
+    event_json b r.buf.(i)
   done;
   Buffer.add_string b "\n],\"displayTimeUnit\":\"ns\"";
-  if !dropped_count > 0 then
+  if r.dropped > 0 then
     Buffer.add_string b
-      (Printf.sprintf ",\"otherData\":{\"dropped\":\"%d\"}" !dropped_count);
+      (Printf.sprintf ",\"otherData\":{\"dropped\":\"%d\"}" r.dropped);
   Buffer.add_string b "}\n";
   Buffer.contents b
 
@@ -115,9 +132,10 @@ let write_file ~path contents =
 let write_chrome_json ~path = write_file ~path (to_chrome_json ())
 
 let write_jsonl ~path =
-  let b = Buffer.create (256 * !len) in
-  for i = 0 to !len - 1 do
-    event_json b !buf.(i);
+  let r = ring () in
+  let b = Buffer.create (256 * r.len) in
+  for i = 0 to r.len - 1 do
+    event_json b r.buf.(i);
     Buffer.add_char b '\n'
   done;
   write_file ~path (Buffer.contents b)

@@ -15,7 +15,11 @@
 
     Like {!Metrics}, recording is gated by a single [!on] branch at each
     emission site, and a full buffer drops new events (counting them in
-    {!dropped}) rather than growing without bound. *)
+    {!dropped}) rather than growing without bound.  The buffer is
+    per-domain (Domain-local storage): a fleet shard traces into its
+    own ring, and {!events}/{!to_chrome_json} read the calling domain's
+    ring only.  The [on]/{!set_capacity}/{!set_cycles_per_us}
+    configuration is shared — set it before spawning a fleet. *)
 
 val on : bool ref
 (** Master switch for span emission; {!Span} checks it so instrumented

@@ -1,8 +1,16 @@
-(* Process-global metrics registry.  See metrics.mli for the contract.
+(* Metrics registry.  See metrics.mli for the contract.
 
-   Everything here is deliberately allocation-light on the record path:
-   a cell update is a field mutation (plus one array store for
-   histograms), and the disabled path is the caller's single [!on]
+   Since the fleet runner (lib/fleet) runs harness shards on OCaml 5
+   domains, the registry is per-domain: families and cells are pure
+   descriptors, and every record resolves its mutable state through
+   Domain-local storage, so no instrumentation site ever mutates
+   another domain's tables.  The only cross-domain state is the [on]
+   switch (written before a fleet spawns, read-only inside shards) and
+   the descriptor table that enforces kind consistency (mutex-guarded;
+   touched only at family-intern time, never on the record path).
+
+   The record path is a DLS read plus two small hashtable lookups and a
+   field mutation; the disabled path is still the caller's single [!on]
    branch.  Nothing charges simulated cycles. *)
 
 let on = ref false
@@ -90,9 +98,21 @@ module Hist = struct
 end
 
 (* ------------------------------------------------------------------ *)
-(* Cells and families.                                                 *)
+(* Families and cells: pure descriptors.                               *)
 
-type cell =
+type kind = Kcounter | Kgauge | Khist
+
+let kind_name = function
+  | Kcounter -> "counter"
+  | Kgauge -> "gauge"
+  | Khist -> "histogram"
+
+type family = { name : string; kind : kind; max_series : int }
+type cell = { fam : family; label : label }
+
+(* Per-domain mutable state. *)
+
+type cellstate =
   | C of { mutable c : int }
   | G of { mutable g : float }
   | H of {
@@ -102,88 +122,118 @@ type cell =
       mutable max_v : float;
     }
 
-type kind = Kcounter | Kgauge | Khist
-
-let kind_name = function
-  | Kcounter -> "counter"
-  | Kgauge -> "gauge"
-  | Khist -> "histogram"
-
-type family = {
-  name : string;
-  kind : kind;
-  max_series : int;
-  series : (label, cell) Hashtbl.t;
+type fstate = {
+  fam : family;
+  series : (label, cellstate) Hashtbl.t;
   mutable order : label list;  (* newest first *)
   mutable dropped : int;
-  mutable overflow : cell option;
+  mutable overflow : cellstate option;
 }
 
-let registry : (string, family) Hashtbl.t = Hashtbl.create 32
-let reg_order : string list ref = ref []  (* newest first *)
+type registry = {
+  families : (string, fstate) Hashtbl.t;
+  mutable forder : string list;  (* newest first *)
+}
 
-let new_cell = function
-  | Kcounter -> C { c = 0 }
-  | Kgauge -> G { g = 0. }
-  | Khist -> H { counts = Array.make hist_buckets 0; n = 0; sum = 0.; max_v = 0. }
+let registry_key =
+  Domain.DLS.new_key (fun () -> { families = Hashtbl.create 32; forder = [] })
 
-let intern ~kind ~max_series name =
-  match Hashtbl.find_opt registry name with
-  | Some f ->
-      if f.kind <> kind then
-        invalid_arg
-          (Printf.sprintf "Metrics: %S already registered as a %s" name
-             (kind_name f.kind));
-      f
+let registry () = Domain.DLS.get registry_key
+
+let fstate fam =
+  let r = registry () in
+  match Hashtbl.find_opt r.families fam.name with
+  | Some fs -> fs
   | None ->
-      let f =
+      let fs =
         {
-          name;
-          kind;
-          max_series;
+          fam;
           series = Hashtbl.create 8;
           order = [];
           dropped = 0;
           overflow = None;
         }
       in
-      Hashtbl.replace registry name f;
-      reg_order := name :: !reg_order;
-      f
+      Hashtbl.replace r.families fam.name fs;
+      r.forder <- fam.name :: r.forder;
+      fs
+
+(* Kind consistency is a process-wide property: interning "x" as a
+   counter on one domain and as a gauge on another must fail just like
+   it would on one.  The first intern also pins max_series. *)
+let descriptors : (string, kind * int) Hashtbl.t = Hashtbl.create 32
+let descriptors_mu = Mutex.create ()
+
+let intern ~kind ~max_series name =
+  let fam =
+    Mutex.protect descriptors_mu (fun () ->
+        match Hashtbl.find_opt descriptors name with
+        | Some (k, ms) ->
+            if k <> kind then
+              invalid_arg
+                (Printf.sprintf "Metrics: %S already registered as a %s" name
+                   (kind_name k));
+            { name; kind; max_series = ms }
+        | None ->
+            Hashtbl.replace descriptors name (kind, max_series);
+            { name; kind; max_series })
+  in
+  (* Materialise in this domain so empty families still snapshot. *)
+  ignore (fstate fam : fstate);
+  fam
 
 let counter ?(max_series = 512) name = intern ~kind:Kcounter ~max_series name
 let gauge ?(max_series = 512) name = intern ~kind:Kgauge ~max_series name
 let histogram ?(max_series = 512) name = intern ~kind:Khist ~max_series name
 
-let cell f label =
-  match Hashtbl.find_opt f.series label with
-  | Some c -> c
+let new_cellstate = function
+  | Kcounter -> C { c = 0 }
+  | Kgauge -> G { g = 0. }
+  | Khist ->
+      H { counts = Array.make hist_buckets 0; n = 0; sum = 0.; max_v = 0. }
+
+(* [count_drop] distinguishes the explicit [cell] call (which accounts
+   every routed-to-overflow call, as the cardinality contract
+   specifies) from the record path's resolution (which must not
+   double-count a label [cell] just accounted). *)
+let intern_series ~count_drop fs label =
+  match Hashtbl.find_opt fs.series label with
+  | Some cs -> cs
   | None ->
-      if Hashtbl.length f.series >= f.max_series then begin
-        f.dropped <- f.dropped + 1;
-        match f.overflow with
-        | Some c -> c
+      if Hashtbl.length fs.series >= fs.fam.max_series then begin
+        if count_drop then fs.dropped <- fs.dropped + 1;
+        match fs.overflow with
+        | Some cs -> cs
         | None ->
-            let c = new_cell f.kind in
-            f.overflow <- Some c;
-            c
+            let cs = new_cellstate fs.fam.kind in
+            fs.overflow <- Some cs;
+            cs
       end
       else begin
-        let c = new_cell f.kind in
-        Hashtbl.replace f.series label c;
-        f.order <- label :: f.order;
-        c
+        let cs = new_cellstate fs.fam.kind in
+        Hashtbl.replace fs.series label cs;
+        fs.order <- label :: fs.order;
+        cs
       end
 
-let unlabeled f = cell f no_label
-let dropped_series f = f.dropped
-let series_count f = Hashtbl.length f.series
+let cell f label =
+  ignore (intern_series ~count_drop:true (fstate f) label : cellstate);
+  { fam = f; label }
 
-let add c n = match c with C r -> r.c <- r.c + n | _ -> ()
-let set c v = match c with G r -> r.g <- v | _ -> ()
+let unlabeled f = cell f no_label
+let dropped_series f = (fstate f).dropped
+let series_count f = Hashtbl.length (fstate f).series
+
+(* Resolve a cell in the *current* domain: a statically-interned cell
+   handle recorded into from a fleet shard lands in that domain's
+   registry, not the interning domain's. *)
+let resolve (c : cell) = intern_series ~count_drop:false (fstate c.fam) c.label
+
+let add c n = match resolve c with C r -> r.c <- r.c + n | _ -> ()
+let set c v = match resolve c with G r -> r.g <- v | _ -> ()
 
 let observe c v =
-  match c with
+  match resolve c with
   | H r ->
       let b = bucket_of v in
       r.counts.(b) <- r.counts.(b) + 1;
@@ -199,6 +249,8 @@ type value = Counter of int | Gauge of float | Histogram of Hist.t
 
 type snapshot = (string * (label * value) list) list
 
+let empty : snapshot = []
+
 let value_of = function
   | C r -> Counter r.c
   | G r -> Gauge r.g
@@ -213,21 +265,22 @@ let value_of = function
         }
 
 let snapshot () =
+  let r = registry () in
   List.rev_map
     (fun name ->
-      let f = Hashtbl.find registry name in
+      let fs = Hashtbl.find r.families name in
       let series =
         List.rev_map
-          (fun l -> (l, value_of (Hashtbl.find f.series l)))
-          f.order
+          (fun l -> (l, value_of (Hashtbl.find fs.series l)))
+          fs.order
       in
       let series =
-        match f.overflow with
+        match fs.overflow with
         | Some c -> series @ [ (overflow_label, value_of c) ]
         | None -> series
       in
       (name, series))
-    !reg_order
+    r.forder
 
 let sub_value ~before ~after =
   match (before, after) with
@@ -271,6 +324,76 @@ let is_zero snap =
   List.for_all
     (fun (_, series) -> List.for_all (fun (_, v) -> value_is_zero v) series)
     snap
+
+(* ------------------------------------------------------------------ *)
+(* Merge: join per-shard deltas into one placement-independent
+   snapshot.  Two canonicalisations make the result a pure function of
+   the shard values, independent of which domain ran which shard:
+   series that recorded nothing are dropped (a shard's diff mentions
+   every family its domain ever interned — an accident of placement),
+   and the survivors are sorted by (family, label) rather than kept in
+   interning order (also an accident of placement). *)
+
+let compare_label a b =
+  match compare a.enclave b.enclave with
+  | 0 -> ( match compare a.cpu b.cpu with 0 -> compare a.dim b.dim | c -> c)
+  | c -> c
+
+let canonical snap =
+  List.sort
+    (fun (a, _) (b, _) -> compare a b)
+    (List.filter_map
+       (fun (name, series) ->
+         match
+           List.sort
+             (fun (a, _) (b, _) -> compare_label a b)
+             (List.filter (fun (_, v) -> not (value_is_zero v)) series)
+         with
+         | [] -> None
+         | series -> Some (name, series))
+       snap)
+
+let merge_value a b =
+  match (a, b) with
+  | Counter x, Counter y -> Counter (x + y)
+  | Histogram x, Histogram y -> Histogram (Hist.merge x y)
+  (* Gauges are last-value-wins; in a left fold over shard order the
+     right operand is the later shard. *)
+  | Gauge _, Gauge y -> Gauge y
+  | _, b -> b
+
+let merge a b =
+  let a = canonical a and b = canonical b in
+  let joined =
+    List.map
+      (fun (name, aseries) ->
+        match List.assoc_opt name b with
+        | None -> (name, aseries)
+        | Some bseries ->
+            let shared =
+              List.map
+                (fun (l, av) ->
+                  match List.assoc_opt l bseries with
+                  | Some bv -> (l, merge_value av bv)
+                  | None -> (l, av))
+                aseries
+            in
+            let extra =
+              List.filter
+                (fun (l, _) -> not (List.mem_assoc l aseries))
+                bseries
+            in
+            ( name,
+              List.sort
+                (fun (x, _) (y, _) -> compare_label x y)
+                (shared @ extra) ))
+      a
+  in
+  canonical
+    (joined @ List.filter (fun (name, _) -> not (List.mem_assoc name a)) b)
+
+(* ------------------------------------------------------------------ *)
+(* Queries.                                                            *)
 
 let find snap name =
   match List.assoc_opt name snap with Some s -> s | None -> []
@@ -325,8 +448,8 @@ let reset_cell = function
 
 let reset () =
   Hashtbl.iter
-    (fun _ f ->
-      Hashtbl.iter (fun _ c -> reset_cell c) f.series;
-      Option.iter reset_cell f.overflow;
-      f.dropped <- 0)
-    registry
+    (fun _ fs ->
+      Hashtbl.iter (fun _ c -> reset_cell c) fs.series;
+      Option.iter reset_cell fs.overflow;
+      fs.dropped <- 0)
+    (registry ()).families

@@ -1,11 +1,15 @@
 (** Typed metrics registry: counters, gauges, and log-scale latency
     histograms, labeled per enclave × CPU × dimension.
 
-    The registry is a process-global singleton so instrumentation sites
-    anywhere in the stack can reach it without threading a handle.  Every
-    hot-path site guards on {!on} — a single [bool ref] read and branch —
-    so a disabled registry costs one predictable branch per site and
-    records nothing.
+    The registry is ambient — instrumentation sites anywhere in the
+    stack reach it without threading a handle — but {e per-domain}:
+    families and cells are pure descriptors, and each record resolves
+    the mutable state through Domain-local storage.  A fleet shard
+    (see [Covirt_fleet]) therefore only ever mutates its own domain's
+    tables; per-shard deltas are joined afterwards with {!merge}.
+    Every hot-path site guards on {!on} — a single [bool ref] read and
+    branch — so a disabled registry costs one predictable branch per
+    site and records nothing.
 
     Recording never charges simulated cycles: metrics are measurement
     apparatus, not part of the machine model, so enabling them leaves
@@ -30,7 +34,9 @@
 val on : bool ref
 (** Master switch.  Instrumentation sites must check [!on] before touching
     any cell; {!add}/{!observe}/{!set} themselves do not re-check it.
-    Prefer {!enable}/{!disable} over writing the ref directly. *)
+    Prefer {!enable}/{!disable} over writing the ref directly.  The
+    switch is shared across domains: flip it only before spawning a
+    fleet or after joining it. *)
 
 val enable : unit -> unit
 (** Turn recording on. *)
@@ -64,8 +70,11 @@ type family
 (** A named metric with a fixed kind and a set of labeled series. *)
 
 type cell
-(** One series of a family: the mutable value instrumentation sites
-    update.  Cells are cheap to hold and survive {!reset}. *)
+(** One series of a family: the handle instrumentation sites record
+    through.  A cell is a pure (family, label) descriptor — recording
+    resolves it in the {e current} domain's registry — so cells are
+    cheap to hold, safe to share across domains, and survive
+    {!reset}. *)
 
 val counter : ?max_series:int -> string -> family
 (** [counter name] interns a monotonically increasing integer family.
@@ -73,7 +82,8 @@ val counter : ?max_series:int -> string -> family
     is reached, {!cell} routes further labels to a shared overflow series
     and bumps {!dropped_series}, so a label-cardinality bug cannot grow
     memory without bound.  Raises [Invalid_argument] if [name] is already
-    interned with a different kind. *)
+    interned with a different kind — kind consistency is checked
+    process-wide, not per-domain. *)
 
 val gauge : ?max_series:int -> string -> family
 (** [gauge name] interns a last-value-wins float family.  See {!counter}
@@ -96,10 +106,12 @@ val unlabeled : family -> cell
 
 val dropped_series : family -> int
 (** Number of distinct labels that were routed to the overflow series
-    because the family hit its cardinality bound. *)
+    because the family hit its cardinality bound, in the current
+    domain. *)
 
 val series_count : family -> int
-(** Number of live (interned) series, excluding the overflow series. *)
+(** Number of live (interned) series in the current domain, excluding
+    the overflow series. *)
 
 (** {1 Recording}
 
@@ -155,9 +167,14 @@ type value =
 type snapshot = (string * (label * value) list) list
 (** Family name to labeled series, both in first-interned order. *)
 
+val empty : snapshot
+(** The snapshot of a registry that recorded nothing: [[]].  The unit
+    of {!merge}. *)
+
 val snapshot : unit -> snapshot
-(** Deep copy of every live series (including overflow series, under a
-    reserved label with [dim = "(overflow)"]). *)
+(** Deep copy of every live series in the {e current} domain's registry
+    (including overflow series, under a reserved label with
+    [dim = "(overflow)"]). *)
 
 val diff : before:snapshot -> after:snapshot -> snapshot
 (** Series-wise difference ([after] - [before]) for counters, gauges
@@ -170,6 +187,16 @@ val diff : before:snapshot -> after:snapshot -> snapshot
 val is_zero : snapshot -> bool
 (** True when every counter is [0], every histogram empty, and every
     gauge [0.] — e.g. [is_zero (diff ~before:s ~after:s)]. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Join two snapshots (typically per-shard {!diff} deltas from a
+    fleet run): counters sum, histograms merge bucket-wise, gauges are
+    last-value-wins (the right operand, i.e. the later shard in a left
+    fold).  The result is canonical — all-zero series and empty
+    families are pruned, families sorted by name and series by label —
+    so a left fold over shard order is a pure function of the shard
+    values, independent of how shards were placed on domains.
+    [merge empty s] and [merge s empty] both canonicalise [s]. *)
 
 val find : snapshot -> string -> (label * value) list
 (** Series of one family, [[]] if the family is absent. *)
@@ -190,5 +217,6 @@ val pp : Format.formatter -> snapshot -> unit
 (** {1 Lifecycle} *)
 
 val reset : unit -> unit
-(** Zero every cell in place and clear per-family drop counts.  Handles
-    (families and cells) held by instrumentation sites stay valid. *)
+(** Zero every cell of the current domain's registry in place and clear
+    its per-family drop counts.  Handles (families and cells) held by
+    instrumentation sites stay valid. *)

@@ -1,34 +1,50 @@
-(* Cycle attribution per exit reason and per guest phase.  Process
-   global; the record path is two hashtable upserts on pre-allocated
-   mutable rows. *)
+(* Cycle attribution per exit reason and per guest phase.  Ambient but
+   per-domain (Domain-local storage) so fleet shards attribute into
+   their own tables; the record path is one DLS read plus two
+   hashtable upserts on pre-allocated mutable rows. *)
 
 type acc = { mutable a_exits : int; mutable a_cycles : int }
 
-let reasons : (string, acc) Hashtbl.t = Hashtbl.create 16
-let reason_order : string list ref = ref []  (* newest first *)
-let phases : (string, acc) Hashtbl.t = Hashtbl.create 16
-let phase_order : string list ref = ref []  (* newest first *)
-let phase = ref ""
+type state = {
+  reasons : (string, acc) Hashtbl.t;
+  mutable reason_order : string list; (* newest first *)
+  phases : (string, acc) Hashtbl.t;
+  mutable phase_order : string list; (* newest first *)
+  mutable phase : string;
+}
 
-let set_phase name = phase := name
-let current_phase () = !phase
+let key =
+  Domain.DLS.new_key (fun () ->
+      {
+        reasons = Hashtbl.create 16;
+        reason_order = [];
+        phases = Hashtbl.create 16;
+        phase_order = [];
+        phase = "";
+      })
 
-let bump table order key ~cycles =
+let state () = Domain.DLS.get key
+
+let set_phase name = (state ()).phase <- name
+let current_phase () = (state ()).phase
+
+let bump table set_order order key ~cycles =
   let a =
     match Hashtbl.find_opt table key with
     | Some a -> a
     | None ->
         let a = { a_exits = 0; a_cycles = 0 } in
         Hashtbl.replace table key a;
-        order := key :: !order;
+        set_order (key :: order);
         a
   in
   a.a_exits <- a.a_exits + 1;
   a.a_cycles <- a.a_cycles + cycles
 
 let record ~reason ~cycles =
-  bump reasons reason_order reason ~cycles;
-  bump phases phase_order !phase ~cycles
+  let s = state () in
+  bump s.reasons (fun o -> s.reason_order <- o) s.reason_order reason ~cycles;
+  bump s.phases (fun o -> s.phase_order <- o) s.phase_order s.phase ~cycles
 
 type row = { key : string; exits : int; cycles : int }
 
@@ -37,12 +53,15 @@ let rows table order =
     (fun key ->
       let a = Hashtbl.find table key in
       { key; exits = a.a_exits; cycles = a.a_cycles })
-    !order
+    order
 
 let by_reason () =
-  List.sort (fun a b -> compare b.cycles a.cycles) (rows reasons reason_order)
+  let s = state () in
+  List.sort (fun a b -> compare b.cycles a.cycles) (rows s.reasons s.reason_order)
 
-let by_phase () = rows phases phase_order
+let by_phase () =
+  let s = state () in
+  rows s.phases s.phase_order
 
 let render ~title ~key_col rws =
   let total = List.fold_left (fun acc r -> acc + r.cycles) 0 rws in
@@ -77,7 +96,8 @@ let phase_table () =
   render ~title:"cycle attribution by phase" ~key_col:"phase" (by_phase ())
 
 let reset () =
-  Hashtbl.reset reasons;
-  reason_order := [];
-  Hashtbl.reset phases;
-  phase_order := []
+  let s = state () in
+  Hashtbl.reset s.reasons;
+  s.reason_order <- [];
+  Hashtbl.reset s.phases;
+  s.phase_order <- []

@@ -11,7 +11,8 @@
     - per phase: exits and cycles attributed to the current {!set_phase}
       label at the time each exit retired.
 
-    Like {!Metrics}, the profiler is process-global, gated by the same
+    Like {!Metrics}, the profiler is ambient but per-domain (each fleet
+    shard attributes into its own domain's tables), gated by the same
     single-branch discipline, and never charges simulated cycles. *)
 
 val set_phase : string -> unit

@@ -88,24 +88,28 @@ let reference_residual ~seed =
   | Ok (enclave, kitten) ->
       hpcg_residual [ Kitten.context kitten ~core:(Enclave.bsp enclave) ]
 
-let run ?(trials = 200) ?(seed = 2026) ?(sanitize = false) () =
-  (* Snapshot-diff around the whole campaign: when observability is on,
-     the delta isolates this run's counters from whatever else the
-     process recorded.  With it off the delta is all-zero. *)
+(* One shard of the soak: a complete machine stack (machine, hobbes,
+   supervisor, watchdog, injector) owning the {e global} trial numbers
+   [lo+1 .. hi] — preserving the wedge schedule and target alternation
+   whatever the shard count — seeded entirely from [shard_seed]. *)
+let run_shard ~shard_seed ~lo ~hi ~sanitize =
   let obs_before = Covirt_obs.Metrics.snapshot () in
-  let had_request = Covirt_hw.Sanitize.requested () in
-  if sanitize then Covirt_hw.Sanitize.request ();
   let sanitize_before = Covirt_hw.Sanitize.violation_count () in
   let machine =
-    Machine.create ~seed ~zones:2 ~cores_per_zone:3 ~mem_per_zone:(4 * gib) ()
+    Machine.create ~seed:shard_seed ~zones:2 ~cores_per_zone:3
+      ~mem_per_zone:(4 * gib) ()
   in
   let machine_mem = 8 * gib in
   let hobbes = Covirt_hobbes.Hobbes.create machine ~host_core:0 in
   let pisces = Covirt_hobbes.Hobbes.pisces hobbes in
   let ctrl = Covirt.enable pisces ~config:Covirt.Config.full in
-  let sup = Supervisor.create ~policy:soak_policy ~seed ctrl in
+  let sup = Supervisor.create ~policy:soak_policy ~seed:shard_seed ctrl in
   let dog = Watchdog.create sup in
-  let injector = Fault_injector.create ~seed:(seed + 1) ~rules:wedge_rules () in
+  let injector =
+    Fault_injector.create
+      ~seed:(Covirt_sim.Rng.split_seed ~seed:shard_seed ~index:1)
+      ~rules:wedge_rules ()
+  in
   let launch name core zone =
     match Supervisor.manage sup ~name ~launch:(launcher hobbes ~name ~core ~zone)
     with
@@ -120,7 +124,9 @@ let run ?(trials = 200) ?(seed = 2026) ?(sanitize = false) () =
   let wedges_injected = ref 0 in
   let wedges_detected = ref 0 in
   let host = Pisces.host_cpu pisces in
-  for trial = 1 to trials do
+  (* [inject = false] runs a quiet epoch: heartbeats and soak time
+     only, no fault opportunity.  Used by the post-loop drain. *)
+  let epoch_step ~inject trial =
     (* Soak time passes on the host between fault opportunities. *)
     Cpu.charge host epoch;
     let target = if trial mod 2 = 0 then worker_a else worker_b in
@@ -131,7 +137,7 @@ let run ?(trials = 200) ?(seed = 2026) ?(sanitize = false) () =
              work — only the watchdog below can get it back. *)
           ()
         else
-          let is_target = name = target in
+          let is_target = inject && name = target in
           let outcome =
             Supervisor.run_protected sup ~name (fun ctx ->
                 Kitten.heartbeat ctx;
@@ -172,6 +178,19 @@ let run ?(trials = 200) ?(seed = 2026) ?(sanitize = false) () =
         incr wedges_detected;
         Hashtbl.remove wedged name)
       (Watchdog.poll dog)
+  in
+  for trial = lo + 1 to hi do
+    epoch_step ~inject:true trial
+  done;
+  (* Drain: a wedge injected near the shard's last trial has had no
+     epochs for the watchdog deadline to expire.  Run quiet epochs —
+     heartbeats keep healthy enclaves off the watchdog's list — until
+     every wedge is caught (bounded by the deadline plus slack). *)
+  let drain_limit = (soak_policy.Supervisor.watchdog_deadline / epoch) + 2 in
+  let drained = ref 0 in
+  while Hashtbl.length wedged > 0 && !drained < drain_limit do
+    incr drained;
+    epoch_step ~inject:false (hi + !drained)
   done;
   (* The never-faulted sibling must now produce the exact result a
      clean machine produces. *)
@@ -191,8 +210,7 @@ let run ?(trials = 200) ?(seed = 2026) ?(sanitize = false) () =
       Some (Covirt_hw.Sanitize.violation_count () - sanitize_before)
     else None
   in
-  let reference = reference_residual ~seed in
-  if sanitize && not had_request then Covirt_hw.Sanitize.release ();
+  let reference = reference_residual ~seed:shard_seed in
   let timeline = Supervisor.timeline sup in
   let budget_respected =
     List.for_all
@@ -216,8 +234,8 @@ let run ?(trials = 200) ?(seed = 2026) ?(sanitize = false) () =
     | None -> false
   in
   {
-    seed;
-    trials;
+    seed = shard_seed;
+    trials = hi - lo;
     faults_injected = Fault_injector.injected injector;
     fatal_recoveries = !fatal_recoveries;
     wedges_injected = !wedges_injected;
@@ -241,6 +259,68 @@ let run ?(trials = 200) ?(seed = 2026) ?(sanitize = false) () =
         ~after:(Covirt_obs.Metrics.snapshot ());
     sanitizer_flags;
   }
+
+(* Merge shard results left-to-right in shard order: counters sum,
+   ledgers and timelines concatenate, invariants conjoin, and the
+   metrics deltas join through [Metrics.merge] — all pure functions of
+   the shard values, so the merged result is placement-independent. *)
+let merge_results ~seed ~trials = function
+  | [] -> invalid_arg "Soak.run: no shards"
+  | first :: rest ->
+      let merged =
+        List.fold_left
+          (fun acc r ->
+            {
+              seed;
+              trials;
+              faults_injected = acc.faults_injected + r.faults_injected;
+              fatal_recoveries = acc.fatal_recoveries + r.fatal_recoveries;
+              wedges_injected = acc.wedges_injected + r.wedges_injected;
+              wedges_detected = acc.wedges_detected + r.wedges_detected;
+              quarantined = acc.quarantined @ r.quarantined;
+              budget_respected = acc.budget_respected && r.budget_respected;
+              (* The residual pair reported is the first shard's; every
+                 shard checks its own against its own reference. *)
+              sibling_residual = acc.sibling_residual;
+              reference_residual = acc.reference_residual;
+              sibling_unperturbed =
+                acc.sibling_unperturbed && r.sibling_unperturbed;
+              timeline = acc.timeline @ r.timeline;
+              incarnations =
+                List.map
+                  (fun (name, inc) ->
+                    ( name,
+                      inc
+                      + Option.value ~default:0
+                          (List.assoc_opt name r.incarnations) ))
+                  acc.incarnations;
+              metrics_delta =
+                Covirt_obs.Metrics.merge acc.metrics_delta r.metrics_delta;
+              sanitizer_flags =
+                (match (acc.sanitizer_flags, r.sanitizer_flags) with
+                | Some a, Some b -> Some (a + b)
+                | _ -> None);
+            })
+          { first with seed; trials;
+            metrics_delta =
+              Covirt_obs.Metrics.merge Covirt_obs.Metrics.empty
+                first.metrics_delta }
+          rest
+      in
+      merged
+
+let run ?(trials = 200) ?(seed = 2026) ?(sanitize = false) ?(shards = 1)
+    ?domains () =
+  let had_request = Covirt_hw.Sanitize.requested () in
+  if sanitize then Covirt_hw.Sanitize.request ();
+  let shard_results =
+    Covirt_fleet.Fleet.map ?domains ~seed ~shards
+      (fun ~shard_seed ~index ->
+        let lo, hi = Covirt_fleet.Fleet.slice ~n:trials ~shards index in
+        run_shard ~shard_seed ~lo ~hi ~sanitize)
+  in
+  if sanitize && not had_request then Covirt_hw.Sanitize.release ();
+  merge_results ~seed ~trials (Array.to_list shard_results)
 
 let table r =
   let t =

@@ -45,11 +45,31 @@ type result = {
           positive under heavy fault-and-recovery churn. *)
 }
 
-val run : ?trials:int -> ?seed:int -> ?sanitize:bool -> unit -> result
+val run :
+  ?trials:int ->
+  ?seed:int ->
+  ?sanitize:bool ->
+  ?shards:int ->
+  ?domains:int ->
+  unit ->
+  result
 (** Defaults: 200 trials, seed 2026.  [sanitize] (default [false])
     runs the whole soak — injections, recoveries, the final solve —
     under the shadow sanitizer ({!Covirt_hw.Sanitize}); timelines and
-    residuals are unchanged (the sanitizer charges nothing). *)
+    residuals are unchanged (the sanitizer charges nothing).
+
+    [shards] (default [1]) splits the trial range into contiguous
+    blocks, each soaked on its own complete machine stack seeded from
+    [Rng.split_seed ~seed ~index] — the shard count is part of the
+    experiment's identity.  [domains] (default
+    [Covirt_fleet.Fleet.recommended_domains ()]) is placement only:
+    the merged result — counters summed, ledgers and timelines
+    concatenated in shard order, metrics deltas joined with
+    [Metrics.merge] — is byte-identical for any [domains].  Global
+    trial numbers (which schedule wedges and alternate targets) are
+    preserved across shard boundaries, and each shard runs quiet drain
+    epochs at its end so a wedge injected near the boundary is still
+    caught by its own watchdog. *)
 
 val table : result -> Covirt_sim.Table.t
 (** Summary table for the CLI. *)

@@ -17,6 +17,23 @@ let split t =
   let seed = bits64 t in
   { state = mix seed }
 
+let split_seed ~seed ~index =
+  (* Pure in (seed, index): the derivation must not depend on how many
+     shards a run was cut into or which domain computes shard [index],
+     so sequential and fleet-sharded runs share one seeding path.  Mix
+     the parent seed first so nearby parent seeds land far apart, then
+     step the mixed state along the splitmix orbit by (index + 1)
+     gammas and mix twice more — adjacent indexes decorrelate even for
+     tiny seeds. *)
+  let z =
+    Int64.add
+      (mix (Int64.of_int seed))
+      (Int64.mul golden_gamma (Int64.of_int (index + 1)))
+  in
+  (* Drop two high bits, not one: OCaml's native int carries 62 value
+     bits, so a 63-bit logical shift can still wrap negative. *)
+  Int64.to_int (Int64.shift_right_logical (mix (mix z)) 2)
+
 let int t ~bound =
   assert (bound > 0);
   (* Rejection-free modulo is fine here: bound is tiny relative to 2^62

@@ -409,6 +409,18 @@ let test_golden_with_sanitizer () =
           "golden transcript changed under the sanitizer — shadow checking \
            must never charge simulated cycles or alter output")
 
+(* Same gate with the capture's fleet spread over four domains: each
+   shard arms its own domain's shadow state, and none of it may leak
+   into the transcript. *)
+let test_golden_with_sanitizer_under_fleet () =
+  with_shadow (fun () ->
+      let expected = read_file "golden/translation.expected" in
+      let actual = Covirt_harness.Golden.capture ~domains:4 () in
+      if not (String.equal expected actual) then
+        Alcotest.fail
+          "golden transcript changed under sanitizer + 4-domain fleet — \
+           per-domain shadow state must not alter output")
+
 let () =
   Alcotest.run "analysis"
     [
@@ -448,5 +460,7 @@ let () =
         [
           Alcotest.test_case "bit-identical with sanitizer on" `Slow
             test_golden_with_sanitizer;
+          Alcotest.test_case "bit-identical with sanitizer under fleet" `Slow
+            test_golden_with_sanitizer_under_fleet;
         ] );
     ]

@@ -23,22 +23,34 @@ let first_divergence a b =
   in
   go 0 1
 
-let test_bit_identical () =
+let check_capture ~what actual =
   let expected = read_file "golden/translation.expected" in
-  let actual = Covirt_harness.Golden.capture () in
   if String.equal expected actual then ()
   else
     let pos, line = first_divergence expected actual in
     Alcotest.failf
-      "golden output diverged at byte %d (line %d): expected %S..., got %S..."
-      pos line
+      "%s diverged at byte %d (line %d): expected %S..., got %S..." what pos
+      line
       (String.sub expected pos (min 40 (String.length expected - pos)))
       (String.sub actual pos (min 40 (String.length actual - pos)))
+
+let test_bit_identical () =
+  check_capture ~what:"golden output" (Covirt_harness.Golden.capture ())
+
+(* The committed snapshot was captured at whatever domain count the
+   regenerating machine had; a four-domain fleet must reproduce it to
+   the byte, or the runner's placement is leaking into results. *)
+let test_bit_identical_under_fleet () =
+  check_capture ~what:"golden output under a 4-domain fleet"
+    (Covirt_harness.Golden.capture ~domains:4 ())
 
 let () =
   Alcotest.run "golden"
     [
       ( "translation",
-        [ Alcotest.test_case "bit-identical results" `Quick test_bit_identical ]
-      );
+        [
+          Alcotest.test_case "bit-identical results" `Quick test_bit_identical;
+          Alcotest.test_case "bit-identical under fleet (domains:4)" `Slow
+            test_bit_identical_under_fleet;
+        ] );
     ]
