@@ -649,9 +649,71 @@ let stats_cmd =
 
 (* --- supervise --- *)
 
-let run_supervise trials seed timeline sanitize shards domains =
+(* Quarantine archival for --capture-dir: at the instant a shard's
+   circuit breaker trips, drain that shard's recorder ring into a
+   soak-shard trace (the trailing exit window leading up to the
+   failure) with a JSON ledger sidecar.  The hook runs inside the
+   shard's domain; the recorder is armed around each shard body by
+   [shard_wrap]. *)
+let mkdir_p dir =
+  let rec go d =
+    if d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      Sys.mkdir d 0o755
+    end
+  in
+  go dir
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let quarantine_capture ~dir ~sanitize ~shard_seed ~lo ~hi ~name ~why =
+  let open Covirt_replay in
+  let events, dropped = Recorder.capture () in
+  let trace =
+    Trace.make ~dropped
+      ~scenario:(Trace.Soak_shard { seed = shard_seed; lo; hi; sanitize })
+      events
+  in
+  let path =
+    Filename.concat dir (Printf.sprintf "quarantine-%s-%d.trace" name shard_seed)
+  in
+  Trace.to_file trace ~path;
+  let oc = open_out (path ^ ".json") in
+  Printf.fprintf oc
+    "{\"enclave\":\"%s\",\"why\":\"%s\",\"shard_seed\":%d,\"trials\":[%d,%d],\n\
+    \ \"events\":%d,\"dropped\":%d,\"trace\":\"%s\",\"digest\":\"%s\"}\n"
+    (json_escape name) (json_escape why) shard_seed (lo + 1) hi
+    (List.length events) dropped (json_escape path) (Trace.digest trace);
+  close_out oc;
+  Some path
+
+let run_supervise trials seed timeline sanitize shards domains capture_dir =
   let open Covirt_resilience in
-  let r = Soak.run ~trials ~seed ~sanitize ~shards ?domains () in
+  let r =
+    match capture_dir with
+    | None -> Soak.run ~trials ~seed ~sanitize ~shards ?domains ()
+    | Some dir ->
+        mkdir_p dir;
+        let open Covirt_replay in
+        Soak.run ~trials ~seed ~sanitize ~shards ?domains
+          ~shard_wrap:(fun body ->
+            Recorder.arm ();
+            Fun.protect ~finally:(fun () -> Recorder.disarm ()) body)
+          ~on_trial:Recorder.set_slot
+          ~on_quarantine:(quarantine_capture ~dir ~sanitize)
+          ()
+  in
   Covirt_sim.Table.print (Soak.table r);
   if r.Soak.quarantined <> [] then begin
     Format.printf "@.quarantine ledger:@.";
@@ -704,6 +766,17 @@ let supervise_cmd =
     in
     Arg.(value & opt int 8 & info [ "shards" ] ~doc)
   in
+  let capture_dir =
+    let doc =
+      "Archive each quarantine as it happens: the trailing VM-exit window \
+       (a replayable soak-shard trace) plus a JSON ledger sidecar, written \
+       into this directory.  The archive paths appear in the result table."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "capture-dir" ] ~docv:"DIR" ~doc)
+  in
   Cmd.v
     (Cmd.info "supervise"
        ~doc:
@@ -713,7 +786,271 @@ let supervise_cmd =
     Term.(
       ret
         (const run_supervise $ trials $ seed $ timeline $ sanitize $ shards
-       $ domains))
+       $ domains $ capture_dir))
+
+(* --- record / replay / fuzz --- *)
+
+let print_scenario_report (r : Covirt_replay.Scenario.report) =
+  let open Covirt_replay in
+  List.iter
+    (fun (tr : Scenario.trial_result) ->
+      if
+        tr.Scenario.crash <> None
+        || tr.Scenario.planted <> []
+        || tr.Scenario.outcome <> Scenario.Survived
+      then begin
+        Format.printf "  trial %d: %s" tr.Scenario.slot
+          (Scenario.outcome_name tr.Scenario.outcome);
+        (match tr.Scenario.crash with
+        | Some e -> Format.printf " CRASH %s" e
+        | None -> ());
+        if tr.Scenario.planted <> [] then
+          Format.printf " planted [%s] detected [%s]"
+            (String.concat "," (List.map Trace.corruption_name tr.Scenario.planted))
+            (String.concat ","
+               (List.map Trace.corruption_name tr.Scenario.detected));
+        Format.printf "@."
+      end)
+    r.Scenario.results;
+  Format.printf "sanitizer flags: %d, crashes: %d@." r.Scenario.sanitizer_flags
+    (List.length r.Scenario.crashes)
+
+let run_record config seed trials out =
+  let open Covirt_replay in
+  let had_request = Covirt_hw.Sanitize.requested () in
+  let report = Scenario.record ~config ~seed ~trials () in
+  if not had_request then Covirt_hw.Sanitize.release ();
+  Trace.to_file report.Scenario.trace ~path:out;
+  Format.printf "%a@.recorded to %s@." Trace.pp_summary report.Scenario.trace
+    out;
+  print_scenario_report report;
+  `Ok ()
+
+let run_replay path minimize out verify =
+  let open Covirt_replay in
+  match Trace.of_file ~path with
+  | Error why -> `Error (false, Printf.sprintf "%s: %s" path why)
+  | Ok trace -> (
+      Format.printf "%a@." Trace.pp_summary trace;
+      let had_request = Covirt_hw.Sanitize.requested () in
+      let finish v =
+        if not had_request then Covirt_hw.Sanitize.release ();
+        v
+      in
+      if minimize then begin
+        let minimized, stats = Minimizer.minimize trace in
+        let out = match out with Some o -> o | None -> path ^ ".min" in
+        Trace.to_file minimized ~path:out;
+        Format.printf
+          "minimized %d -> %d events, %d -> %d trials in %d probes -> %s@."
+          stats.Minimizer.original_events stats.Minimizer.minimized_events
+          stats.Minimizer.original_trials stats.Minimizer.minimized_trials
+          stats.Minimizer.probes out;
+        finish (`Ok ())
+      end
+      else if verify then begin
+        let v = Replayer.verify trace in
+        print_scenario_report v.Replayer.report;
+        Format.printf "replay fixed point: %b, matches original: %b@."
+          v.Replayer.replay_identical v.Replayer.matches_original;
+        if v.Replayer.replay_identical then finish (`Ok ())
+        else
+          finish
+            (`Error
+              (false, "replay is not a fixed point: determinism bug"))
+      end
+      else begin
+        let report = Replayer.run trace in
+        print_scenario_report report;
+        (match out with
+        | Some o ->
+            Trace.to_file report.Scenario.trace ~path:o;
+            Format.printf "re-captured trace written to %s@." o
+        | None -> ());
+        finish (`Ok ())
+      end)
+
+let run_fuzz trials seed mutations domains seconds corpus known =
+  let open Covirt_replay in
+  (* A known crash is one whose exception signature a checked-in
+     reproducer already replays to — digests won't do, since a
+     minimized trace embeds its scenario seed and the same bug found
+     under a different fuzz seed digests differently. *)
+  let known_signatures =
+    match known with
+    | None -> []
+    | Some dir when Sys.file_exists dir && Sys.is_directory dir ->
+        Array.to_list (Sys.readdir dir)
+        |> List.filter (fun f -> Filename.check_suffix f ".trace")
+        |> List.concat_map (fun f ->
+               match Trace.of_file ~path:(Filename.concat dir f) with
+               | Ok t ->
+                   List.map snd (Replayer.run t).Scenario.crashes
+               | Error _ -> [])
+        |> List.sort_uniq compare
+    | Some _ -> []
+  in
+  let run_batch ~trials ~seed = Fuzzer.run ~trials ~seed ~mutations ?domains () in
+  let results =
+    match seconds with
+    | None -> [ run_batch ~trials ~seed ]
+    | Some budget ->
+        (* Time-boxed mode for CI: fixed-size batches, each internally
+           deterministic (batch seeds derive from the base seed), run
+           until the wall-clock budget is spent. *)
+        let deadline = Unix.gettimeofday () +. float_of_int budget in
+        let batch = max 1 (min trials 24) in
+        let rec go i acc =
+          if Unix.gettimeofday () >= deadline && acc <> [] then List.rev acc
+          else
+            let r =
+              run_batch ~trials:batch
+                ~seed:(Covirt_sim.Rng.split_seed ~seed ~index:i)
+            in
+            if Unix.gettimeofday () >= deadline then List.rev (r :: acc)
+            else go (i + 1) (r :: acc)
+        in
+        go 0 []
+  in
+  List.iter (fun r -> Covirt_sim.Table.print (Fuzzer.table r)) results;
+  let crashes =
+    List.fold_left
+      (fun acc (r : Fuzzer.result) ->
+        List.fold_left
+          (fun acc (f : Fuzzer.finding) ->
+            if List.exists (fun f' -> f'.Fuzzer.digest = f.Fuzzer.digest) acc
+            then acc
+            else acc @ [ f ])
+          acc r.Fuzzer.crashes)
+      [] results
+  in
+  let divergences =
+    List.fold_left (fun a (r : Fuzzer.result) -> a + r.Fuzzer.divergences) 0
+      results
+  in
+  (match corpus with
+  | Some dir ->
+      mkdir_p dir;
+      List.iter
+        (fun (f : Fuzzer.finding) ->
+          let path =
+            Filename.concat dir ("crash-" ^ String.sub f.Fuzzer.digest 0 16
+                                 ^ ".trace")
+          in
+          Trace.to_file f.Fuzzer.trace ~path;
+          Format.printf "corpus: %s (%s)@." path f.Fuzzer.exn)
+        crashes
+  | None -> ());
+  let fresh =
+    List.filter
+      (fun (f : Fuzzer.finding) -> not (List.mem f.Fuzzer.exn known_signatures))
+      crashes
+  in
+  if divergences > 0 then
+    `Error (false, "replay divergence detected: determinism bug")
+  else if fresh <> [] && known <> None then
+    `Error
+      ( false,
+        Printf.sprintf
+          "%d new crash reproducer(s) not in the known set — minimize and \
+           check them in"
+          (List.length fresh) )
+  else `Ok ()
+
+let record_cmd =
+  let config =
+    let doc =
+      "Protection config for the recorded batch (a preset or \"full\")."
+    in
+    Arg.(value & opt string "full" & info [ "config"; "c" ] ~doc)
+  in
+  let seed =
+    let doc = "Batch seed; per-trial seeds split off it." in
+    Arg.(value & opt int 2026 & info [ "seed"; "s" ] ~doc)
+  in
+  let trials =
+    let doc = "Trials (slots) to record." in
+    Arg.(value & opt int 4 & info [ "trials"; "t" ] ~doc)
+  in
+  let out =
+    let doc = "Output trace file." in
+    Arg.(value & opt string "covirt.trace" & info [ "out"; "o" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "Record a fault-injection trial batch into a replayable binary \
+          trace (VM exits, injected faults, seeds and schedule)")
+    Term.(ret (const run_record $ config $ seed $ trials $ out))
+
+let replay_cmd =
+  let trace =
+    let doc = "The trace file to replay." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc)
+  in
+  let minimize =
+    let doc = "Delta-debug the trace to a minimal crashing reproducer." in
+    Arg.(value & flag & info [ "minimize" ] ~doc)
+  in
+  let out =
+    let doc = "Write the re-captured (or minimized) trace here." in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~doc)
+  in
+  let verify =
+    let doc =
+      "Replay twice and require the re-captures to be byte-identical (the \
+       replay fixed point); nonzero exit on divergence."
+    in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute a recorded trace bit-identically, with the crash, \
+          sanitizer and verifier oracles armed")
+    Term.(ret (const run_replay $ trace $ minimize $ out $ verify))
+
+let fuzz_cmd =
+  let trials =
+    let doc = "Fuzz trials; one mutated trace replayed per trial." in
+    Arg.(value & opt int 100 & info [ "trials"; "t" ] ~doc)
+  in
+  let seed =
+    let doc = "Fuzz seed; every mutation derives from it." in
+    Arg.(value & opt int 2026 & info [ "seed"; "s" ] ~doc)
+  in
+  let mutations =
+    let doc = "Maximum mutation operators applied per trace." in
+    Arg.(value & opt int 3 & info [ "mutations" ] ~doc)
+  in
+  let seconds =
+    let doc =
+      "Time-box: run deterministic batches until this many seconds elapse \
+       (the CI fuzz-smoke mode) instead of a single fixed-size run."
+    in
+    Arg.(value & opt (some int) None & info [ "seconds" ] ~doc)
+  in
+  let corpus =
+    let doc = "Write minimized crash reproducers into this directory." in
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR" ~doc)
+  in
+  let known =
+    let doc =
+      "Directory of known (checked-in) reproducers; any crash whose \
+       minimized digest is not in it fails the run."
+    in
+    Arg.(value & opt (some string) None & info [ "known" ] ~docv:"DIR" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Mutate recorded traces (exit dup/reorder/truncation, fault and \
+          register-field mutation, corruption planting) and replay them \
+          under the sanitizer oracles, sharded across domains")
+    Term.(
+      ret
+        (const run_fuzz $ trials $ seed $ mutations $ domains $ seconds
+       $ corpus $ known))
 
 (* --- top level --- *)
 
@@ -725,5 +1062,5 @@ let () =
        (Cmd.group info
           [
             experiment_cmd; demo_cmd; faults_cmd; analyze_cmd; supervise_cmd;
-            stats_cmd;
+            stats_cmd; record_cmd; replay_cmd; fuzz_cmd;
           ]))

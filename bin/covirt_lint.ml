@@ -14,7 +14,10 @@
       in lib/ only under lib/fleet, and lib/fleet never references
       [Covirt_hw] — shards must build hardware state through their
       body closures, so no mutable hardware type can cross a domain
-      boundary behind the runner's back.
+      boundary behind the runner's back;
+   5. the replay-trace codec is confined to lib/replay: no other lib
+      layer references [Covirt_replay], and the trace magic literal
+      appears only in lib/replay/trace.ml.
 
    Usage: covirt_lint [ROOT]   (ROOT defaults to ".", must contain lib/) *)
 
@@ -161,6 +164,48 @@ let check_fleet_monopoly root =
           lines
       end)
 
+(* --- check 5: the trace codec is confined to lib/replay --- *)
+
+(* Replay traces are a versioned binary format with exactly one
+   encoder/decoder: lib/replay/trace.ml.  Two directions: no other
+   lib layer references [Covirt_replay] (the dependency points into
+   replay from bin/ and test/ only, never between lib layers), and
+   the magic literal never reappears — a second site writing the
+   four magic bytes would be a second, drift-prone codec. *)
+let trace_magic = "\"CV" ^ "RT\""
+
+let check_trace_confinement root =
+  walk
+    (Filename.concat root "lib")
+    (fun path ->
+      if has_suffix path ".ml" || has_suffix path ".mli" then begin
+        let in_replay = contains path "lib/replay" in
+        List.iteri
+          (fun i line ->
+            if (not in_replay) && contains_word line "Covirt_replay" then
+              fail
+                "%s:%d: Covirt_replay referenced outside lib/replay (traces \
+                 enter other layers only through bin/ and test/)"
+                path (i + 1))
+          (read_lines path)
+      end);
+  List.iter
+    (fun dir ->
+      walk (Filename.concat root dir) (fun path ->
+          if
+            (has_suffix path ".ml" || has_suffix path ".mli")
+            && not (contains path "lib/replay/trace.ml")
+          then
+            List.iteri
+              (fun i line ->
+                if contains line trace_magic then
+                  fail
+                    "%s:%d: trace magic literal outside lib/replay/trace.ml \
+                     (one codec only — go through Covirt_replay.Trace)"
+                    path (i + 1))
+              (read_lines path)))
+    [ "lib"; "bin" ]
+
 (* --- driver --- *)
 
 let hot_layers = [ "lib/hw"; "lib/core" ]
@@ -173,6 +218,7 @@ let () =
   end;
   check_mli root;
   check_fleet_monopoly root;
+  check_trace_confinement root;
   List.iter
     (fun layer ->
       walk

@@ -1,6 +1,15 @@
 exception
   Vm_terminated of { cpu_id : int; enclave : int; reason : string }
 
+(* Record tap: the replay recorder (lib/replay) observes every
+   delivered exit through this hook.  Same contract as the obs and
+   sanitizer hooks — one [!tap_on] branch when disarmed, and the tap
+   itself never charges simulated cycles, so a recorded run is
+   byte-identical to an unrecorded one. *)
+let tap_on = ref false
+let exit_tap : (Cpu.t -> Vmcs.t -> Vmcs.exit_reason -> unit) ref =
+  ref (fun _ _ _ -> ())
+
 let vmlaunch ~model cpu vmcs =
   if Cpu.in_guest cpu then invalid_arg "Vmx.vmlaunch: already in guest mode";
   Cpu.charge cpu Cost_model.(model.vmcs_load + model.vmlaunch);
@@ -13,6 +22,8 @@ let deliver_exit ~model cpu vmcs reason =
   let t0 = cpu.Cpu.tsc in
   Cpu.charge cpu (vmexit_cost ~model);
   Vmcs.note_exit vmcs reason;
+  (* Tap before the handler runs so killed exits are recorded too. *)
+  if !tap_on then !exit_tap cpu vmcs reason;
   let action =
     match vmcs.Vmcs.exit_handler with
     | Some handler -> handler reason

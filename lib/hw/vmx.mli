@@ -12,6 +12,19 @@ exception
     installed).  The co-kernel framework catches this to reclaim the
     enclave — the fault is contained to the raising core's enclave. *)
 
+val tap_on : bool ref
+(** Arms {!exit_tap}.  Do not flip directly — the [covirt.replay]
+    recorder owns it, reference-counted across domains.  Each
+    {!deliver_exit} site pays exactly one branch when the tap is
+    off. *)
+
+val exit_tap : (Cpu.t -> Vmcs.t -> Vmcs.exit_reason -> unit) ref
+(** Called for every delivered exit while [tap_on] — before the
+    handler runs, so exits whose handler kills the enclave are
+    observed too.  The tap must never charge simulated cycles or draw
+    from any RNG: recording armed is byte-identical to recording
+    off. *)
+
 val vmlaunch : model:Cost_model.t -> Cpu.t -> Vmcs.t -> unit
 (** Load the VMCS onto the core and enter the guest: flips the core to
     [Guest_mode], charges [vmcs_load + vmlaunch], marks the VMCS

@@ -1,0 +1,6 @@
+module Trace = Trace
+module Recorder = Recorder
+module Scenario = Scenario
+module Replayer = Replayer
+module Minimizer = Minimizer
+module Fuzzer = Fuzzer

@@ -1,0 +1,31 @@
+(** Record/replay of VM-exit streams and trace-mutation fuzzing
+    ([covirt.replay]).
+
+    The robustness loop the paper's evaluation leans on, closed: every
+    nondeterministic input of a simulated run — seeds, the
+    fault-injector schedule, each fault as applied — is captured into
+    a compact versioned binary {!Trace}, which replays bit-identically
+    (verified by re-capturing) and doubles as fuzz substrate:
+
+    - {!Trace} — the codec: the {e only} module that touches trace
+      bytes (covirt-lint enforces the confinement);
+    - {!Recorder} — Domain-local taps on VM-exit dispatch and fault
+      injection, zero-cost when disarmed (golden transcripts stay
+      byte-identical armed);
+    - {!Scenario} — record/replay execution of trial batches with the
+      oracle battery (crash, shadow sanitizer, static verifier);
+    - {!Replayer} — replay + re-capture + byte comparison, including
+      soak-shard traces;
+    - {!Minimizer} — ddmin + payload shrinking of crashing traces to
+      checked-in minimal reproducers;
+    - {!Fuzzer} — seeded trace mutation sharded across fleet domains,
+      byte-identical at any domain count.
+
+    Surfaced as [covirt-ctl record / replay / fuzz]. *)
+
+module Trace = Trace
+module Recorder = Recorder
+module Scenario = Scenario
+module Replayer = Replayer
+module Minimizer = Minimizer
+module Fuzzer = Fuzzer

@@ -1,0 +1,318 @@
+(* Trace-mutation fuzzing, sharded across fleet domains.
+
+   One fuzz trial = one shard: record a small base batch under a
+   seed-chosen config, apply 1–3 seeded mutations, replay the mutant
+   with the full oracle battery, and minimize any crash in-shard.
+   Every decision derives from the shard seed (Rng.split_seed), and
+   the merge is a pure left fold in shard-index order — so the fuzz
+   result is byte-identical whatever the domain count, exactly like
+   the campaign and the soak.
+
+   Mutation operators (the "where do I add a mutator" list —
+   ARCHITECTURE.md points here):
+   - dup-input: duplicate an input event within its slot
+   - reorder: swap the slots of two input events
+   - truncate: drop a suffix of the event list
+   - mutate-fault: rewrite a recorded fault's payload fields
+   - mutate-exit: replay an observed exit as a synthetic input with a
+     perturbed register field
+   - inject-corrupt: plant one of the four corruption classes, chosen
+     among the classes the trial's config can detect *)
+
+module Rng = Covirt_sim.Rng
+
+let mutation_names =
+  [
+    "dup-input"; "reorder"; "truncate"; "mutate-fault"; "mutate-exit";
+    "inject-corrupt";
+  ]
+
+type finding = {
+  digest : string;  (** of the {e minimized} trace *)
+  shard : int;
+  slot : int;
+  exn : string;
+  trace : Trace.t;  (** minimized reproducer *)
+  probes : int;  (** replays the minimizer spent *)
+}
+
+type result = {
+  trials : int;
+  seed : int;
+  mutations : int;
+  crashes : finding list;
+  planted : (Trace.corruption * int) list;
+  detected : (Trace.corruption * int) list;
+  escapes : (Trace.corruption * int) list;
+      (** planted in a trial where no oracle flagged the class *)
+  divergences : int;
+}
+
+(* Configs worth fuzzing (native has no controller instances to
+   corrupt), and the corruption classes whose oracles can fire under
+   each: EPT corruptions need an EPT, freed-access needs EPT
+   enforcement {e off} (a protected config suppresses the stale store
+   before the shadow sees it). *)
+let fuzz_configs = [ "none"; "mem"; "ipi"; "mem+ipi"; "full" ]
+
+let classes_for = function
+  | "none" -> [ Trace.Freed_access; Trace.Stale_grant ]
+  | "ipi" -> [ Trace.Stale_grant ]
+  | _ -> [ Trace.Cross_owner; Trace.Free_map; Trace.Stale_grant ]
+
+let pick rng lst = List.nth lst (Rng.int rng ~bound:(List.length lst))
+
+(* --- mutation operators ---------------------------------------------- *)
+
+let input_positions events =
+  List.concat
+    (List.mapi (fun i ev -> if Trace.is_input ev then [ i ] else []) events)
+
+let exit_positions events =
+  List.concat
+    (List.mapi
+       (fun i ev -> match ev with Trace.Exit _ -> [ i ] | _ -> [])
+       events)
+
+let with_slot slot = function
+  | Trace.Fault { fault; _ } -> Trace.Fault { slot; fault }
+  | Trace.Inject_exit { reason; _ } -> Trace.Inject_exit { slot; reason }
+  | Trace.Corrupt { cls; _ } -> Trace.Corrupt { slot; cls }
+  | Trace.Exit _ as e -> e
+
+let mutate_fault_payload rng = function
+  | Trace.F_wild _ -> Trace.F_wild (Rng.int rng ~bound:(1 lsl 33))
+  | Trace.F_phantom _ -> Trace.F_phantom (Rng.int rng ~bound:(1 lsl 33))
+  | Trace.F_ipi _ ->
+      Trace.F_ipi
+        { dest = Rng.int rng ~bound:8; vector = Rng.int rng ~bound:256 }
+  | Trace.F_wedge _ ->
+      Trace.F_wedge { cycles = 1 + Rng.int rng ~bound:10_000_000 }
+  | (Trace.F_msr | Trace.F_port | Trace.F_double) as f ->
+      (* payload-free faults mutate into a payload-bearing one *)
+      ignore f;
+      Trace.F_wild (Rng.int rng ~bound:(1 lsl 33))
+
+let mutate_exit_payload rng = function
+  | Trace.X_ept { access; not_mapped; _ } ->
+      Trace.X_ept { gpa = Rng.int rng ~bound:(1 lsl 33); access; not_mapped }
+  | Trace.X_icr { kind; _ } ->
+      Trace.X_icr
+        { dest = Rng.int rng ~bound:8; vector = Rng.int rng ~bound:256; kind }
+  | Trace.X_msr { msr; write; _ } ->
+      Trace.X_msr { msr; write; value = Rng.bits64 rng }
+  | Trace.X_io { port; write; _ } ->
+      Trace.X_io { port; write; value = Rng.int rng ~bound:(1 lsl 16) }
+  | Trace.X_intr _ -> Trace.X_intr { vector = Rng.int rng ~bound:256 }
+  | p -> p
+
+let apply_mutation rng ~config ~trials events =
+  let op = Rng.int rng ~bound:6 in
+  let inputs = input_positions events in
+  let exits = exit_positions events in
+  match op with
+  | 0 when inputs <> [] ->
+      (* dup-input *)
+      let i = pick rng inputs in
+      let ev = List.nth events i in
+      List.concat (List.mapi (fun j e -> if j = i then [ e; ev ] else [ e ]) events)
+  | 1 when List.length inputs >= 2 ->
+      (* reorder: swap the slots of two inputs *)
+      let i = pick rng inputs in
+      let j = pick rng inputs in
+      let si = Trace.slot_of (List.nth events i) in
+      let sj = Trace.slot_of (List.nth events j) in
+      List.mapi
+        (fun k e ->
+          if k = i then with_slot sj e
+          else if k = j then with_slot si e
+          else e)
+        events
+  | 2 when events <> [] ->
+      (* truncate: drop a suffix *)
+      let keep = 1 + Rng.int rng ~bound:(List.length events) in
+      List.filteri (fun i _ -> i < keep) events
+  | 3 when inputs <> [] -> (
+      (* mutate-fault *)
+      let faults =
+        List.filter
+          (fun i ->
+            match List.nth events i with Trace.Fault _ -> true | _ -> false)
+          inputs
+      in
+      match faults with
+      | [] -> events
+      | _ ->
+          let i = pick rng faults in
+          List.mapi
+            (fun j e ->
+              match (j = i, e) with
+              | true, Trace.Fault { slot; fault } ->
+                  Trace.Fault { slot; fault = mutate_fault_payload rng fault }
+              | _ -> e)
+            events)
+  | 4 when exits <> [] ->
+      (* mutate-exit: replay a perturbed observed exit as an input *)
+      let i = pick rng exits in
+      let ev =
+        match List.nth events i with
+        | Trace.Exit { slot; reason; _ } ->
+            Trace.Inject_exit
+              { slot; reason = mutate_exit_payload rng reason }
+        | e -> e
+      in
+      events @ [ ev ]
+  | _ ->
+      (* inject-corrupt: planted ahead of the slot's other inputs so
+         the corruption lands before a same-slot fault can panic the
+         node (the oracles still run post-mortem either way). *)
+      let cls = pick rng (classes_for config) in
+      let slot = Rng.int rng ~bound:(max 1 trials) in
+      let ev = Trace.Corrupt { slot; cls } in
+      let rec insert = function
+        | [] -> [ ev ]
+        | e :: rest when Trace.is_input e && Trace.slot_of e = slot ->
+            ev :: e :: rest
+        | e :: rest -> e :: insert rest
+      in
+      insert events
+
+(* --- one fuzz trial --------------------------------------------------- *)
+
+type shard_out = {
+  s_crashes : finding list;
+  s_planted : Trace.corruption list;
+  s_detected : Trace.corruption list;
+  s_escapes : Trace.corruption list;
+  s_diverged : bool;
+}
+
+let fuzz_one ~shard_seed ~index ~base ~mutations ~minimize_probes =
+  let rng = Rng.create ~seed:shard_seed in
+  let config = pick rng fuzz_configs in
+  let base_trace =
+    match base with
+    | Some t -> t
+    | None ->
+        (Scenario.record ~config
+           ~seed:(Rng.split_seed ~seed:shard_seed ~index:1)
+           ~trials:2 ())
+          .Scenario.trace
+  in
+  let config, trials =
+    match base_trace.Trace.scenario with
+    | Trace.Trial_batch { config; trials; _ } -> (config, trials)
+    | Trace.Soak_shard _ -> (config, 2)
+  in
+  let n_mut = 1 + Rng.int rng ~bound:(max 1 mutations) in
+  let events = ref base_trace.Trace.events in
+  for _ = 1 to n_mut do
+    events := apply_mutation rng ~config ~trials !events
+  done;
+  let mutant =
+    Trace.make ~schedule_json:base_trace.Trace.schedule_json
+      ~scenario:base_trace.Trace.scenario !events
+  in
+  let report = Scenario.replay mutant in
+  (* The determinism oracle, sampled: replay the re-capture and demand
+     a fixed point. *)
+  let diverged =
+    index mod 8 = 0
+    && not
+         (Trace.equal report.Scenario.trace
+            (Scenario.replay report.Scenario.trace).Scenario.trace)
+  in
+  let crashes =
+    List.map
+      (fun (slot, exn) ->
+        let minimized, stats =
+          Minimizer.minimize ~max_probes:minimize_probes mutant
+        in
+        {
+          digest = Trace.digest minimized;
+          shard = index;
+          slot;
+          exn;
+          trace = minimized;
+          probes = stats.Minimizer.probes;
+        })
+      report.Scenario.crashes
+  in
+  {
+    s_crashes = crashes;
+    s_planted = report.Scenario.planted;
+    s_detected = report.Scenario.detected;
+    s_escapes =
+      List.filter
+        (fun cls -> not (List.mem cls report.Scenario.detected))
+        report.Scenario.planted;
+    s_diverged = diverged;
+  }
+
+(* --- the sharded run -------------------------------------------------- *)
+
+let count_classes occurrences =
+  List.filter_map
+    (fun cls ->
+      match List.length (List.filter (( = ) cls) occurrences) with
+      | 0 -> None
+      | n -> Some (cls, n))
+    Trace.corruptions
+
+let run ?(trials = 100) ?(seed = 2026) ?(mutations = 3) ?domains ?base
+    ?(minimize_probes = 64) () =
+  (* The sticky sanitizer request must move outside the fleet: every
+     shard's [Covirt.enable] sets it (config.sanitize), so restore the
+     caller's state only after all shards joined. *)
+  let had_request = Covirt_hw.Sanitize.requested () in
+  let outs =
+    Covirt_fleet.Fleet.map ?domains ~seed ~shards:trials
+      (fun ~shard_seed ~index ->
+        fuzz_one ~shard_seed ~index ~base ~mutations ~minimize_probes)
+  in
+  if not had_request then Covirt_hw.Sanitize.release ();
+  let outs = Array.to_list outs in
+  let all f = List.concat_map f outs in
+  let crashes =
+    (* Dedupe by minimized digest, keeping the first shard that found
+       each — a pure fold in shard order. *)
+    List.fold_left
+      (fun acc c ->
+        if List.exists (fun c' -> c'.digest = c.digest) acc then acc
+        else acc @ [ c ])
+      []
+      (all (fun o -> o.s_crashes))
+  in
+  {
+    trials;
+    seed;
+    mutations;
+    crashes;
+    planted = count_classes (all (fun o -> o.s_planted));
+    detected = count_classes (all (fun o -> o.s_detected));
+    escapes = count_classes (all (fun o -> o.s_escapes));
+    divergences =
+      List.length (List.filter (fun o -> o.s_diverged) outs);
+  }
+
+let table r =
+  let t = Covirt_sim.Table.create ~columns:[ "metric"; "value" ] in
+  let add m v = Covirt_sim.Table.add_row t [ m; v ] in
+  add "fuzz trials" (string_of_int r.trials);
+  add "seed" (string_of_int r.seed);
+  add "crashes (unique)" (string_of_int (List.length r.crashes));
+  add "replay divergences" (string_of_int r.divergences);
+  List.iter
+    (fun cls ->
+      let get l = Option.value ~default:0 (List.assoc_opt cls l) in
+      add
+        (Trace.corruption_name cls ^ " planted/detected")
+        (Printf.sprintf "%d/%d" (get r.planted) (get r.detected)))
+    Trace.corruptions;
+  List.iter
+    (fun f ->
+      add
+        ("crash " ^ String.sub f.digest 0 12)
+        (Printf.sprintf "shard %d slot %d: %s" f.shard f.slot f.exn))
+    r.crashes;
+  t

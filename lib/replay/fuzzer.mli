@@ -1,0 +1,72 @@
+(** Trace-mutation fuzzing with sanitizer oracles, sharded across
+    fleet domains.
+
+    One fuzz trial per shard: record a small base trial batch under a
+    seed-chosen config, apply 1–[mutations] seeded mutation operators,
+    replay the mutant under the full oracle battery (crash, shadow
+    sanitizer, static verifier, sampled replay-fixed-point), and
+    delta-debug any crash to a minimal reproducer in-shard.
+
+    Every decision derives from [Rng.split_seed] of the shard seed and
+    the merge is a pure fold in shard order, so the result — table
+    included — is byte-identical for any [domains] (the fleet
+    contract, tested at domains 1/2/7). *)
+
+val mutation_names : string list
+(** The six operators, for docs and tables: dup-input, reorder,
+    truncate, mutate-fault, mutate-exit, inject-corrupt.  To add one:
+    extend {!Fuzzer}'s [apply_mutation] (and this list), keeping every
+    random draw on the shard rng. *)
+
+type finding = {
+  digest : string;  (** {!Trace.digest} of the minimized trace *)
+  shard : int;  (** fuzz trial that found it *)
+  slot : int;
+  exn : string;  (** the escaping exception's text *)
+  trace : Trace.t;  (** minimized reproducer *)
+  probes : int;  (** replays the minimizer spent *)
+}
+
+type result = {
+  trials : int;
+  seed : int;
+  mutations : int;
+  crashes : finding list;  (** unique by minimized digest *)
+  planted : (Trace.corruption * int) list;
+  detected : (Trace.corruption * int) list;
+  escapes : (Trace.corruption * int) list;
+      (** planted corruptions no oracle flagged — each one is a
+          finding about the oracle set *)
+  divergences : int;
+      (** sampled replay-fixed-point failures; nonzero means a
+          determinism bug *)
+}
+
+val fuzz_configs : string list
+(** Configs the fuzzer samples (all presets but native, which has no
+    controller instances to corrupt). *)
+
+val classes_for : string -> Trace.corruption list
+(** Corruption classes whose oracles can fire under a config:
+    freed-access needs EPT enforcement off, the EPT corruptions need
+    an EPT, stale-grant works under any enabled config. *)
+
+val run :
+  ?trials:int ->
+  ?seed:int ->
+  ?mutations:int ->
+  ?domains:int ->
+  ?base:Trace.t ->
+  ?minimize_probes:int ->
+  unit ->
+  result
+(** Fuzz [trials] shards (default 100) from [seed] (default 2026),
+    each applying 1–[mutations] (default 3) operators.  [base]
+    replaces the per-shard recorded base trace with a fixed corpus
+    trace (its scenario seeds still drive replay).  [domains] is
+    placement only.  The global sanitizer request is saved and
+    restored around the fleet. *)
+
+val table : result -> Covirt_sim.Table.t
+(** Summary: trials, unique crashes, divergences,
+    planted/detected per corruption class, one row per crash. *)

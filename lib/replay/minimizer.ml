@@ -1,0 +1,223 @@
+(* Delta-debugging for crashing traces.
+
+   Three reduction passes run to a joint fixpoint, each validated by
+   actually replaying the candidate and asking the [keep] predicate
+   (default: the crash oracle still fires):
+
+   1. {b ddmin} over the trace's input events — the classic
+      Zeller/Hildebrandt algorithm: try complements of ever-finer
+      chunk partitions, restart at granularity 2 on progress;
+   2. {b trial truncation}: shrink the batch to the last slot that
+      still matters (slot numbers are {e preserved}, never compacted —
+      each slot's machine seed derives from its index, so renumbering
+      would change the run);
+   3. {b payload shrinking}: per event, try the schedule-free trace,
+      zero then halve every address/value field toward the smallest
+      reproducer.
+
+   Observed [Exit] events are dropped up front: replay ignores them,
+   so a minimal reproducer is inputs-only (plus the scenario header).
+   Every probe is a full replay, so [max_probes] bounds the work. *)
+
+type stats = {
+  probes : int;
+  original_events : int;
+  minimized_events : int;
+  original_trials : int;
+  minimized_trials : int;
+}
+
+let default_keep (r : Scenario.report) = r.Scenario.crashes <> []
+
+let scenario_with_trials scenario trials =
+  match scenario with
+  | Trace.Trial_batch { config; seed; trials = _ } ->
+      Trace.Trial_batch { config; seed; trials }
+  | Trace.Soak_shard _ -> assert false
+
+let rebuild ~base ~trials events =
+  Trace.make ~schedule_json:base.Trace.schedule_json
+    ~scenario:(scenario_with_trials base.Trace.scenario trials)
+    events
+
+(* Candidate payload replacements for one event, strongest reduction
+   first.  Identity-producing replacements are filtered by the caller. *)
+let shrink_event ev =
+  let shrink_int n = List.sort_uniq compare [ 0; n / 2 ] in
+  let shrink_exit (p : Trace.exit_payload) =
+    match p with
+    | Trace.X_ept { gpa; access; not_mapped } ->
+        List.map
+          (fun gpa -> Trace.X_ept { gpa; access; not_mapped })
+          (shrink_int gpa)
+    | Trace.X_icr { dest; vector; kind } ->
+        List.map
+          (fun vector -> Trace.X_icr { dest; vector; kind })
+          (shrink_int vector)
+    | Trace.X_msr { msr; write; value } ->
+        List.map
+          (fun v -> Trace.X_msr { msr; write; value = Int64.of_int v })
+          (shrink_int (Int64.to_int value land max_int))
+    | Trace.X_io { port; write; value } ->
+        List.map
+          (fun value -> Trace.X_io { port; write; value })
+          (shrink_int value)
+    | Trace.X_abort _ -> [ Trace.X_abort { what = "" } ]
+    | _ -> []
+  in
+  let shrink_fault (f : Trace.fault_payload) =
+    match f with
+    | Trace.F_wild a -> List.map (fun a -> Trace.F_wild a) (shrink_int a)
+    | Trace.F_phantom a -> List.map (fun a -> Trace.F_phantom a) (shrink_int a)
+    | Trace.F_ipi { dest; vector } ->
+        List.map (fun vector -> Trace.F_ipi { dest; vector })
+          (shrink_int vector)
+    | Trace.F_wedge { cycles } ->
+        List.map (fun cycles -> Trace.F_wedge { cycles }) (shrink_int cycles)
+    | _ -> []
+  in
+  match ev with
+  | Trace.Fault { slot; fault } ->
+      List.map (fun fault -> Trace.Fault { slot; fault }) (shrink_fault fault)
+  | Trace.Inject_exit { slot; reason } ->
+      List.map
+        (fun reason -> Trace.Inject_exit { slot; reason })
+        (shrink_exit reason)
+  | Trace.Corrupt _ | Trace.Exit _ -> []
+
+let minimize ?(keep = default_keep) ?(max_probes = 400) (trace : Trace.t) =
+  (match trace.Trace.scenario with
+  | Trace.Trial_batch _ -> ()
+  | Trace.Soak_shard _ ->
+      invalid_arg "Minimizer.minimize: only trial-batch traces minimize");
+  let original_trials =
+    match trace.Trace.scenario with
+    | Trace.Trial_batch { trials; _ } -> trials
+    | Trace.Soak_shard _ -> assert false
+  in
+  let probes = ref 0 in
+  let budget () = !probes < max_probes in
+  let check ~trials events =
+    incr probes;
+    keep (Replayer.run (rebuild ~base:trace ~trials events))
+  in
+  let inputs = Trace.inputs trace in
+  if not (check ~trials:original_trials inputs) then
+    (* The failure does not reproduce from inputs alone (or at all) —
+       return the trace unreduced rather than "minimize" to a
+       non-reproducer. *)
+    ( trace,
+      {
+        probes = !probes;
+        original_events = List.length trace.Trace.events;
+        minimized_events = List.length trace.Trace.events;
+        original_trials;
+        minimized_trials = original_trials;
+      } )
+  else begin
+    let trials = ref original_trials in
+    (* -- pass 1: ddmin over the input list -- *)
+    let split n lst =
+      (* n chunks, sizes as equal as possible *)
+      let len = List.length lst in
+      let base = len / n and extra = len mod n in
+      let rec go i rest acc =
+        if i = n then List.rev acc
+        else
+          let size = base + if i < extra then 1 else 0 in
+          let chunk = List.filteri (fun j _ -> j < size) rest in
+          let rest = List.filteri (fun j _ -> j >= size) rest in
+          go (i + 1) rest (chunk :: acc)
+      in
+      go 0 lst []
+    in
+    let ddmin events =
+      let current = ref events in
+      let n = ref 2 in
+      while List.length !current >= 2 && !n <= List.length !current && budget ()
+      do
+        let chunks = split !n !current in
+        let complements =
+          List.mapi
+            (fun i _ -> List.concat (List.filteri (fun j _ -> j <> i) chunks))
+            chunks
+        in
+        match
+          List.find_opt (fun c -> budget () && check ~trials:!trials c)
+            complements
+        with
+        | Some c ->
+            current := c;
+            n := max (!n - 1) 2
+        | None ->
+            if !n >= List.length !current then n := List.length !current + 1
+            else n := min (2 * !n) (List.length !current)
+      done;
+      !current
+    in
+    let current = ref (ddmin inputs) in
+    (* -- pass 2: truncate trials to the last slot that matters -- *)
+    let needed_slots =
+      let input_max =
+        List.fold_left (fun m ev -> max m (Trace.slot_of ev)) (-1) !current
+      in
+      input_max
+    in
+    let try_trials t =
+      if t < !trials && t >= 1 && budget () && check ~trials:t !current then begin
+        trials := t;
+        true
+      end
+      else false
+    in
+    ignore (try_trials (max 1 (needed_slots + 1)) : bool);
+    (* -- pass 3: payload shrinking, to fixpoint with pass 1 -- *)
+    let changed = ref true in
+    while !changed && budget () do
+      changed := false;
+      (* one fewer event still failing? (ddmin can make new single
+         removals possible after truncation/shrinks) *)
+      let smaller = ddmin !current in
+      if List.length smaller < List.length !current then begin
+        current := smaller;
+        changed := true
+      end;
+      List.iteri
+        (fun i ev ->
+          List.iter
+            (fun ev' ->
+              if ev' <> ev && budget () then
+                let candidate =
+                  List.mapi (fun j e -> if j = i then ev' else e) !current
+                in
+                if check ~trials:!trials candidate then begin
+                  current := candidate;
+                  changed := true
+                end)
+            (shrink_event ev))
+        !current
+    done;
+    (* -- drop the schedule if the reproducer no longer needs it -- *)
+    let final =
+      let bare =
+        Trace.make ~schedule_json:""
+          ~scenario:(scenario_with_trials trace.Trace.scenario !trials)
+          !current
+      in
+      if trace.Trace.schedule_json <> "" && budget () then begin
+        incr probes;
+        if keep (Replayer.run bare) then bare
+        else rebuild ~base:trace ~trials:!trials !current
+      end
+      else if trace.Trace.schedule_json = "" then bare
+      else rebuild ~base:trace ~trials:!trials !current
+    in
+    ( final,
+      {
+        probes = !probes;
+        original_events = List.length trace.Trace.events;
+        minimized_events = List.length final.Trace.events;
+        original_trials;
+        minimized_trials = !trials;
+      } )
+  end

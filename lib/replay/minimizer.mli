@@ -1,0 +1,35 @@
+(** Delta-debugging for crashing traces.
+
+    Reduces a failing {!Trace.Trial_batch} to a minimal reproducer:
+    ddmin over the input events, trial-range truncation, and
+    per-payload shrinking, iterated to a fixpoint — every candidate
+    validated by an actual replay against the [keep] predicate.
+
+    Slot numbers are never compacted: each slot's machine seed derives
+    from its index, so renumbering would change the run the trace
+    describes.  Observed exits are dropped up front (replay ignores
+    them); a minimal reproducer is the scenario header plus the
+    fewest, smallest inputs that still fail. *)
+
+type stats = {
+  probes : int;  (** replays spent *)
+  original_events : int;
+  minimized_events : int;
+  original_trials : int;
+  minimized_trials : int;
+}
+
+val default_keep : Scenario.report -> bool
+(** The crash oracle: the replay produced at least one crash. *)
+
+val minimize :
+  ?keep:(Scenario.report -> bool) ->
+  ?max_probes:int ->
+  Trace.t ->
+  Trace.t * stats
+(** Minimize under [keep] (default {!default_keep}), spending at most
+    [max_probes] replays (default 400).  If the failure does not
+    reproduce from the trace's inputs alone, the trace is returned
+    unreduced (never a non-reproducer).  Minimizing an already-minimal
+    trace returns it unchanged — the fixpoint property asserted in
+    test_replay.ml.  [Invalid_argument] on soak-shard traces. *)

@@ -1,0 +1,215 @@
+(* The recorder: taps the two nondeterministic boundaries — VM-exit
+   dispatch ([Vmx.exit_tap]) and fault application
+   ([Fault_injector.inject_tap]) — into a per-domain ring of trace
+   events.
+
+   Contract (the obs/sanitize pattern): the tap sites are a single
+   [!tap_on] branch when disarmed, the tap bodies never charge
+   simulated cycles or draw randomness, and arming changes nothing a
+   run can observe — the golden translation capture stays
+   byte-identical with the recorder armed (asserted in
+   test_replay.ml).
+
+   The ring is Domain-local: every fleet shard records its own trial
+   without touching its neighbours'.  The tap closures are installed
+   once and gate on the domain's [recording] flag, so the global
+   [tap_on] booleans only decide whether the (cheap) closure call
+   happens at all; a domain that never armed simply ignores the
+   callback. *)
+
+open Covirt_hw
+module Fault_injector = Covirt_resilience.Fault_injector
+
+(* --- payload conversions -------------------------------------------- *)
+
+let of_exit_reason : Vmcs.exit_reason -> Trace.exit_payload = function
+  | Vmcs.Ept_violation { Ept.gpa; access; reason } ->
+      Trace.X_ept
+        {
+          gpa;
+          access = (match access with `Read -> 0 | `Write -> 1 | `Exec -> 2);
+          not_mapped = (reason = `Not_mapped);
+        }
+  | Vmcs.Icr_write { Apic.dest; vector; kind } ->
+      Trace.X_icr
+        {
+          dest;
+          vector;
+          kind =
+            (match kind with
+            | Apic.Fixed -> 0
+            | Apic.Nmi -> 1
+            | Apic.Init -> 2
+            | Apic.Startup -> 3);
+        }
+  | Vmcs.Msr_access { msr; write; value } -> Trace.X_msr { msr; write; value }
+  | Vmcs.Io_access { port; write; value } -> Trace.X_io { port; write; value }
+  | Vmcs.Cpuid -> Trace.X_cpuid
+  | Vmcs.Xsetbv -> Trace.X_xsetbv
+  | Vmcs.Hlt -> Trace.X_hlt
+  | Vmcs.External_interrupt { vector } -> Trace.X_intr { vector }
+  | Vmcs.Nmi_exit -> Trace.X_nmi
+  | Vmcs.Abort { what } -> Trace.X_abort { what }
+
+let to_exit_reason : Trace.exit_payload -> Vmcs.exit_reason = function
+  | Trace.X_ept { gpa; access; not_mapped } ->
+      Vmcs.Ept_violation
+        {
+          Ept.gpa;
+          access = (match access with 0 -> `Read | 1 -> `Write | _ -> `Exec);
+          reason = (if not_mapped then `Not_mapped else `Perm_denied);
+        }
+  | Trace.X_icr { dest; vector; kind } ->
+      Vmcs.Icr_write
+        {
+          Apic.dest;
+          vector;
+          kind =
+            (match kind with
+            | 0 -> Apic.Fixed
+            | 1 -> Apic.Nmi
+            | 2 -> Apic.Init
+            | _ -> Apic.Startup);
+        }
+  | Trace.X_msr { msr; write; value } -> Vmcs.Msr_access { msr; write; value }
+  | Trace.X_io { port; write; value } -> Vmcs.Io_access { port; write; value }
+  | Trace.X_cpuid -> Vmcs.Cpuid
+  | Trace.X_xsetbv -> Vmcs.Xsetbv
+  | Trace.X_hlt -> Vmcs.Hlt
+  | Trace.X_intr { vector } -> Vmcs.External_interrupt { vector }
+  | Trace.X_nmi -> Vmcs.Nmi_exit
+  | Trace.X_abort { what } -> Vmcs.Abort { what }
+
+let of_fault : Fault_injector.fault -> Trace.fault_payload = function
+  | Fault_injector.Wild_write a -> Trace.F_wild a
+  | Fault_injector.Phantom_touch a -> Trace.F_phantom a
+  | Fault_injector.Errant_ipi { dest; vector } -> Trace.F_ipi { dest; vector }
+  | Fault_injector.Msr_write -> Trace.F_msr
+  | Fault_injector.Port_reset -> Trace.F_port
+  | Fault_injector.Double_fault -> Trace.F_double
+  | Fault_injector.Wedge { cycles } -> Trace.F_wedge { cycles }
+
+let to_fault : Trace.fault_payload -> Fault_injector.fault = function
+  | Trace.F_wild a -> Fault_injector.Wild_write a
+  | Trace.F_phantom a -> Fault_injector.Phantom_touch a
+  | Trace.F_ipi { dest; vector } -> Fault_injector.Errant_ipi { dest; vector }
+  | Trace.F_msr -> Fault_injector.Msr_write
+  | Trace.F_port -> Fault_injector.Port_reset
+  | Trace.F_double -> Fault_injector.Double_fault
+  | Trace.F_wedge { cycles } -> Fault_injector.Wedge { cycles }
+
+(* --- the per-domain ring -------------------------------------------- *)
+
+let default_capacity = 65536
+
+type dls = {
+  mutable recording : bool;
+  mutable slot : int;
+  mutable ring : Trace.event array;
+  mutable start : int;  (** index of the oldest live event *)
+  mutable count : int;
+  mutable dropped : int;
+}
+
+let dls_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        recording = false;
+        slot = 0;
+        ring = [||];
+        start = 0;
+        count = 0;
+        dropped = 0;
+      })
+
+let dls () = Domain.DLS.get dls_key
+
+let push ev =
+  let d = dls () in
+  let cap = Array.length d.ring in
+  if d.count < cap then begin
+    d.ring.((d.start + d.count) mod cap) <- ev;
+    d.count <- d.count + 1
+  end
+  else begin
+    (* Ring full: evict the oldest so the trailing window survives —
+       the shape quarantine captures want. *)
+    d.ring.(d.start) <- ev;
+    d.start <- (d.start + 1) mod cap;
+    d.dropped <- d.dropped + 1
+  end
+
+(* --- taps ------------------------------------------------------------ *)
+
+(* How many domains currently want the taps live.  The bool flips are
+   idempotent stores; a tap firing in a domain whose [recording] is
+   false is ignored, so a momentary overlap between one domain arming
+   and another disarming is harmless. *)
+let armed = Atomic.make 0
+
+let exit_tap cpu (vmcs : Vmcs.t) reason =
+  let d = dls () in
+  if d.recording then
+    push
+      (Trace.Exit
+         {
+           slot = d.slot;
+           cpu = cpu.Cpu.id;
+           enclave = vmcs.Vmcs.enclave;
+           tsc = cpu.Cpu.tsc;
+           reason = of_exit_reason reason;
+         })
+
+let fault_tap fault =
+  let d = dls () in
+  if d.recording then
+    push (Trace.Fault { slot = d.slot; fault = of_fault fault })
+
+let () =
+  Vmx.exit_tap := exit_tap;
+  Fault_injector.inject_tap := fault_tap
+
+let recording () = (dls ()).recording
+
+let arm ?(capacity = default_capacity) () =
+  let d = dls () in
+  if not d.recording then begin
+    d.recording <- true;
+    d.slot <- 0;
+    d.ring <- Array.make capacity (Trace.Inject_exit { slot = 0; reason = Trace.X_hlt });
+    d.start <- 0;
+    d.count <- 0;
+    d.dropped <- 0;
+    if Atomic.fetch_and_add armed 1 = 0 then begin
+      Vmx.tap_on := true;
+      Fault_injector.tap_on := true
+    end
+  end
+
+let disarm () =
+  let d = dls () in
+  if d.recording then begin
+    d.recording <- false;
+    d.ring <- [||];
+    d.count <- 0;
+    d.start <- 0;
+    if Atomic.fetch_and_add armed (-1) = 1 then begin
+      Vmx.tap_on := false;
+      Fault_injector.tap_on := false
+    end
+  end
+
+let set_slot n = (dls ()).slot <- n
+
+let note ev = if (dls ()).recording then push ev
+
+let capture () =
+  let d = dls () in
+  let events =
+    List.init d.count (fun i -> d.ring.((d.start + i) mod Array.length d.ring))
+  in
+  let dropped = d.dropped in
+  d.start <- 0;
+  d.count <- 0;
+  d.dropped <- 0;
+  (events, dropped)

@@ -1,0 +1,58 @@
+(* The replayer: re-execute a trace and check the replay contract by
+   re-capturing and comparing bytes.
+
+   Trial batches replay through [Scenario.replay] (inputs are applied
+   slot by slot).  Soak shards replay by re-running the shard — the
+   soak is a pure function of its shard seed, so the recorded inputs
+   are regenerated rather than applied; the recorder ring has the same
+   capacity as at record time, so even an overflowing shard drops the
+   same prefix and the capture is byte-comparable. *)
+
+module Soak = Covirt_resilience.Soak
+
+let replay_soak ~seed ~lo ~hi ~sanitize =
+  let was_recording = Recorder.recording () in
+  Recorder.arm ();
+  let crash = ref None in
+  (try
+     ignore
+       (Soak.replay_shard ~on_trial:Recorder.set_slot ~shard_seed:seed ~lo ~hi
+          ~sanitize ()
+         : Soak.result)
+   with e when not (Scenario.simulated_exn e) ->
+     crash := Some (Printexc.to_string e));
+  let events, dropped = Recorder.capture () in
+  if not was_recording then Recorder.disarm ();
+  let trace =
+    Trace.make ~dropped ~scenario:(Trace.Soak_shard { seed; lo; hi; sanitize })
+      events
+  in
+  {
+    Scenario.trace;
+    results = [];
+    crashes = (match !crash with None -> [] | Some c -> [ (lo, c) ]);
+    planted = [];
+    detected = [];
+    sanitizer_flags = 0;
+  }
+
+let run (trace : Trace.t) =
+  match trace.Trace.scenario with
+  | Trace.Trial_batch _ -> Scenario.replay trace
+  | Trace.Soak_shard { seed; lo; hi; sanitize } ->
+      replay_soak ~seed ~lo ~hi ~sanitize
+
+type verification = {
+  report : Scenario.report;
+  replay_identical : bool;
+  matches_original : bool;
+}
+
+let verify trace =
+  let first = run trace in
+  let second = run first.Scenario.trace in
+  {
+    report = first;
+    replay_identical = Trace.equal first.Scenario.trace second.Scenario.trace;
+    matches_original = Trace.equal trace first.Scenario.trace;
+  }

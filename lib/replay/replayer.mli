@@ -1,0 +1,30 @@
+(** The replayer: re-execute a trace, re-capture, compare.
+
+    The replay contract: a trace fully determines its run, so
+    replaying it and recording the replay yields the {e same} trace,
+    byte for byte.  {!verify} checks this by replaying twice —
+    replay(T) must equal replay(replay(T)) always, mutated or not —
+    and additionally compares against the input trace, which matches
+    exactly when the input was a faithful recording (a mutated trace
+    legitimately diverges: its inputs changed the run, so the
+    re-captured exit stream differs from the stale recorded one). *)
+
+val run : Trace.t -> Scenario.report
+(** One replay.  {!Trace.Trial_batch} traces go through
+    {!Scenario.replay}; {!Trace.Soak_shard} traces re-run the soak
+    shard (pure in its seed) under the recorder, with the crash oracle
+    attached. *)
+
+type verification = {
+  report : Scenario.report;  (** the first replay *)
+  replay_identical : bool;
+      (** replay∘replay fixed point — must always hold; a [false]
+          here is a determinism bug. *)
+  matches_original : bool;
+      (** re-capture equals the input trace byte-for-byte — expected
+          for faithful recordings, expected [false] for mutated
+          traces. *)
+}
+
+val verify : Trace.t -> verification
+(** Replay twice and compare encodings. *)

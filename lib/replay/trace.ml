@@ -1,0 +1,445 @@
+(* The versioned binary trace format.  See trace.mli for the contract;
+   the encoding goals are (a) compact — varints for the ubiquitous
+   small ints, full bytes only for the one genuine int64 payload — and
+   (b) total — decode never throws, every malformed input maps to a
+   typed Error, so a mutated or truncated file from a fuzz corpus is
+   itself a safe input. *)
+
+let magic = "CVRT"
+let version = 1
+
+type exit_payload =
+  | X_ept of { gpa : int; access : int; not_mapped : bool }
+  | X_icr of { dest : int; vector : int; kind : int }
+  | X_msr of { msr : int; write : bool; value : int64 }
+  | X_io of { port : int; write : bool; value : int }
+  | X_cpuid
+  | X_xsetbv
+  | X_hlt
+  | X_intr of { vector : int }
+  | X_nmi
+  | X_abort of { what : string }
+
+type fault_payload =
+  | F_wild of int
+  | F_phantom of int
+  | F_ipi of { dest : int; vector : int }
+  | F_msr
+  | F_port
+  | F_double
+  | F_wedge of { cycles : int }
+
+type corruption = Cross_owner | Free_map | Stale_grant | Freed_access
+
+type event =
+  | Exit of {
+      slot : int;
+      cpu : int;
+      enclave : int;
+      tsc : int;
+      reason : exit_payload;
+    }
+  | Fault of { slot : int; fault : fault_payload }
+  | Inject_exit of { slot : int; reason : exit_payload }
+  | Corrupt of { slot : int; cls : corruption }
+
+type scenario =
+  | Trial_batch of { config : string; seed : int; trials : int }
+  | Soak_shard of { seed : int; lo : int; hi : int; sanitize : bool }
+
+type t = {
+  scenario : scenario;
+  schedule_json : string;
+  dropped : int;
+  events : event list;
+}
+
+let make ?(schedule_json = "") ?(dropped = 0) ~scenario events =
+  { scenario; schedule_json; dropped; events }
+
+let is_input = function
+  | Exit _ -> false
+  | Fault _ | Inject_exit _ | Corrupt _ -> true
+
+let inputs t = List.filter is_input t.events
+let observed t = List.filter (fun e -> not (is_input e)) t.events
+
+let slot_of = function
+  | Exit { slot; _ }
+  | Fault { slot; _ }
+  | Inject_exit { slot; _ }
+  | Corrupt { slot; _ } ->
+      slot
+
+let corruption_name = function
+  | Cross_owner -> "cross-owner"
+  | Free_map -> "free-map"
+  | Stale_grant -> "stale-grant"
+  | Freed_access -> "freed-access"
+
+let corruptions = [ Cross_owner; Free_map; Stale_grant; Freed_access ]
+
+(* --- encoding ------------------------------------------------------- *)
+
+(* Unsigned LEB128.  Every int field in the format is non-negative by
+   construction (addresses, slots, vectors, cycle counts); encode
+   asserts it so a negative value can never silently wrap. *)
+let put_varint buf n =
+  assert (n >= 0);
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let put_bool buf b = Buffer.add_char buf (if b then '\001' else '\000')
+
+let put_string buf s =
+  put_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let put_int64 buf v =
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+  done
+
+let put_exit_payload buf = function
+  | X_ept { gpa; access; not_mapped } ->
+      put_varint buf 0;
+      put_varint buf gpa;
+      put_varint buf access;
+      put_bool buf not_mapped
+  | X_icr { dest; vector; kind } ->
+      put_varint buf 1;
+      put_varint buf dest;
+      put_varint buf vector;
+      put_varint buf kind
+  | X_msr { msr; write; value } ->
+      put_varint buf 2;
+      put_varint buf msr;
+      put_bool buf write;
+      put_int64 buf value
+  | X_io { port; write; value } ->
+      put_varint buf 3;
+      put_varint buf port;
+      put_bool buf write;
+      put_varint buf value
+  | X_cpuid -> put_varint buf 4
+  | X_xsetbv -> put_varint buf 5
+  | X_hlt -> put_varint buf 6
+  | X_intr { vector } ->
+      put_varint buf 7;
+      put_varint buf vector
+  | X_nmi -> put_varint buf 8
+  | X_abort { what } ->
+      put_varint buf 9;
+      put_string buf what
+
+let put_fault_payload buf = function
+  | F_wild a ->
+      put_varint buf 0;
+      put_varint buf a
+  | F_phantom a ->
+      put_varint buf 1;
+      put_varint buf a
+  | F_ipi { dest; vector } ->
+      put_varint buf 2;
+      put_varint buf dest;
+      put_varint buf vector
+  | F_msr -> put_varint buf 3
+  | F_port -> put_varint buf 4
+  | F_double -> put_varint buf 5
+  | F_wedge { cycles } ->
+      put_varint buf 6;
+      put_varint buf cycles
+
+let corruption_code = function
+  | Cross_owner -> 0
+  | Free_map -> 1
+  | Stale_grant -> 2
+  | Freed_access -> 3
+
+let put_event buf = function
+  | Exit { slot; cpu; enclave; tsc; reason } ->
+      put_varint buf 0;
+      put_varint buf slot;
+      put_varint buf cpu;
+      put_varint buf enclave;
+      put_varint buf tsc;
+      put_exit_payload buf reason
+  | Fault { slot; fault } ->
+      put_varint buf 1;
+      put_varint buf slot;
+      put_fault_payload buf fault
+  | Inject_exit { slot; reason } ->
+      put_varint buf 2;
+      put_varint buf slot;
+      put_exit_payload buf reason
+  | Corrupt { slot; cls } ->
+      put_varint buf 3;
+      put_varint buf slot;
+      put_varint buf (corruption_code cls)
+
+let put_scenario buf = function
+  | Trial_batch { config; seed; trials } ->
+      put_varint buf 0;
+      put_string buf config;
+      put_varint buf seed;
+      put_varint buf trials
+  | Soak_shard { seed; lo; hi; sanitize } ->
+      put_varint buf 1;
+      put_varint buf seed;
+      put_varint buf lo;
+      put_varint buf hi;
+      put_bool buf sanitize
+
+let encode t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  put_varint buf version;
+  put_scenario buf t.scenario;
+  put_string buf t.schedule_json;
+  put_varint buf t.dropped;
+  put_varint buf (List.length t.events);
+  List.iter (put_event buf) t.events;
+  Buffer.contents buf
+
+(* --- decoding ------------------------------------------------------- *)
+
+exception Malformed of string
+
+let decode s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let byte () =
+    if !pos >= n then raise (Malformed "unexpected end of trace");
+    let c = Char.code s.[!pos] in
+    incr pos;
+    c
+  in
+  let get_varint () =
+    let rec go shift acc =
+      if shift > 62 then raise (Malformed "varint overflow");
+      let b = byte () in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+  in
+  let get_bool () =
+    match byte () with
+    | 0 -> false
+    | 1 -> true
+    | b -> raise (Malformed (Printf.sprintf "bad boolean byte %d" b))
+  in
+  let get_string () =
+    let len = get_varint () in
+    if !pos + len > n then raise (Malformed "string overruns trace");
+    let str = String.sub s !pos len in
+    pos := !pos + len;
+    str
+  in
+  let get_int64 () =
+    let v = ref 0L in
+    for i = 0 to 7 do
+      v := Int64.logor !v (Int64.shift_left (Int64.of_int (byte ())) (8 * i))
+    done;
+    !v
+  in
+  let get_exit_payload () =
+    match get_varint () with
+    | 0 ->
+        let gpa = get_varint () in
+        let access = get_varint () in
+        if access > 2 then raise (Malformed "bad EPT access code");
+        X_ept { gpa; access; not_mapped = get_bool () }
+    | 1 ->
+        let dest = get_varint () in
+        let vector = get_varint () in
+        let kind = get_varint () in
+        if kind > 3 then raise (Malformed "bad IPI kind code");
+        X_icr { dest; vector; kind }
+    | 2 ->
+        let msr = get_varint () in
+        let write = get_bool () in
+        X_msr { msr; write; value = get_int64 () }
+    | 3 ->
+        let port = get_varint () in
+        let write = get_bool () in
+        X_io { port; write; value = get_varint () }
+    | 4 -> X_cpuid
+    | 5 -> X_xsetbv
+    | 6 -> X_hlt
+    | 7 -> X_intr { vector = get_varint () }
+    | 8 -> X_nmi
+    | 9 -> X_abort { what = get_string () }
+    | c -> raise (Malformed (Printf.sprintf "unknown exit payload tag %d" c))
+  in
+  let get_fault_payload () =
+    match get_varint () with
+    | 0 -> F_wild (get_varint ())
+    | 1 -> F_phantom (get_varint ())
+    | 2 ->
+        let dest = get_varint () in
+        F_ipi { dest; vector = get_varint () }
+    | 3 -> F_msr
+    | 4 -> F_port
+    | 5 -> F_double
+    | 6 -> F_wedge { cycles = get_varint () }
+    | c -> raise (Malformed (Printf.sprintf "unknown fault payload tag %d" c))
+  in
+  let get_event () =
+    match get_varint () with
+    | 0 ->
+        let slot = get_varint () in
+        let cpu = get_varint () in
+        let enclave = get_varint () in
+        let tsc = get_varint () in
+        Exit { slot; cpu; enclave; tsc; reason = get_exit_payload () }
+    | 1 ->
+        let slot = get_varint () in
+        Fault { slot; fault = get_fault_payload () }
+    | 2 ->
+        let slot = get_varint () in
+        Inject_exit { slot; reason = get_exit_payload () }
+    | 3 ->
+        let slot = get_varint () in
+        Corrupt
+          {
+            slot;
+            cls =
+              (match get_varint () with
+              | 0 -> Cross_owner
+              | 1 -> Free_map
+              | 2 -> Stale_grant
+              | 3 -> Freed_access
+              | c ->
+                  raise
+                    (Malformed (Printf.sprintf "unknown corruption code %d" c)));
+          }
+    | c -> raise (Malformed (Printf.sprintf "unknown event tag %d" c))
+  in
+  match
+    if n < 4 || String.sub s 0 4 <> magic then
+      raise (Malformed "bad magic (not a Covirt trace)");
+    pos := 4;
+    let v = get_varint () in
+    if v <> version then
+      raise (Malformed (Printf.sprintf "unsupported trace version %d" v));
+    let scenario =
+      match get_varint () with
+      | 0 ->
+          let config = get_string () in
+          let seed = get_varint () in
+          Trial_batch { config; seed; trials = get_varint () }
+      | 1 ->
+          let seed = get_varint () in
+          let lo = get_varint () in
+          let hi = get_varint () in
+          Soak_shard { seed; lo; hi; sanitize = get_bool () }
+      | c -> raise (Malformed (Printf.sprintf "unknown scenario tag %d" c))
+    in
+    let schedule_json = get_string () in
+    let dropped = get_varint () in
+    let count = get_varint () in
+    let events = List.init count (fun _ -> get_event ()) in
+    if !pos <> n then raise (Malformed "trailing bytes after last event");
+    { scenario; schedule_json; dropped; events }
+  with
+  | t -> Ok t
+  | exception Malformed why -> Error why
+
+(* --- files, identity ------------------------------------------------ *)
+
+let to_file t ~path =
+  let oc = open_out_bin path in
+  output_string oc (encode t);
+  close_out oc
+
+let of_file ~path =
+  match open_in_bin path with
+  | exception Sys_error why -> Error why
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      decode s
+
+let equal a b = String.equal (encode a) (encode b)
+let digest t = Digest.to_hex (Digest.string (encode t))
+
+(* --- rendering ------------------------------------------------------ *)
+
+let access_name = function 0 -> "read" | 1 -> "write" | _ -> "exec"
+
+let pp_exit_payload ppf = function
+  | X_ept { gpa; access; not_mapped } ->
+      Format.fprintf ppf "ept-violation(gpa=0x%x,%s,%s)" gpa
+        (access_name access)
+        (if not_mapped then "not-mapped" else "perm")
+  | X_icr { dest; vector; kind } ->
+      Format.fprintf ppf "icr-write(dest=%d,vec=%d,kind=%d)" dest vector kind
+  | X_msr { msr; write; value } ->
+      Format.fprintf ppf "msr-%s(0x%x,0x%Lx)"
+        (if write then "write" else "read")
+        msr value
+  | X_io { port; write; value } ->
+      Format.fprintf ppf "io-%s(0x%x,%d)"
+        (if write then "out" else "in")
+        port value
+  | X_cpuid -> Format.pp_print_string ppf "cpuid"
+  | X_xsetbv -> Format.pp_print_string ppf "xsetbv"
+  | X_hlt -> Format.pp_print_string ppf "hlt"
+  | X_intr { vector } -> Format.fprintf ppf "external-interrupt(%d)" vector
+  | X_nmi -> Format.pp_print_string ppf "nmi"
+  | X_abort { what } -> Format.fprintf ppf "abort(%s)" what
+
+let pp_fault_payload ppf = function
+  | F_wild a -> Format.fprintf ppf "wild-write(0x%x)" a
+  | F_phantom a -> Format.fprintf ppf "phantom-touch(0x%x)" a
+  | F_ipi { dest; vector } ->
+      Format.fprintf ppf "errant-ipi(core%d,vec%d)" dest vector
+  | F_msr -> Format.pp_print_string ppf "msr-write"
+  | F_port -> Format.pp_print_string ppf "port-reset"
+  | F_double -> Format.pp_print_string ppf "double-fault"
+  | F_wedge { cycles } -> Format.fprintf ppf "wedge(%d)" cycles
+
+let pp_event ppf = function
+  | Exit { slot; cpu; enclave; tsc; reason } ->
+      Format.fprintf ppf "[%d] exit cpu%d enc%d tsc=%d %a" slot cpu enclave tsc
+        pp_exit_payload reason
+  | Fault { slot; fault } ->
+      Format.fprintf ppf "[%d] fault %a" slot pp_fault_payload fault
+  | Inject_exit { slot; reason } ->
+      Format.fprintf ppf "[%d] inject-exit %a" slot pp_exit_payload reason
+  | Corrupt { slot; cls } ->
+      Format.fprintf ppf "[%d] corrupt %s" slot (corruption_name cls)
+
+let pp_scenario ppf = function
+  | Trial_batch { config; seed; trials } ->
+      Format.fprintf ppf "trial-batch config=%s seed=%d trials=%d" config seed
+        trials
+  | Soak_shard { seed; lo; hi; sanitize } ->
+      Format.fprintf ppf "soak-shard seed=%d trials=%d..%d%s" seed (lo + 1) hi
+        (if sanitize then " sanitized" else "")
+
+let pp_summary ppf t =
+  let count p = List.length (List.filter p t.events) in
+  Format.fprintf ppf
+    "@[<v>scenario: %a@,\
+     version %d, %d bytes, digest %s@,\
+     events: %d exits, %d faults, %d injected exits, %d corruptions%s@]"
+    pp_scenario t.scenario version
+    (String.length (encode t))
+    (digest t)
+    (count (function Exit _ -> true | _ -> false))
+    (count (function Fault _ -> true | _ -> false))
+    (count (function Inject_exit _ -> true | _ -> false))
+    (count (function Corrupt _ -> true | _ -> false))
+    (if t.dropped > 0 then
+       Printf.sprintf " (+%d dropped: trailing window only)" t.dropped
+     else "")

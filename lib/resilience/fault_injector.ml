@@ -33,6 +33,7 @@ type rule = { target : string; trigger : trigger; fault : fault }
 type armed_rule = { rule : rule; mutable fired : bool }
 
 type t = {
+  seed : int;
   rng : Covirt_sim.Rng.t;
   rules : armed_rule list;
   mutable applied : int;
@@ -40,10 +41,13 @@ type t = {
 
 let create ~seed ?(rules = []) () =
   {
+    seed;
     rng = Covirt_sim.Rng.create ~seed;
     rules = List.map (fun rule -> { rule; fired = false }) rules;
     applied = 0;
   }
+
+let seed t = t.seed
 
 (* The campaign's original fault distribution, draw-for-draw: six
    classes, uniform, with addresses spread over physical memory. *)
@@ -65,31 +69,55 @@ let draw t ~machine_mem ~victim_bsp =
   | 5 -> Double_fault
   | _ -> assert false
 
+type schedule_status = Due of fault list | End_of_schedule
+
+(* A rule can never fire again once a one-shot trigger is consumed;
+   [Every_n_trials] keeps a schedule live forever. *)
+let rule_spent armed =
+  match armed.rule.trigger with
+  | At_trial _ | At_cycle _ -> armed.fired
+  | Every_n_trials n -> n <= 0
+
+let schedule_exhausted t = t.rules <> [] && List.for_all rule_spent t.rules
+
 let due t ~target ~trial ~now =
-  List.filter_map
-    (fun armed ->
-      let { target = rule_target; trigger; fault } = armed.rule in
-      if rule_target <> target then None
-      else
-        match trigger with
-        | At_trial n ->
-            if (not armed.fired) && trial = n then begin
-              armed.fired <- true;
-              Some fault
-            end
-            else None
-        | Every_n_trials n ->
-            if n > 0 && trial mod n = 0 then Some fault else None
-        | At_cycle c ->
-            if (not armed.fired) && now >= c then begin
-              armed.fired <- true;
-              Some fault
-            end
-            else None)
-    t.rules
+  let faults =
+    List.filter_map
+      (fun armed ->
+        let { target = rule_target; trigger; fault } = armed.rule in
+        if rule_target <> target then None
+        else
+          match trigger with
+          | At_trial n ->
+              if (not armed.fired) && trial = n then begin
+                armed.fired <- true;
+                Some fault
+              end
+              else None
+          | Every_n_trials n ->
+              if n > 0 && trial mod n = 0 then Some fault else None
+          | At_cycle c ->
+              if (not armed.fired) && now >= c then begin
+                armed.fired <- true;
+                Some fault
+              end
+              else None)
+      t.rules
+  in
+  (* An exhausted schedule answers typed, not with a silent no-op:
+     callers can stop consulting it (and a replayer knows the trace
+     carries every fault the schedule will ever produce). *)
+  if faults = [] && schedule_exhausted t then End_of_schedule else Due faults
+
+(* Record tap for the replay recorder — same zero-cost contract as
+   [Covirt_hw.Vmx.exit_tap]: one branch when disarmed, and the tap
+   never charges cycles or draws randomness. *)
+let tap_on = ref false
+let inject_tap : (fault -> unit) ref = ref (fun _ -> ())
 
 let inject t (ctx : Kitten.context) fault =
   t.applied <- t.applied + 1;
+  if !tap_on then !inject_tap fault;
   match fault with
   | Wild_write addr -> Kitten.store_addr ctx addr
   | Phantom_touch addr ->
@@ -105,3 +133,246 @@ let inject t (ctx : Kitten.context) fault =
   | Wedge { cycles } -> Kitten.spin_wedged ctx ~cycles
 
 let injected t = t.applied
+
+(* ------------------------------------------------------------------ *)
+(* Schedule serialization: a trace must fully determine the faults a
+   replayed run injects, so the seeded schedule travels as JSON inside
+   the trace header (and in quarantine-capture sidecars).  The format
+   round-trips through [of_json], fired flags included, so a schedule
+   serialized mid-run resumes exactly where it stopped. *)
+
+let fault_to_json = function
+  | Wild_write a -> Printf.sprintf {|{"kind":"wild-write","addr":%d}|} a
+  | Phantom_touch a -> Printf.sprintf {|{"kind":"phantom-touch","addr":%d}|} a
+  | Errant_ipi { dest; vector } ->
+      Printf.sprintf {|{"kind":"errant-ipi","dest":%d,"vector":%d}|} dest vector
+  | Msr_write -> {|{"kind":"msr-write"}|}
+  | Port_reset -> {|{"kind":"port-reset"}|}
+  | Double_fault -> {|{"kind":"double-fault"}|}
+  | Wedge { cycles } -> Printf.sprintf {|{"kind":"wedge","cycles":%d}|} cycles
+
+let trigger_to_json = function
+  | At_trial n -> Printf.sprintf {|{"kind":"at-trial","n":%d}|} n
+  | Every_n_trials n -> Printf.sprintf {|{"kind":"every-n-trials","n":%d}|} n
+  | At_cycle c -> Printf.sprintf {|{"kind":"at-cycle","cycle":%d}|} c
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let schedule_to_json t =
+  let rule armed =
+    Printf.sprintf {|{"target":"%s","trigger":%s,"fired":%b,"fault":%s}|}
+      (json_escape armed.rule.target)
+      (trigger_to_json armed.rule.trigger)
+      armed.fired
+      (fault_to_json armed.rule.fault)
+  in
+  Printf.sprintf {|{"seed":%d,"rules":[%s]}|} t.seed
+    (String.concat "," (List.map rule t.rules))
+
+(* A minimal recursive-descent parser over the subset [schedule_to_json]
+   emits (objects, arrays, strings with the escapes above, integers,
+   booleans).  Self-contained on purpose: the repo carries no JSON
+   dependency, and the sidecar format is ours. *)
+
+type jv =
+  | J_obj of (string * jv) list
+  | J_arr of jv list
+  | J_str of string
+  | J_int of int
+  | J_bool of bool
+
+exception Parse of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> raise (Parse (Printf.sprintf "expected %c at byte %d" c !pos))
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then raise (Parse "unterminated string")
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (if !pos >= n then raise (Parse "unterminated escape")
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char buf '"'
+               | '\\' -> Buffer.add_char buf '\\'
+               | 'n' -> Buffer.add_char buf '\n'
+               | 'u' ->
+                   if !pos + 4 >= n then raise (Parse "short \\u escape");
+                   let code =
+                     int_of_string ("0x" ^ String.sub s (!pos + 1) 4)
+                   in
+                   Buffer.add_char buf (Char.chr (code land 0xff));
+                   pos := !pos + 4
+               | c -> raise (Parse (Printf.sprintf "bad escape \\%c" c)));
+            advance ();
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          J_obj []
+        end
+        else
+          let rec fields acc =
+            let key = parse_string () in
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                skip_ws ();
+                fields ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                J_obj (List.rev ((key, v) :: acc))
+            | _ -> raise (Parse "expected , or } in object")
+          in
+          (skip_ws ();
+           fields [])
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          J_arr []
+        end
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (v :: acc)
+            | Some ']' ->
+                advance ();
+                J_arr (List.rev (v :: acc))
+            | _ -> raise (Parse "expected , or ] in array")
+          in
+          items []
+    | Some '"' -> J_str (parse_string ())
+    | Some 't' ->
+        pos := !pos + 4;
+        J_bool true
+    | Some 'f' ->
+        pos := !pos + 5;
+        J_bool false
+    | Some ('-' | '0' .. '9') ->
+        let start = !pos in
+        if peek () = Some '-' then advance ();
+        let rec digits () =
+          match peek () with
+          | Some '0' .. '9' ->
+              advance ();
+              digits ()
+          | _ -> ()
+        in
+        digits ();
+        J_int (int_of_string (String.sub s start (!pos - start)))
+    | _ -> raise (Parse (Printf.sprintf "unexpected input at byte %d" !pos))
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then raise (Parse "trailing garbage after JSON value");
+  v
+
+let field name = function
+  | J_obj fields -> (
+      match List.assoc_opt name fields with
+      | Some v -> v
+      | None -> raise (Parse ("missing field " ^ name)))
+  | _ -> raise (Parse ("expected object around field " ^ name))
+
+let as_int = function J_int i -> i | _ -> raise (Parse "expected integer")
+let as_str = function J_str s -> s | _ -> raise (Parse "expected string")
+let as_bool = function J_bool b -> b | _ -> raise (Parse "expected boolean")
+let as_arr = function J_arr l -> l | _ -> raise (Parse "expected array")
+
+let fault_of_jv jv =
+  match as_str (field "kind" jv) with
+  | "wild-write" -> Wild_write (as_int (field "addr" jv))
+  | "phantom-touch" -> Phantom_touch (as_int (field "addr" jv))
+  | "errant-ipi" ->
+      Errant_ipi
+        { dest = as_int (field "dest" jv); vector = as_int (field "vector" jv) }
+  | "msr-write" -> Msr_write
+  | "port-reset" -> Port_reset
+  | "double-fault" -> Double_fault
+  | "wedge" -> Wedge { cycles = as_int (field "cycles" jv) }
+  | k -> raise (Parse ("unknown fault kind " ^ k))
+
+let trigger_of_jv jv =
+  match as_str (field "kind" jv) with
+  | "at-trial" -> At_trial (as_int (field "n" jv))
+  | "every-n-trials" -> Every_n_trials (as_int (field "n" jv))
+  | "at-cycle" -> At_cycle (as_int (field "cycle" jv))
+  | k -> raise (Parse ("unknown trigger kind " ^ k))
+
+let of_json s =
+  match parse_json s with
+  | jv ->
+      let seed = as_int (field "seed" jv) in
+      let t = create ~seed () in
+      let rules =
+        List.map
+          (fun rv ->
+            {
+              rule =
+                {
+                  target = as_str (field "target" rv);
+                  trigger = trigger_of_jv (field "trigger" rv);
+                  fault = fault_of_jv (field "fault" rv);
+                };
+              fired = as_bool (field "fired" rv);
+            })
+          (as_arr (field "rules" jv))
+      in
+      Ok { t with rules }
+  | exception Parse why -> Error ("fault schedule: " ^ why)
+  | exception Failure why -> Error ("fault schedule: " ^ why)

@@ -57,14 +57,57 @@ val create : seed:int -> ?rules:rule list -> unit -> t
 (** Fresh injector.  Equal [seed]s yield equal {!draw} sequences;
     [rules] seeds the schedule (default none). *)
 
+val seed : t -> int
+(** The seed this injector was created with (serialized into replay
+    traces so a trace fully determines the fault stream). *)
+
 val draw : t -> machine_mem:int -> victim_bsp:int -> fault
 (** Next fault from the seeded random stream — the campaign taxonomy:
     wild write, phantom touch, errant IPI at the victim's boot core,
     MSR write, port reset, double fault (never [Wedge]). *)
 
-val due : t -> target:string -> trial:int -> now:int -> fault list
+type schedule_status =
+  | Due of fault list
+      (** scheduled faults firing now (possibly none, with more rules
+          still live) *)
+  | End_of_schedule
+      (** every rule in a non-empty schedule is spent: all one-shot
+          triggers have fired and no recurring rule remains.  Typed so
+          callers can stop consulting the schedule — and so a replayer
+          knows a trace carries every fault the schedule will ever
+          produce — rather than reading an empty list forever. *)
+
+val due : t -> target:string -> trial:int -> now:int -> schedule_status
 (** Scheduled faults firing for [target] at this [trial] / [now] TSC.
-    One-shot triggers are consumed. *)
+    One-shot triggers are consumed.  An injector created without rules
+    always answers [Due []] (there is no schedule to exhaust). *)
+
+val schedule_exhausted : t -> bool
+(** Whether a non-empty schedule has no rule that can ever fire
+    again. *)
+
+val schedule_to_json : t -> string
+(** Serialize the seed and the schedule — fired flags included — as
+    one JSON object, so a replay trace or quarantine capture fully
+    determines the injected faults.  Round-trips through
+    {!of_json}. *)
+
+val of_json : string -> (t, string) result
+(** Rebuild an injector from {!schedule_to_json} output: same seed
+    (hence the same {!draw} stream from the start) and the same
+    schedule state.  The random stream position is {e not} part of the
+    format — replay re-runs from the beginning, it does not resume
+    mid-stream. *)
+
+val tap_on : bool ref
+(** Arms {!inject_tap}.  Owned by the replay recorder; one branch per
+    {!inject} when off. *)
+
+val inject_tap : (fault -> unit) ref
+(** Called with every fault as it is applied while [tap_on] — before
+    the fault's own exception can escape, so faults that kill their
+    enclave are recorded too.  Must not charge cycles or draw
+    randomness. *)
 
 val inject : t -> Kitten.context -> fault -> unit
 (** Apply the fault on the given execution context and count it.  May

@@ -10,6 +10,7 @@ type result = {
   wedges_injected : int;
   wedges_detected : int;
   quarantined : (string * string) list;
+  captures : (string * string) list;
   budget_respected : bool;
   sibling_residual : float;
   reference_residual : float;
@@ -92,7 +93,8 @@ let reference_residual ~seed =
    supervisor, watchdog, injector) owning the {e global} trial numbers
    [lo+1 .. hi] — preserving the wedge schedule and target alternation
    whatever the shard count — seeded entirely from [shard_seed]. *)
-let run_shard ~shard_seed ~lo ~hi ~sanitize =
+let run_shard ?(on_trial = fun (_ : int) -> ()) ?on_quarantine ~shard_seed ~lo
+    ~hi ~sanitize () =
   let obs_before = Covirt_obs.Metrics.snapshot () in
   let sanitize_before = Covirt_hw.Sanitize.violation_count () in
   let machine =
@@ -104,6 +106,11 @@ let run_shard ~shard_seed ~lo ~hi ~sanitize =
   let pisces = Covirt_hobbes.Hobbes.pisces hobbes in
   let ctrl = Covirt.enable pisces ~config:Covirt.Config.full in
   let sup = Supervisor.create ~policy:soak_policy ~seed:shard_seed ctrl in
+  (match on_quarantine with
+  | Some hook ->
+      Supervisor.set_quarantine_hook sup (fun ~name ~why ->
+          hook ~shard_seed ~lo ~hi ~name ~why)
+  | None -> ());
   let dog = Watchdog.create sup in
   let injector =
     Fault_injector.create
@@ -127,6 +134,7 @@ let run_shard ~shard_seed ~lo ~hi ~sanitize =
   (* [inject = false] runs a quiet epoch: heartbeats and soak time
      only, no fault opportunity.  Used by the post-loop drain. *)
   let epoch_step ~inject trial =
+    on_trial trial;
     (* Soak time passes on the host between fault opportunities. *)
     Cpu.charge host epoch;
     let target = if trial mod 2 = 0 then worker_a else worker_b in
@@ -145,7 +153,13 @@ let run_shard ~shard_seed ~lo ~hi ~sanitize =
                 if is_target then begin
                   let now = Cpu.rdtsc host in
                   let scheduled =
-                    Fault_injector.due injector ~target:name ~trial ~now
+                    (* A spent schedule answers typed; the random
+                       draw below still runs, so the trial stream is
+                       unchanged. *)
+                    match Fault_injector.due injector ~target:name ~trial ~now
+                    with
+                    | Fault_injector.Due faults -> faults
+                    | Fault_injector.End_of_schedule -> []
                   in
                   if List.exists Fault_injector.is_wedge scheduled then begin
                     (* Wedge trials wedge and nothing else, so the
@@ -241,6 +255,7 @@ let run_shard ~shard_seed ~lo ~hi ~sanitize =
     wedges_injected = !wedges_injected;
     wedges_detected = !wedges_detected;
     quarantined = Supervisor.quarantine_ledger sup;
+    captures = Supervisor.captures sup;
     budget_respected;
     sibling_residual = !sibling_res;
     reference_residual = reference;
@@ -278,6 +293,7 @@ let merge_results ~seed ~trials = function
               wedges_injected = acc.wedges_injected + r.wedges_injected;
               wedges_detected = acc.wedges_detected + r.wedges_detected;
               quarantined = acc.quarantined @ r.quarantined;
+              captures = acc.captures @ r.captures;
               budget_respected = acc.budget_respected && r.budget_respected;
               (* The residual pair reported is the first shard's; every
                  shard checks its own against its own reference. *)
@@ -309,15 +325,36 @@ let merge_results ~seed ~trials = function
       in
       merged
 
-let run ?(trials = 200) ?(seed = 2026) ?(sanitize = false) ?(shards = 1)
-    ?domains () =
+(* Replay entry point: one shard, run in the calling domain, with the
+   sanitizer request handled here (a replayer is not a fleet, so the
+   request/release pairing the parallel [run] does around its spawns
+   happens inline).  Pure in [shard_seed], so a recorded soak-shard
+   trace re-runs bit-identically. *)
+let replay_shard ?on_trial ?on_quarantine ~shard_seed ~lo ~hi ~sanitize () =
   let had_request = Covirt_hw.Sanitize.requested () in
   if sanitize then Covirt_hw.Sanitize.request ();
+  let finish () =
+    if sanitize && not had_request then Covirt_hw.Sanitize.release ()
+  in
+  match run_shard ?on_trial ?on_quarantine ~shard_seed ~lo ~hi ~sanitize () with
+  | r ->
+      finish ();
+      r
+  | exception e ->
+      finish ();
+      raise e
+
+let run ?(trials = 200) ?(seed = 2026) ?(sanitize = false) ?(shards = 1)
+    ?domains ?shard_wrap ?on_trial ?on_quarantine () =
+  let had_request = Covirt_hw.Sanitize.requested () in
+  if sanitize then Covirt_hw.Sanitize.request ();
+  let wrap = match shard_wrap with Some w -> w | None -> fun body -> body () in
   let shard_results =
     Covirt_fleet.Fleet.map ?domains ~seed ~shards
       (fun ~shard_seed ~index ->
         let lo, hi = Covirt_fleet.Fleet.slice ~n:trials ~shards index in
-        run_shard ~shard_seed ~lo ~hi ~sanitize)
+        wrap (fun () ->
+            run_shard ?on_trial ?on_quarantine ~shard_seed ~lo ~hi ~sanitize ()))
   in
   if sanitize && not had_request then Covirt_hw.Sanitize.release ();
   merge_results ~seed ~trials (Array.to_list shard_results)
@@ -338,6 +375,11 @@ let table r =
   List.iter
     (fun (name, inc) -> add (name ^ " relaunches") (string_of_int inc))
     r.incarnations;
+  (* Capture rows only when a quarantine hook archived something, so
+     default soak output is byte-identical. *)
+  List.iter
+    (fun (name, path) -> add (name ^ " capture") path)
+    r.captures;
   add "sibling residual" (Printf.sprintf "%.6e" r.sibling_residual);
   add "reference residual" (Printf.sprintf "%.6e" r.reference_residual);
   add "sibling unperturbed" (string_of_bool r.sibling_unperturbed);

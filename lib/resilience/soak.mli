@@ -22,6 +22,10 @@ type result = {
   wedges_injected : int;
   wedges_detected : int;  (** wedges the watchdog escalated *)
   quarantined : (string * string) list;  (** the supervisor's ledger *)
+  captures : (string * string) list;
+      (** [(name, archive path)] for every quarantine a hook archived
+          (see {!Supervisor.set_quarantine_hook}); empty without an
+          [on_quarantine] callback *)
   budget_respected : bool;
       (** no backoff attempt ever exceeded the restart budget, and
           every permanently-down enclave is explained by the ledger *)
@@ -51,6 +55,15 @@ val run :
   ?sanitize:bool ->
   ?shards:int ->
   ?domains:int ->
+  ?shard_wrap:((unit -> result) -> result) ->
+  ?on_trial:(int -> unit) ->
+  ?on_quarantine:
+    (shard_seed:int ->
+    lo:int ->
+    hi:int ->
+    name:string ->
+    why:string ->
+    string option) ->
   unit ->
   result
 (** Defaults: 200 trials, seed 2026.  [sanitize] (default [false])
@@ -69,7 +82,37 @@ val run :
     trial numbers (which schedule wedges and alternate targets) are
     preserved across shard boundaries, and each shard runs quiet drain
     epochs at its end so a wedge injected near the boundary is still
-    caught by its own watchdog. *)
+    caught by its own watchdog.
+
+    The three callbacks run {e inside} the shard's domain and must be
+    domain-safe: [shard_wrap] brackets a whole shard body (a trace
+    recorder arms/disarms here), [on_trial] fires at the top of every
+    epoch with the global trial number (slot stamping), and
+    [on_quarantine] is installed as each shard supervisor's
+    {!Supervisor.set_quarantine_hook} — its [Some path] returns are
+    collected into [result.captures] and printed by {!table}.  All
+    default to no-ops, leaving results byte-identical. *)
+
+val replay_shard :
+  ?on_trial:(int -> unit) ->
+  ?on_quarantine:
+    (shard_seed:int ->
+    lo:int ->
+    hi:int ->
+    name:string ->
+    why:string ->
+    string option) ->
+  shard_seed:int ->
+  lo:int ->
+  hi:int ->
+  sanitize:bool ->
+  unit ->
+  result
+(** Re-run exactly one shard — trials [lo+1 .. hi] under [shard_seed]
+    — in the calling domain, handling the sanitizer request/release
+    inline.  Pure in its arguments: this is the soak half of the
+    replay contract, used by [covirt.replay] to re-execute a recorded
+    soak-shard trace bit-identically. *)
 
 val table : result -> Covirt_sim.Table.t
 (** Summary table for the CLI. *)

@@ -69,6 +69,9 @@ type t = {
   mutable managed : (string * managed) list;  (* registration order *)
   mutable events : event list;  (* newest first *)
   mutable ledger : (string * string) list;  (* quarantine order *)
+  mutable quarantine_hook : name:string -> why:string -> string option;
+      (* archival callback run at the moment the breaker trips *)
+  mutable captures : (string * string) list;  (* (name, archive path) *)
   pending : (int, Covirt.Fault_report.t) Hashtbl.t;
       (* latest fatal report per enclave id: the "why" of a recovery *)
 }
@@ -92,6 +95,8 @@ let create ?policy ~seed ctrl =
       managed = [];
       events = [];
       ledger = [];
+      quarantine_hook = (fun ~name:_ ~why:_ -> None);
+      captures = [];
       pending = Hashtbl.create 4;
     }
   in
@@ -193,6 +198,12 @@ let quarantine t m ~cause =
   m.kitten <- None;
   push t m (Quarantine why);
   t.ledger <- t.ledger @ [ (m.m_name, why) ];
+  (* Archive while the wreckage is fresh: the hook runs before the
+     caller learns of the quarantine, so a recorder's trailing window
+     still holds the exits that led here. *)
+  (match t.quarantine_hook ~name:m.m_name ~why with
+  | Some path -> t.captures <- t.captures @ [ (m.m_name, path) ]
+  | None -> ());
   why
 
 (* Relaunch with exponential backoff until a launch sticks or the
@@ -325,3 +336,5 @@ let attempts t ~name = (find_exn t name).attempts
 let incarnation t ~name = (find_exn t name).incarnation
 let timeline t = List.rev t.events
 let quarantine_ledger t = t.ledger
+let set_quarantine_hook t hook = t.quarantine_hook <- hook
+let captures t = t.captures

@@ -134,3 +134,15 @@ val quarantine_ledger : t -> (string * string) list
 (** [(name, explanation)] for every permanently-down enclave, in
     quarantine order.  The explanation names the triggering fault
     report and the consumed budget. *)
+
+val set_quarantine_hook : t -> (name:string -> why:string -> string option) -> unit
+(** Install an archival callback run at the instant the circuit
+    breaker trips — before the quarantine verdict reaches the caller,
+    so a trace recorder's trailing window still holds the exits
+    leading up to the failure.  Returning [Some path] records the
+    archive in {!captures}.  The hook must not touch the supervisor
+    (it runs mid-protocol); default returns [None]. *)
+
+val captures : t -> (string * string) list
+(** [(name, archive path)] for every quarantine whose hook archived
+    state, in quarantine order. *)

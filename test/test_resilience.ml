@@ -107,7 +107,11 @@ let test_injector_schedule () =
         ]
       ()
   in
-  let due target trial now = Fault_injector.due inj ~target ~trial ~now in
+  let due target trial now =
+    match Fault_injector.due inj ~target ~trial ~now with
+    | Fault_injector.Due faults -> faults
+    | Fault_injector.End_of_schedule -> []
+  in
   Alcotest.(check int) "trial 1: nothing for a" 0 (List.length (due "a" 1 0));
   Alcotest.(check int) "trial 2: every-2 fires" 1 (List.length (due "a" 2 0));
   (match due "a" 3 0 with
