@@ -15,6 +15,8 @@
      --trace-out f        enable observability and write a Chrome
                           trace_event JSON of the run (do not combine
                           with --check: tracing adds recording work)
+     --gc-stats f         write per-microbench minor words/op and the
+                          process GC counters as TSV (CI artifact)
      --domains N          fleet placement for the sharded harnesses
                           (default Domain.recommended_domain_count);
                           changes wall-clocks only, never a result byte
@@ -172,6 +174,7 @@ let run_kernels () =
    contract), and the wall-clock ratio is recorded as fleet_speedup. *)
 
 let fleet_speedup : float option ref = ref None
+let fleet_domains : int option ref = ref None
 
 let run_fleet ~quick () =
   section "Fleet: domain-sharded soak, determinism and wall-clock speedup";
@@ -180,6 +183,7 @@ let run_fleet ~quick () =
     | Some d -> d
     | None -> Covirt_fleet.Fleet.recommended_domains ()
   in
+  fleet_domains := Some domains;
   let trials = if quick then 400 else 1600 in
   let shards = 16 in
   let soak d =
@@ -212,19 +216,25 @@ let run_fleet ~quick () =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Bechamel microbenchmarks of the hot paths.                          *)
+(* Microbenchmarks of the hot paths.  Each is one closure measured two
+   ways: Bechamel for ns/op, and a direct [Gc.minor_words] delta for
+   minor words/op.  [gate] marks the warm-path set — translate, TLB
+   lookup, memoized charge — that the allocation gate pins to exactly
+   zero words/op (the zero-GC hot-path contract; see DESIGN.md §13). *)
 
-let bechamel_tests () =
-  let open Bechamel in
+type micro = { mname : string; gate : bool; fn : unit -> unit }
+
+let microbenches () =
   let open Covirt_hw in
   let mib = Covirt_sim.Units.mib in
-  (* EPT translate on a coalesced identity map *)
+  (* EPT translate on a coalesced identity map.  [translate_code] is
+     the allocation-free entry the simulator's own warm path uses. *)
   let ept = Ept.create () in
   Ept.map_region ept (Region.make ~base:0 ~len:(1024 * mib));
   let translate =
-    Test.make ~name:"ept_translate"
-      (Staged.stage (fun () ->
-           ignore (Ept.translate ept 0x12345678 ~access:`Read)))
+    { mname = "ept_translate"; gate = true;
+      fn =
+        (fun () -> ignore (Ept.translate_code ept 0x12345678 ~access:`Read)) }
   in
   (* EPT translate on a 4K-grain map (the hard case: a full 4-level
      walk when cold), warm via the paging-structure walk cache vs cold
@@ -235,46 +245,50 @@ let bechamel_tests () =
   (* pre-touch every page so the measurement sees the steady state,
      not the one-off lazy slot resolution *)
   for p = 0 to (grain_len / 4096) - 1 do
-    ignore (Ept.translate ept_warm (p * 4096) ~access:`Read)
+    ignore (Ept.translate_code ept_warm (p * 4096) ~access:`Read)
   done;
   let widx = ref 0 in
   let translate_warm =
-    Test.make ~name:"ept_translate_warm"
-      (Staged.stage (fun () ->
-           incr widx;
-           ignore
-             (Ept.translate ept_warm
-                ((!widx * 4096 + 8) land (grain_len - 1))
-                ~access:`Read)))
+    { mname = "ept_translate_warm"; gate = true;
+      fn =
+        (fun () ->
+          incr widx;
+          ignore
+            (Ept.translate_code ept_warm
+               ((!widx * 4096 + 8) land (grain_len - 1))
+               ~access:`Read)) }
   in
   let ept_cold = Ept.create ~max_page:Addr.Page_4k ~walk_cache:false () in
   Ept.map_region ept_cold (Region.make ~base:0 ~len:grain_len);
   let cidx = ref 0 in
   let translate_cold =
-    Test.make ~name:"ept_translate_cold"
-      (Staged.stage (fun () ->
-           incr cidx;
-           ignore
-             (Ept.translate ept_cold
-                ((!cidx * 4096 + 8) land (grain_len - 1))
-                ~access:`Read)))
+    { mname = "ept_translate_cold"; gate = false;
+      fn =
+        (fun () ->
+          incr cidx;
+          ignore
+            (Ept.translate_code ept_cold
+               ((!cidx * 4096 + 8) land (grain_len - 1))
+               ~access:`Read)) }
   in
   (* EPT map/unmap of a 2M region *)
   let scratch = Ept.create () in
   let map_unmap =
-    Test.make ~name:"ept_map_unmap_2m"
-      (Staged.stage (fun () ->
-           let r = Region.make ~base:(2 * mib) ~len:(2 * mib) in
-           Ept.map_region scratch r;
-           Ept.unmap_region scratch r))
+    { mname = "ept_map_unmap_2m"; gate = false;
+      fn =
+        (fun () ->
+          let r = Region.make ~base:(2 * mib) ~len:(2 * mib) in
+          Ept.map_region scratch r;
+          Ept.unmap_region scratch r) }
   in
-  (* TLB lookup *)
+  (* TLB lookup — [lookup] returns the slot's stored entry option, so
+     the real API is itself on the gate *)
   let model = Cost_model.default in
   let tlb = Tlb.create ~model ~rng:(Covirt_sim.Rng.create ~seed:1) in
   Tlb.install tlb 0x200000 ~page_size:Addr.Page_2m;
   let tlb_lookup =
-    Test.make ~name:"tlb_lookup"
-      (Staged.stage (fun () -> ignore (Tlb.lookup tlb 0x200400)))
+    { mname = "tlb_lookup"; gate = true;
+      fn = (fun () -> ignore (Tlb.lookup tlb 0x200400)) }
   in
   (* TLB lookup against a completely full TLB — every probe hits, and
      the probe address cycles through every installed page so set
@@ -286,59 +300,71 @@ let bechamel_tests () =
   Array.iter (fun a -> Tlb.install full a ~page_size:Addr.Page_4k) hit_addrs;
   let hidx = ref 0 in
   let tlb_lookup_hit =
-    Test.make ~name:"tlb_lookup_hit"
-      (Staged.stage (fun () ->
-           incr hidx;
-           ignore (Tlb.lookup full hit_addrs.(!hidx land (n_full - 1)))))
+    { mname = "tlb_lookup_hit"; gate = true;
+      fn =
+        (fun () ->
+          incr hidx;
+          ignore (Tlb.lookup_hit full hit_addrs.(!hidx land (n_full - 1)))) }
   in
   let midx = ref 0 in
   let tlb_lookup_miss =
-    Test.make ~name:"tlb_lookup_miss"
-      (Staged.stage (fun () ->
-           incr midx;
-           ignore
-             (Tlb.lookup full ((n_full + (!midx land 1023)) * 4096))))
+    { mname = "tlb_lookup_miss"; gate = true;
+      fn =
+        (fun () ->
+          incr midx;
+          ignore (Tlb.lookup full ((n_full + (!midx land 1023)) * 4096))) }
   in
   let xidx = ref 0 in
   let tlb_lookup_mixed =
-    Test.make ~name:"tlb_lookup_mixed"
-      (Staged.stage (fun () ->
-           incr xidx;
-           let a =
-             if !xidx land 1 = 0 then hit_addrs.(!xidx land (n_full - 1))
-             else (n_full + (!xidx land 1023)) * 4096
-           in
-           ignore (Tlb.lookup full a)))
+    { mname = "tlb_lookup_mixed"; gate = true;
+      fn =
+        (fun () ->
+          incr xidx;
+          let a =
+            if !xidx land 1 = 0 then hit_addrs.(!xidx land (n_full - 1))
+            else (n_full + (!xidx land 1023)) * 4096
+          in
+          ignore (Tlb.lookup full a)) }
   in
-  (* memoized bulk charge model *)
+  (* memoized bulk charge model: warm calls are one scratch-key probe *)
   let machine =
     Machine.create ~zones:1 ~cores_per_zone:1 ~mem_per_zone:(256 * mib)
       ~host_reserved_per_zone:(32 * mib) ()
   in
   let cpu0 = Machine.cpu machine 0 in
   let charge_random =
-    Test.make ~name:"charge_random"
-      (Staged.stage (fun () ->
-           Machine.charge_random machine cpu0 ~ops:1000 ~base:(64 * mib)
-             ~working_set:(16 * mib) ~sharers:1 ~page_size:Addr.Page_2m))
+    { mname = "charge_random"; gate = true;
+      fn =
+        (fun () ->
+          Machine.charge_random machine cpu0 ~ops:1000 ~base:(64 * mib)
+            ~working_set:(16 * mib) ~sharers:1 ~page_size:Addr.Page_2m) }
+  in
+  let charge_stream =
+    { mname = "charge_stream"; gate = true;
+      fn =
+        (fun () ->
+          Machine.charge_stream machine cpu0 ~base:(64 * mib)
+            ~bytes:(8 * mib) ~sharers:1 ~page_size:Addr.Page_2m) }
   in
   (* whitelist check *)
   let wl = Covirt.Whitelist.create ~enclave_cores:[ 1; 2; 3; 4 ] in
   Covirt.Whitelist.grant wl ~vector:0x44 ~dest:7;
   let whitelist =
-    Test.make ~name:"whitelist_permits"
-      (Staged.stage (fun () ->
-           ignore
-             (Covirt.Whitelist.permits wl
-                ~icr:{ Apic.dest = 7; vector = 0x44; kind = Apic.Fixed })))
+    { mname = "whitelist_permits"; gate = false;
+      fn =
+        (fun () ->
+          ignore
+            (Covirt.Whitelist.permits wl
+               ~icr:{ Apic.dest = 7; vector = 0x44; kind = Apic.Fixed })) }
   in
   (* command queue round trip *)
   let q = Covirt.Command.create_queue () in
   let cmdq =
-    Test.make ~name:"command_queue_roundtrip"
-      (Staged.stage (fun () ->
-           ignore (Covirt.Command.enqueue q Covirt.Command.Flush_tlb_all);
-           ignore (Covirt.Command.dequeue q)))
+    { mname = "command_queue_roundtrip"; gate = false;
+      fn =
+        (fun () ->
+          ignore (Covirt.Command.enqueue q Covirt.Command.Flush_tlb_all);
+          ignore (Covirt.Command.dequeue q)) }
   in
   (* region set membership *)
   let set =
@@ -346,38 +372,125 @@ let bechamel_tests () =
       (List.init 64 (fun i -> Region.make ~base:(i * 4 * mib) ~len:(2 * mib)))
   in
   let region_mem =
-    Test.make ~name:"region_set_mem"
-      (Staged.stage (fun () -> ignore (Region.Set.mem set (100 * mib))))
+    { mname = "region_set_mem"; gate = false;
+      fn = (fun () -> ignore (Region.Set.mem set (100 * mib))) }
   in
-  (* rng *)
+  (* rng — bits64 boxes its Int64 result by design; not on the gate *)
   let rng = Covirt_sim.Rng.create ~seed:9 in
   let rng_test =
-    Test.make ~name:"rng_bits64"
-      (Staged.stage (fun () -> ignore (Covirt_sim.Rng.bits64 rng)))
+    { mname = "rng_bits64"; gate = false;
+      fn = (fun () -> ignore (Covirt_sim.Rng.bits64 rng)) }
   in
   [
-    translate; translate_warm; translate_cold; map_unmap; tlb_lookup;
-    tlb_lookup_hit; tlb_lookup_miss; tlb_lookup_mixed; charge_random;
-    whitelist; cmdq; region_mem; rng_test;
+    translate; translate_warm; translate_cold; map_unmap;
+    tlb_lookup; tlb_lookup_hit; tlb_lookup_miss; tlb_lookup_mixed;
+    charge_random; charge_stream; whitelist; cmdq; region_mem; rng_test;
   ]
 
-(* Microbench estimates (ns/op), collected for the JSON report. *)
+(* Microbench estimates, collected for the JSON report.
+   [micro_results] is the floor latency (best of N tight loops) — the
+   robust estimate on a noisy shared CPU, and the one gates read;
+   [micro_ols] keeps Bechamel's OLS fit for comparison. *)
 let micro_results : (string * float) list ref = ref []
+let micro_ols : (string * float) list ref = ref []
+let micro_alloc : (string * float) list ref = ref []
+let alloc_failures : (string * float) list ref = ref []
+
+(* Minor words allocated by [reps] calls of [f].  The [Gc.minor_words]
+   stub boxes its float result *after* sampling the counter, so the
+   [before] sample's own box (2 words) lands inside the measured
+   window; measuring a no-op loop first and subtracting removes that
+   constant, letting the gate assert *exactly* zero words/op. *)
+let alloc_reps = 10_000
+
+let minor_words_of f reps =
+  for _ = 1 to 256 do f () done;
+  (* warm: fill caches/memos, force lazies *)
+  Gc.minor ();
+  let before = Gc.minor_words () in
+  for _ = 1 to reps do f () done;
+  let after = Gc.minor_words () in
+  after -. before
+
+let noop () = ()
+
+(* Exact zero-allocation claims only hold under the native compiler;
+   bytecode boxes float temporaries the optimizer would keep in
+   registers.  The gate is skipped (with a note) under bytecode. *)
+let native = Sys.backend_type = Sys.Native
+
+(* Floor latency: best of a few tight loops.  The minimum is the
+   standard robust per-op estimate on a preempted/shared CPU, where an
+   OLS fit over noisy samples can be arbitrarily bad. *)
+let min_ns_of f =
+  let iters = 100_000 in
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do f () done;
+    let dt = Unix.gettimeofday () -. t0 in
+    let ns = dt *. 1e9 /. float_of_int iters in
+    if ns < !best then best := ns
+  done;
+  !best
+
+let measure_alloc ms =
+  let calib = minor_words_of noop alloc_reps in
+  let t =
+    Covirt_sim.Table.create
+      ~columns:[ "operation"; "minor words/op"; "gate"; "floor ns/op" ]
+  in
+  List.iter
+    (fun m ->
+      let w =
+        (minor_words_of m.fn alloc_reps -. calib) /. float_of_int alloc_reps
+      in
+      let ns = min_ns_of m.fn in
+      micro_alloc := (m.mname, w) :: !micro_alloc;
+      micro_results := (m.mname, ns) :: !micro_results;
+      if m.gate && native && w <> 0.0 then
+        alloc_failures := (m.mname, w) :: !alloc_failures;
+      Covirt_sim.Table.add_row t
+        [ m.mname; Printf.sprintf "%.4f" w;
+          (if m.gate then "= 0" else "-"); Printf.sprintf "%.1f" ns ])
+    ms;
+  Covirt_sim.Table.print t;
+  if not native then
+    Format.printf "(bytecode backend: allocation gate not enforced)@."
+
+let check_alloc_gate () =
+  match !alloc_failures with
+  | [] ->
+      if !micro_alloc <> [] && native then
+        Format.printf
+          "@.bench alloc gate: all warm-path microbenches at 0 minor \
+           words/op@."
+  | fs ->
+      List.iter
+        (fun (n, w) ->
+          Format.eprintf
+            "bench alloc gate: FAIL %s allocates %.4f minor words/op \
+             (must be 0)@."
+            n w)
+        fs;
+      exit 1
 
 let run_bechamel () =
   section "Bechamel microbenchmarks (host-side hot paths, real ns)";
+  let ms = microbenches () in
   let open Bechamel in
   let open Toolkit in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:3000 ~quota:(Time.second 1.0) ~stabilize:true ()
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.15) ~stabilize:true ()
   in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
   let t = Covirt_sim.Table.create ~columns:[ "operation"; "ns/op"; "r^2" ] in
   List.iter
-    (fun test ->
+    (fun m ->
+      let test = Test.make ~name:m.mname (Staged.stage m.fn) in
       let results = Benchmark.all cfg instances test in
       let analysis = Analyze.all ols Instance.monotonic_clock results in
       Hashtbl.iter
@@ -385,7 +498,7 @@ let run_bechamel () =
           let estimate =
             match Analyze.OLS.estimates ols_result with
             | Some [ e ] ->
-                micro_results := (name, e) :: !micro_results;
+                micro_ols := (name, e) :: !micro_ols;
                 Format.asprintf "%.1f" e
             | Some es ->
                 String.concat ","
@@ -399,8 +512,10 @@ let run_bechamel () =
           in
           Covirt_sim.Table.add_row t [ name; estimate; r2 ])
         analysis)
-    (bechamel_tests ());
-  Covirt_sim.Table.print t
+    ms;
+  Covirt_sim.Table.print t;
+  section "Minor allocation per operation (Gc.minor_words delta)";
+  measure_alloc ms
 
 (* ------------------------------------------------------------------ *)
 (* The persisted benchmark pipeline: every experiment's wall-clock is
@@ -488,8 +603,15 @@ let write_json ~quick =
   Option.iter
     (fun s -> Printf.fprintf oc "  \"fleet_speedup\": %.3f,\n" s)
     !fleet_speedup;
+  Option.iter
+    (fun d -> Printf.fprintf oc "  \"fleet_domains\": %d,\n" d)
+    !fleet_domains;
   Printf.fprintf oc "  \"harness_wall_seconds\": {\n%s\n  },\n"
     (entries !harness_timings);
+  Printf.fprintf oc "  \"minor_words_per_op\": {\n%s\n  },\n"
+    (entries !micro_alloc);
+  Printf.fprintf oc "  \"bechamel_ols_ns_per_op\": {\n%s\n  },\n"
+    (entries !micro_ols);
   Printf.fprintf oc "  \"microbench_ns_per_op\": {\n%s\n  }\n}\n"
     (entries !micro_results);
   close_out oc;
@@ -502,6 +624,26 @@ let emit_baseline path =
     (List.rev !harness_timings);
   close_out oc;
   Format.printf "@.wrote baseline %s@." path
+
+(* --gc-stats: persist the allocation measurements plus the process's
+   end-of-run GC counters (CI uploads this file as an artifact, so a
+   regression in allocation behaviour is visible without re-running). *)
+let write_gc_stats path =
+  let oc = open_out path in
+  Printf.fprintf oc "# covirt bench GC stats\n";
+  Printf.fprintf oc "backend\t%s\n" (if native then "native" else "bytecode");
+  Printf.fprintf oc "# microbench minor words/op (gate * = must be 0)\n";
+  List.iter
+    (fun (n, w) -> Printf.fprintf oc "alloc\t%s\t%.6f\n" n w)
+    (List.rev !micro_alloc);
+  let s = Gc.quick_stat () in
+  Printf.fprintf oc "gc\tminor_words\t%.0f\n" s.Gc.minor_words;
+  Printf.fprintf oc "gc\tpromoted_words\t%.0f\n" s.Gc.promoted_words;
+  Printf.fprintf oc "gc\tmajor_words\t%.0f\n" s.Gc.major_words;
+  Printf.fprintf oc "gc\tminor_collections\t%d\n" s.Gc.minor_collections;
+  Printf.fprintf oc "gc\tmajor_collections\t%d\n" s.Gc.major_collections;
+  close_out oc;
+  Format.printf "@.wrote GC stats %s@." path
 
 let regression_threshold = 1.25
 let check_floor_seconds = 0.05
@@ -553,6 +695,7 @@ let () =
   let quick = List.mem "quick" args in
   let json = List.mem "--json" args in
   Covirt_sim.Table.set_tsv_mode (List.mem "--tsv" args);
+  let gc_stats_out : string option ref = ref None in
   let rec parse names check baseline_out trace_out = function
     | [] -> (List.rev names, check, baseline_out, trace_out)
     | "--check" :: path :: rest ->
@@ -561,6 +704,9 @@ let () =
         parse names check (Some path) trace_out rest
     | "--trace-out" :: path :: rest ->
         parse names check baseline_out (Some path) rest
+    | "--gc-stats" :: path :: rest ->
+        gc_stats_out := Some path;
+        parse names check baseline_out trace_out rest
     | "--domains" :: n :: rest -> (
         match int_of_string_opt n with
         | Some d when d >= 1 ->
@@ -569,9 +715,11 @@ let () =
         | _ ->
             Format.eprintf "--domains needs a positive integer, got %S@." n;
             exit 1)
-    | ("--check" | "--emit-baseline" | "--trace-out" | "--domains") :: [] ->
+    | ("--check" | "--emit-baseline" | "--trace-out" | "--domains"
+      | "--gc-stats") :: [] ->
         Format.eprintf
-          "--check/--emit-baseline/--trace-out/--domains need an argument@.";
+          "--check/--emit-baseline/--trace-out/--domains/--gc-stats need an \
+           argument@.";
         exit 1
     | ("quick" | "--tsv" | "--json") :: rest ->
         parse names check baseline_out trace_out rest
@@ -607,4 +755,8 @@ let () =
         (Covirt_obs.Exporter.length ()) path (Covirt_obs.Exporter.dropped ()))
     trace_out;
   Option.iter emit_baseline baseline_out;
+  Option.iter write_gc_stats !gc_stats_out;
+  (* The allocation gate is deterministic (no wall-clock noise), so it
+     runs whenever the bechamel experiment did. *)
+  check_alloc_gate ();
   Option.iter check_baseline check

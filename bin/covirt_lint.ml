@@ -17,7 +17,13 @@
       boundary behind the runner's back;
    5. the replay-trace codec is confined to lib/replay: no other lib
       layer references [Covirt_replay], and the trace magic literal
-      appears only in lib/replay/trace.ml.
+      appears only in lib/replay/trace.ml;
+   6. warm regions — code between "(* warm-begin" and "(* warm-end *)"
+      marker comments in the hot-path modules — stay allocation-free
+      by construction: no List combinators, no Printf/Format, no
+      Option.map/iter, and no closure literals ([fun]/[function], the
+      textual proxy for partial application), so the bench allocation
+      gate's zero-words/op claim is also enforceable statically.
 
    Usage: covirt_lint [ROOT]   (ROOT defaults to ".", must contain lib/) *)
 
@@ -206,6 +212,61 @@ let check_trace_confinement root =
               (read_lines path)))
     [ "lib"; "bin" ]
 
+(* --- check 6: warm regions are allocation-free by construction --- *)
+
+(* The modules whose warm paths carry the zero-GC contract (DESIGN.md
+   §13).  Inside a warm region every allocation is a bug the bench
+   gate would catch dynamically; this check catches the usual sources
+   statically, at the line that introduces them. *)
+let warm_files =
+  [ "lib/hw/machine.ml"; "lib/hw/tlb.ml"; "lib/hw/ept.ml";
+    "lib/hw/charge_memo.ml"; "lib/obs/metrics.ml" ]
+
+let warm_begin = "(* warm-begin"
+let warm_end = "(* warm-end *)"
+
+(* Each pattern allocates on every evaluation: closure literals, list
+   combinators (closure + output list), Option combinators (closure +
+   [Some]), and formatted output (boxed format arguments). *)
+let warm_banned =
+  [ "fun "; "function"; "List.map"; "List.filter"; "List.fold_left";
+    "List.iter"; "List.exists"; "List.concat"; "List.init"; "Array.map";
+    "Array.iter"; "Array.fold_left"; "Array.to_list"; "Option.map";
+    "Option.iter"; "Option.bind"; "Printf."; "Format."; "find_opt" ]
+
+let check_warm_regions root =
+  List.iter
+    (fun rel ->
+      let path = Filename.concat root rel in
+      if Sys.file_exists path then begin
+        let in_warm = ref false in
+        let saw_region = ref false in
+        List.iteri
+          (fun i line ->
+            if contains line warm_begin then begin
+              in_warm := true;
+              saw_region := true
+            end;
+            if !in_warm then
+              List.iter
+                (fun pat ->
+                  if contains_word line pat then
+                    fail
+                      "%s:%d: %s inside a warm region (zero-allocation \
+                       contract; hoist to module level or move past the \
+                       warm-end marker)"
+                      path (i + 1) pat)
+                warm_banned;
+            if contains line warm_end then in_warm := false)
+          (read_lines path);
+        if not !saw_region then
+          fail
+            "%s: no \"(* warm-begin\" marker — the hot-path module lost its \
+             warm-region annotations"
+            path
+      end)
+    warm_files
+
 (* --- driver --- *)
 
 let hot_layers = [ "lib/hw"; "lib/core" ]
@@ -219,6 +280,7 @@ let () =
   check_mli root;
   check_fleet_monopoly root;
   check_trace_confinement root;
+  check_warm_regions root;
   List.iter
     (fun layer ->
       walk

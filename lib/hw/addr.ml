@@ -11,6 +11,18 @@ let bytes_of_page_size = function
   | Page_2m -> page_size_2m
   | Page_1g -> page_size_1g
 
+(* Integer codes for the unboxed-result convention on the translation
+   hot path (Ept.translate_code): success is a non-negative page-size
+   code, failures are negative sentinels, and no caller allocates an
+   option, tuple or result to learn the outcome. *)
+let page_size_code = function Page_4k -> 0 | Page_2m -> 1 | Page_1g -> 2
+
+let page_size_of_code = function
+  | 0 -> Page_4k
+  | 1 -> Page_2m
+  | 2 -> Page_1g
+  | c -> invalid_arg (Printf.sprintf "Addr.page_size_of_code: %d" c)
+
 let pp_page_size ppf ps =
   Format.pp_print_string ppf
     (match ps with Page_4k -> "4K" | Page_2m -> "2M" | Page_1g -> "1G")

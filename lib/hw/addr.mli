@@ -16,6 +16,16 @@ type page_size = Page_4k | Page_2m | Page_1g
 val bytes_of_page_size : page_size -> int
 val pp_page_size : Format.formatter -> page_size -> unit
 
+val page_size_code : page_size -> int
+(** Immediate integer code: [Page_4k -> 0], [Page_2m -> 1],
+    [Page_1g -> 2].  Part of the unboxed-result convention on the
+    translation hot path ({!Ept.translate_code}): success outcomes
+    travel as these codes so the warm path never allocates. *)
+
+val page_size_of_code : int -> page_size
+(** Inverse of {!page_size_code}; [Invalid_argument] on any other
+    code (including the negative failure sentinels). *)
+
 val page_down : t -> size:int -> t
 (** Round down to a [size]-aligned boundary. [size] must be a power of
     two. *)

@@ -1,41 +1,68 @@
-type mode =
-  | Host
-  | Guest of { ept : (int * int) option; vapic : bool }
-      (** [ept] is [(uid, generation)] — pins both which table the core
-          runs under and its exact mapping state. *)
+(* Memo for the bulk charge models.  The key is a flat record of
+   immediate ints — no nested options, tuples or variants — so the hot
+   probe can reuse one preallocated scratch key per memo: the caller
+   mutates the scratch fields in place and [probe] hashes it against
+   the table without allocating a word.  Only a miss copies the
+   scratch into a fresh key for storage (the scratch itself must never
+   be stored: it is mutated by the next call). *)
 
+(* warm-begin: the scratch-key probe is on the zero-allocation charge
+   path (covirt-lint check 6; bench allocation gate). *)
 type key = {
-  kind : [ `Stream | `Random ];
-  zone : int;
-  base : Addr.t;
-  len : int;
-  sharers : int;
-  page_size : Addr.page_size;
-  mode : mode;
-  bg_gen : int;
+  mutable kind : int;  (* 0 = stream, 1 = random *)
+  mutable zone : int;
+  mutable base : Addr.t;
+  mutable len : int;
+  mutable sharers : int;
+  mutable page : int;  (* Addr.page_size_code *)
+  mutable mode : int;  (* 0 = host; 1 = guest; 2 = guest + vapic *)
+  mutable ept_uid : int;  (* -1 when no EPT is active *)
+  mutable ept_gen : int;
+  mutable bg_gen : int;
 }
 
 type t = {
   table : (key, float) Hashtbl.t;
+  scratch : key;
   mutable hits : int;
   mutable misses : int;
 }
 
 let max_entries = 4096
 
-let create () = { table = Hashtbl.create 64; hits = 0; misses = 0 }
+let fresh_key () =
+  {
+    kind = 0;
+    zone = 0;
+    base = 0;
+    len = 0;
+    sharers = 0;
+    page = 0;
+    mode = 0;
+    ept_uid = -1;
+    ept_gen = 0;
+    bg_gen = 0;
+  }
 
-let find t key =
-  match Hashtbl.find_opt t.table key with
-  | Some _ as hit ->
+let create () =
+  { table = Hashtbl.create 64; scratch = fresh_key (); hits = 0; misses = 0 }
+
+let scratch t = t.scratch
+
+let probe t =
+  match Hashtbl.find t.table t.scratch with
+  | v ->
       t.hits <- t.hits + 1;
-      hit
-  | None ->
+      v
+  | exception Not_found ->
       t.misses <- t.misses + 1;
-      None
+      raise Not_found
+(* warm-end *)
 
-let store t key v =
+(* Cold path: the scratch is copied so later mutations cannot alias a
+   stored key. *)
+let commit t v =
   if Hashtbl.length t.table >= max_entries then Hashtbl.reset t.table;
-  Hashtbl.replace t.table key v
+  Hashtbl.replace t.table { t.scratch with kind = t.scratch.kind } v
 
 let stats t = (t.hits, t.misses)

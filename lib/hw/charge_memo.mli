@@ -10,26 +10,46 @@
     probe while producing bit-identical charges (the cached float is
     the same float the formula would recompute).
 
+    The key is deliberately {e flat}: every field is an immediate int,
+    with the old [mode] variant unpacked into [mode]/[ept_uid]/
+    [ept_gen] sentinels.  Each memo owns one preallocated {!scratch}
+    key; the caller mutates its fields in place and {!probe}s, so a
+    warm charge performs zero minor allocation (asserted by the bench
+    allocation gate).  Only a {!commit} — the cold path — copies the
+    scratch into a fresh stored key.
+
     The table is bounded; overflowing it resets the memo (correctness
     never depends on retention). *)
 
-type mode = Host | Guest of { ept : (int * int) option; vapic : bool }
-
 type key = {
-  kind : [ `Stream | `Random ];
-  zone : int;
-  base : Addr.t;
-  len : int;  (** bytes streamed, or the random working set *)
-  sharers : int;
-  page_size : Addr.page_size;
-  mode : mode;
-  bg_gen : int;  (** background-streamer configuration generation *)
+  mutable kind : int;  (** 0 = stream, 1 = random *)
+  mutable zone : int;
+  mutable base : Addr.t;
+  mutable len : int;  (** bytes streamed, or the random working set *)
+  mutable sharers : int;
+  mutable page : int;  (** [Addr.page_size_code] *)
+  mutable mode : int;  (** 0 = host; 1 = guest; 2 = guest + vapic *)
+  mutable ept_uid : int;  (** [-1] when no EPT is active *)
+  mutable ept_gen : int;  (** [0] when no EPT is active *)
+  mutable bg_gen : int;  (** background-streamer configuration generation *)
 }
 
 type t
 
 val create : unit -> t
-val find : t -> key -> float option
-val store : t -> key -> float -> unit
+
+val scratch : t -> key
+(** The memo's preallocated probe key.  Mutate every field, then
+    {!probe}.  Never retained by the table. *)
+
+val probe : t -> float
+(** Look up the current {!scratch} contents; raises [Not_found] on a
+    miss (a constant exception — the warm hit path allocates
+    nothing).  Counts a hit or a miss either way. *)
+
+val commit : t -> float -> unit
+(** Store the value under a {e copy} of the current scratch key (the
+    cold path after a {!probe} miss). *)
+
 val stats : t -> int * int
 (** [(hits, misses)]. *)

@@ -256,12 +256,20 @@ let m_walk_miss = lazy Covirt_obs.Metrics.(unlabeled (counter "ept.walk.miss"))
 let m_violation =
   lazy (Covirt_obs.Metrics.counter "ept.violation" ~max_series:8)
 
+(* warm-begin: allocation-free walk.  A warm [find_leaf] is two array
+   reads and an int compare; the per-4K slot answers are the stored
+   [(page_size * perms) option] values themselves, so nothing on the
+   hit path allocates (enforced by the bench allocation gate and
+   covirt-lint check 6).  The wholesale invalidation scan is a plain
+   loop — a closure there would charge every post-write translate. *)
 let find_leaf t addr =
   match t.walk_cache with
   | None -> find_leaf_uncached t addr
   | Some cache ->
       if t.walk_cache_gen <> t.writes then begin
-        Array.iter (fun s -> s.wkey <- -1) cache;
+        for i = 0 to walk_cache_slots - 1 do
+          cache.(i).wkey <- -1
+        done;
         t.walk_cache_gen <- t.writes
       end;
       let key = addr lsr 21 in
@@ -299,11 +307,19 @@ let note_violation reason =
          { Covirt_obs.Metrics.no_label with dim })
       1
 
-let translate t addr ~access =
+(* Unboxed-result translation: non-negative [Addr.page_size_code] on
+   success, [not_mapped_code]/[perm_denied_code] on failure.  The hot
+   callers (Machine.translate_granular, the warm benches) branch on
+   the code and build a [violation] record only on the cold exit
+   path. *)
+let not_mapped_code = -1
+let perm_denied_code = -2
+
+let translate_code t addr ~access =
   match find_leaf t addr with
   | None ->
       note_violation `Not_mapped;
-      Error { gpa = addr; access; reason = `Not_mapped }
+      not_mapped_code
   | Some (page_size, perms) ->
       let ok =
         match access with
@@ -311,11 +327,24 @@ let translate t addr ~access =
         | `Write -> perms.write
         | `Exec -> perms.exec
       in
-      if ok then Ok page_size
+      if ok then Addr.page_size_code page_size
       else begin
         note_violation `Perm_denied;
-        Error { gpa = addr; access; reason = `Perm_denied }
+        perm_denied_code
       end
+(* warm-end *)
+
+let violation_of_code code addr ~access =
+  {
+    gpa = addr;
+    access;
+    reason = (if code = not_mapped_code then `Not_mapped else `Perm_denied);
+  }
+
+let translate t addr ~access =
+  let code = translate_code t addr ~access in
+  if code >= 0 then Ok (Addr.page_size_of_code code)
+  else Error (violation_of_code code addr ~access)
 
 let page_size_at t addr = Option.map fst (find_leaf t addr)
 

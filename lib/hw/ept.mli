@@ -85,7 +85,26 @@ val translate : t -> Addr.t -> access:[ `Read | `Write | `Exec ] ->
   (Addr.page_size, violation) result
 (** Hardware-walk one address: the leaf's page size on success (the
     caller derives walk depth via {!walk_levels}), a {!violation}
-    otherwise. *)
+    otherwise.  Allocates the [result] wrapper; hot callers use
+    {!translate_code} instead. *)
+
+val translate_code : t -> Addr.t -> access:[ `Read | `Write | `Exec ] -> int
+(** The allocation-free walk: [Addr.page_size_code] of the leaf on
+    success (non-negative), {!not_mapped_code} or {!perm_denied_code}
+    on failure.  Identical walk, cache and observability behaviour to
+    {!translate} — a warm call (walk-cache hit) performs zero minor
+    allocation, asserted by the bench allocation gate. *)
+
+val not_mapped_code : int
+(** [-1]: {!translate_code}'s "no translation at all". *)
+
+val perm_denied_code : int
+(** [-2]: {!translate_code}'s "translation without the permission". *)
+
+val violation_of_code :
+  int -> Addr.t -> access:[ `Read | `Write | `Exec ] -> violation
+(** Rebuild the {!violation} a failing {!translate_code} stands for —
+    called only on the cold exit-delivery path. *)
 
 val covers : t -> base:Addr.t -> len:int -> bool
 (** Bulk check: the whole range is mapped (permissions not checked —

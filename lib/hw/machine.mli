@@ -54,6 +54,10 @@ type t = {
           {!Charge_memo} for the invalidation key *)
   mutable bg_gen : int;
       (** bumped by {!set_background_streamers} — part of the memo key *)
+  zone_shares : int array;
+      (** preallocated per-zone byte-share scratch for the cold charge
+          formulas (one slot per NUMA zone) — machines are shard-local,
+          so reusing it keeps the bulk-charge path allocation-free *)
 }
 
 val create :

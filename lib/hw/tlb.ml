@@ -59,19 +59,6 @@ let classes = [ Addr.Page_4k; Addr.Page_2m; Addr.Page_1g ]
 
 let touch t b slot = b.stamps.(slot) <- (t.tick <- t.tick + 1; t.tick)
 
-let probe t b vpn =
-  let base = vpn land (b.sets - 1) * b.ways in
-  let rec go w =
-    if w >= b.ways then None
-    else
-      match b.slots.(base + w) with
-      | Some e when e.vpn = vpn ->
-          touch t b (base + w);
-          Some e
-      | Some _ | None -> go (w + 1)
-  in
-  go 0
-
 (* Observability cells, interned once: a TLB lookup is the hottest
    operation in the translation path, so the disabled cost must stay at
    the single [!Metrics.on] branch. *)
@@ -79,23 +66,51 @@ let m_hit = lazy Covirt_obs.Metrics.(unlabeled (counter "tlb.lookup.hit"))
 let m_miss = lazy Covirt_obs.Metrics.(unlabeled (counter "tlb.lookup.miss"))
 let m_flush = lazy Covirt_obs.Metrics.(unlabeled (counter "tlb.flush"))
 
+(* warm-begin: allocation-free lookup.  Module-level recursion with
+   every binding passed as an argument (no closure capture), hits
+   return the [entry option] stored in the slot array itself — the
+   warm path allocates no options, closures or tuples, enforced by the
+   bench allocation gate and covirt-lint check 6. *)
+let rec probe_way (slots : entry option array) vpn base w ways =
+  if w >= ways then -1
+  else
+    match slots.(base + w) with
+    | Some e when e.vpn = vpn -> base + w
+    | Some _ | None -> probe_way slots vpn base (w + 1) ways
+
+let bank_slot b vpn = probe_way b.slots vpn (vpn land (b.sets - 1) * b.ways) 0 b.ways
+
 let lookup t addr =
-  let hit_in ps =
-    let vpn = Addr.pfn addr ~size:(Addr.bytes_of_page_size ps) in
-    probe t (bank_for t ps) vpn
+  (* First match wins, in the same class order the linear TLB used. *)
+  let result =
+    let s = bank_slot t.b4k (Addr.pfn addr ~size:Addr.page_size_4k) in
+    if s >= 0 then begin
+      touch t t.b4k s;
+      t.b4k.slots.(s)
+    end
+    else
+      let s = bank_slot t.b2m (Addr.pfn addr ~size:Addr.page_size_2m) in
+      if s >= 0 then begin
+        touch t t.b2m s;
+        t.b2m.slots.(s)
+      end
+      else
+        let s = bank_slot t.b1g (Addr.pfn addr ~size:Addr.page_size_1g) in
+        if s >= 0 then begin
+          touch t t.b1g s;
+          t.b1g.slots.(s)
+        end
+        else None
   in
-  (* First match wins, in the same class order the linear TLB used;
-     unlike the fold this stops at the first hit. *)
-  let rec first = function
-    | [] -> None
-    | ps :: rest -> ( match hit_in ps with Some _ as hit -> hit | None -> first rest)
-  in
-  let result = first classes in
   if !Covirt_obs.Metrics.on then
     Covirt_obs.Metrics.add
       (Lazy.force (match result with Some _ -> m_hit | None -> m_miss))
       1;
   result
+
+let lookup_hit t addr =
+  match lookup t addr with Some _ -> true | None -> false
+(* warm-end *)
 
 let install t addr ~page_size =
   if !Sanitize.on then

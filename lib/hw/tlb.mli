@@ -39,7 +39,16 @@ val create : model:Cost_model.t -> rng:Covirt_sim.Rng.t -> t
     set-associative replacement no longer draws from it. *)
 
 val lookup : t -> Addr.t -> entry option
-(** Hit if a valid entry covers the address. *)
+(** Hit if a valid entry covers the address.  Allocation-free on both
+    outcomes: a hit returns the option stored in the slot array itself
+    and a miss is the immediate [None], so the warm translation path
+    never touches the minor heap (asserted by the bench allocation
+    gate and the zero-allocation tests). *)
+
+val lookup_hit : t -> Addr.t -> bool
+(** [lookup] collapsed to its outcome — the unboxed entry point the
+    machine's granular translation path uses.  Identical probe, touch
+    and observability behaviour to {!lookup}. *)
 
 val install : t -> Addr.t -> page_size:Addr.page_size -> unit
 (** Install the translation covering [addr]; refreshes the entry in

@@ -184,6 +184,221 @@ let test_charge_memo_invalidation () =
   let with_pressure' = Cpu.rdtsc cpu - t1 in
   Alcotest.(check int) "stable under pressure" with_pressure with_pressure'
 
+(* ------------------------------------------------------------------ *)
+(* The zero-GC hot-path contract (DESIGN.md §13): warm TLB lookups,
+   warm EPT translations and memoized bulk charges allocate exactly
+   zero minor words — with observability off and on, and inside fleet
+   shards at any domain count. *)
+
+(* Minor words allocated by [reps] calls of [f], after a warmup that
+   fills caches/memos and forces lazy metric cells.  [Gc.minor_words]
+   boxes its own float result after sampling, so the [before] sample's
+   box lands inside the window; the no-op calibration subtracts it,
+   making "exactly zero" assertable. *)
+let minor_words_of f reps =
+  for _ = 1 to 128 do f () done;
+  Gc.minor ();
+  let before = Gc.minor_words () in
+  for _ = 1 to reps do f () done;
+  let after = Gc.minor_words () in
+  after -. before
+
+let noop () = ()
+
+(* Exact-zero claims hold only under the native compiler; bytecode
+   boxes float temporaries the optimizer keeps in registers. *)
+let native = Sys.backend_type = Sys.Native
+
+let alloc_words f =
+  let reps = 5000 in
+  let calib = minor_words_of noop reps in
+  minor_words_of f reps -. calib
+
+let check_zero_alloc name f =
+  if native then Alcotest.(check (float 0.0)) name 0.0 (alloc_words f)
+
+let with_obs f =
+  Covirt_obs.Metrics.enable ();
+  Fun.protect ~finally:Covirt_obs.Metrics.disable f
+
+let make_warm_tlb () =
+  let tlb = make_tlb () in
+  let sets, ways = Tlb.geometry tlb Addr.Page_4k in
+  let n = sets * ways in
+  for i = 0 to n - 1 do
+    Tlb.install tlb (i * k4) ~page_size:Addr.Page_4k
+  done;
+  (tlb, n)
+
+let test_tlb_lookup_zero_alloc () =
+  let tlb, n = make_warm_tlb () in
+  let i = ref 0 in
+  check_zero_alloc "warm Tlb.lookup allocates nothing" (fun () ->
+      incr i;
+      ignore (Tlb.lookup tlb ((!i land (n - 1)) * k4)));
+  check_zero_alloc "Tlb.lookup_hit allocates nothing" (fun () ->
+      incr i;
+      ignore (Tlb.lookup_hit tlb ((!i land (n - 1)) * k4)));
+  check_zero_alloc "Tlb.lookup miss allocates nothing" (fun () ->
+      incr i;
+      ignore (Tlb.lookup tlb ((n + (!i land 1023)) * k4)))
+
+let test_tlb_lookup_zero_alloc_obs_on () =
+  with_obs (fun () ->
+      let tlb, n = make_warm_tlb () in
+      let i = ref 0 in
+      check_zero_alloc "warm Tlb.lookup, metrics recording" (fun () ->
+          incr i;
+          ignore (Tlb.lookup tlb ((!i land (n - 1)) * k4)));
+      check_zero_alloc "Tlb.lookup miss, metrics recording" (fun () ->
+          incr i;
+          ignore (Tlb.lookup tlb ((n + (!i land 1023)) * k4))))
+
+let make_warm_ept () =
+  let len = 8 * mib in
+  let ept = Ept.create ~max_page:Addr.Page_4k () in
+  Ept.map_region ept (Region.make ~base:0 ~len);
+  for p = 0 to (len / k4) - 1 do
+    ignore (Ept.translate_code ept (p * k4) ~access:`Read)
+  done;
+  (ept, len)
+
+let test_ept_translate_zero_alloc () =
+  let ept, len = make_warm_ept () in
+  let i = ref 0 in
+  check_zero_alloc "warm Ept.translate_code allocates nothing" (fun () ->
+      incr i;
+      ignore
+        (Ept.translate_code ept ((!i * k4 + 8) land (len - 1)) ~access:`Read))
+
+let test_ept_translate_zero_alloc_obs_on () =
+  with_obs (fun () ->
+      let ept, len = make_warm_ept () in
+      let i = ref 0 in
+      check_zero_alloc "warm Ept.translate_code, metrics recording"
+        (fun () ->
+          incr i;
+          ignore
+            (Ept.translate_code ept
+               ((!i * k4 + 8) land (len - 1))
+               ~access:`Read)))
+
+let test_charge_zero_alloc () =
+  let m = make_machine () in
+  let cpu = Machine.cpu m 0 in
+  check_zero_alloc "memoized charge_random allocates nothing" (fun () ->
+      Machine.charge_random m cpu ~ops:100 ~base:(32 * mib)
+        ~working_set:(8 * mib) ~sharers:2 ~page_size:Addr.Page_2m);
+  check_zero_alloc "memoized charge_stream allocates nothing" (fun () ->
+      Machine.charge_stream m cpu ~base:(32 * mib) ~bytes:(4 * mib)
+        ~sharers:1 ~page_size:Addr.Page_2m)
+
+let test_charge_zero_alloc_obs_on () =
+  with_obs (fun () ->
+      let m = make_machine () in
+      let cpu = Machine.cpu m 0 in
+      check_zero_alloc "memoized charge_random, metrics recording"
+        (fun () ->
+          Machine.charge_random m cpu ~ops:100 ~base:(32 * mib)
+            ~working_set:(8 * mib) ~sharers:2 ~page_size:Addr.Page_2m))
+
+(* The same contract must hold inside fleet shards, whatever the
+   domain placement: each shard builds its own machine stack and
+   measures its own warm path in its own domain. *)
+let test_fleet_sharded_zero_alloc () =
+  List.iter
+    (fun domains ->
+      let words =
+        Covirt_fleet.Fleet.map ~domains ~seed:99 ~shards:4
+          (fun ~shard_seed ~index ->
+            ignore shard_seed;
+            ignore index;
+            let m = make_machine () in
+            let cpu = Machine.cpu m 0 in
+            let tlb, n = make_warm_tlb () in
+            let i = ref 0 in
+            let work () =
+              incr i;
+              ignore (Tlb.lookup tlb ((!i land (n - 1)) * k4));
+              Machine.charge_random m cpu ~ops:100 ~base:(32 * mib)
+                ~working_set:(8 * mib) ~sharers:2 ~page_size:Addr.Page_2m
+            in
+            alloc_words work)
+      in
+      if native then
+        Array.iteri
+          (fun s w ->
+            Alcotest.(check (float 0.0))
+              (Printf.sprintf "shard %d at domains:%d allocates nothing" s
+                 domains)
+              0.0 w)
+          words)
+    [ 1; 2; 7 ]
+
+(* ------------------------------------------------------------------ *)
+(* The walk-cache generation counter must never move on read-only
+   paths — a read that bumped it would re-invalidate the cache on
+   every probe, which is exactly the warm-EPT-slower-than-cold anomaly
+   the zero-GC rewrite removed.  Checked with observability recording,
+   so metric emission can't sneak a bump in either. *)
+let test_generation_stable_under_reads () =
+  with_obs (fun () ->
+      let ept = Ept.create ~max_page:Addr.Page_4k () in
+      Ept.map_region ept (Region.make ~base:0 ~len:m2);
+      Ept.map_region ept ~perms:Ept.ro
+        (Region.make ~base:m2 ~len:m2);
+      let gen = Ept.generation ept in
+      for i = 0 to 4095 do
+        (* hits, permission denials, and hard misses *)
+        ignore (Ept.translate_code ept ((i land 511) * k4) ~access:`Read);
+        ignore (Ept.translate_code ept (m2 + (i land 511) * k4) ~access:`Write);
+        ignore (Ept.translate_code ept ((4 * m2) + (i * k4)) ~access:`Read);
+        ignore (Ept.covers ept ~base:0 ~len:m2);
+        ignore (Ept.page_size_at ept ((i land 511) * k4))
+      done;
+      Alcotest.(check int) "generation unchanged by read-only paths" gen
+        (Ept.generation ept);
+      let hits, _ = Ept.walk_cache_stats ept in
+      Alcotest.(check bool) "walk cache actually hit" true (hits > 0))
+
+(* Timing regression for the anomaly itself: a warm (walk-cache hit)
+   translate must not cost more than the uncached full walk it
+   short-circuits.  Floor latency (min of N) on both sides keeps the
+   comparison robust against preemption noise; the real margin is
+   several-fold, so no slack factor is needed. *)
+let test_warm_not_slower_than_uncached () =
+  let len = 8 * mib in
+  let build walk_cache =
+    let ept = Ept.create ~max_page:Addr.Page_4k ~walk_cache () in
+    Ept.map_region ept (Region.make ~base:0 ~len);
+    for p = 0 to (len / k4) - 1 do
+      ignore (Ept.translate_code ept (p * k4) ~access:`Read)
+    done;
+    ept
+  in
+  let warm = build true in
+  let cold = build false in
+  let floor_ns ept =
+    let iters = 50_000 in
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let t0 = Unix.gettimeofday () in
+      for i = 1 to iters do
+        ignore
+          (Ept.translate_code ept ((i * k4 + 8) land (len - 1)) ~access:`Read)
+      done;
+      let ns = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters in
+      if ns < !best then best := ns
+    done;
+    !best
+  in
+  let cold_ns = floor_ns cold in
+  let warm_ns = floor_ns warm in
+  Alcotest.(check bool)
+    (Printf.sprintf "warm translate (%.1fns) <= uncached walk (%.1fns)"
+       warm_ns cold_ns)
+    true (warm_ns <= cold_ns)
+
 let () =
   Alcotest.run "translation"
     [
@@ -212,5 +427,27 @@ let () =
             test_charge_memo_identical;
           Alcotest.test_case "invalidation on pressure" `Quick
             test_charge_memo_invalidation;
+        ] );
+      ( "zero-alloc hot path",
+        [
+          Alcotest.test_case "tlb lookup" `Quick test_tlb_lookup_zero_alloc;
+          Alcotest.test_case "tlb lookup, obs on" `Quick
+            test_tlb_lookup_zero_alloc_obs_on;
+          Alcotest.test_case "ept translate" `Quick
+            test_ept_translate_zero_alloc;
+          Alcotest.test_case "ept translate, obs on" `Quick
+            test_ept_translate_zero_alloc_obs_on;
+          Alcotest.test_case "bulk charges" `Quick test_charge_zero_alloc;
+          Alcotest.test_case "bulk charges, obs on" `Quick
+            test_charge_zero_alloc_obs_on;
+          Alcotest.test_case "fleet shards, domains 1/2/7" `Quick
+            test_fleet_sharded_zero_alloc;
+        ] );
+      ( "warm-path regressions",
+        [
+          Alcotest.test_case "generation stable under reads" `Quick
+            test_generation_stable_under_reads;
+          Alcotest.test_case "warm <= uncached walk" `Slow
+            test_warm_not_slower_than_uncached;
         ] );
     ]
