@@ -826,7 +826,7 @@ let run_record config seed trials out =
   print_scenario_report report;
   `Ok ()
 
-let run_replay path minimize out verify =
+let run_replay path minimize out verify preserve_cov =
   let open Covirt_replay in
   match Trace.of_file ~path with
   | Error why -> `Error (false, Printf.sprintf "%s: %s" path why)
@@ -838,7 +838,22 @@ let run_replay path minimize out verify =
         v
       in
       if minimize then begin
-        let minimized, stats = Minimizer.minimize trace in
+        (* With --preserve-coverage the edges the full trace covers are
+           measured once, then every reduction must keep covering them
+           (in addition to whatever the keep predicate demands). *)
+        let preserve_edges =
+          if not preserve_cov then None
+          else begin
+            Coverage.arm ();
+            ignore (Coverage.capture () : Coverage.t);
+            ignore (Replayer.run trace : Scenario.report);
+            let c = Coverage.capture () in
+            Coverage.disarm ();
+            Format.printf "preserving %d covered edges@." (Coverage.count c);
+            Some c
+          end
+        in
+        let minimized, stats = Minimizer.minimize ?preserve_edges trace in
         let out = match out with Some o -> o | None -> path ^ ".min" in
         Trace.to_file minimized ~path:out;
         Format.printf
@@ -870,8 +885,18 @@ let run_replay path minimize out verify =
         finish (`Ok ())
       end)
 
-let run_fuzz trials seed mutations domains seconds corpus known =
+let exec_spread per_shard =
+  match per_shard with
+  | [] -> (0, 0)
+  | (_, e0) :: rest ->
+      List.fold_left (fun (lo, hi) (_, e) -> (min lo e, max hi e)) (e0, e0) rest
+
+let run_fuzz trials seed mutations domains seconds corpus known coverage
+    coverage_json =
   let open Covirt_replay in
+  (* --coverage-json implies guidance: the artifact is meaningless
+     without the taps armed. *)
+  let coverage = coverage || coverage_json <> None in
   (* A known crash is one whose exception signature a checked-in
      reproducer already replays to — digests won't do, since a
      minimized trace embeds its scenario seed and the same bug found
@@ -890,72 +915,162 @@ let run_fuzz trials seed mutations domains seconds corpus known =
         |> List.sort_uniq compare
     | Some _ -> []
   in
-  let run_batch ~trials ~seed = Fuzzer.run ~trials ~seed ~mutations ?domains () in
-  let results =
-    match seconds with
-    | None -> [ run_batch ~trials ~seed ]
-    | Some budget ->
-        (* Time-boxed mode for CI: fixed-size batches, each internally
-           deterministic (batch seeds derive from the base seed), run
-           until the wall-clock budget is spent. *)
-        let deadline = Unix.gettimeofday () +. float_of_int budget in
-        let batch = max 1 (min trials 24) in
-        let rec go i acc =
-          if Unix.gettimeofday () >= deadline && acc <> [] then List.rev acc
-          else
-            let r =
-              run_batch ~trials:batch
-                ~seed:(Covirt_sim.Rng.split_seed ~seed ~index:i)
-            in
-            if Unix.gettimeofday () >= deadline then List.rev (r :: acc)
-            else go (i + 1) (r :: acc)
+  (* The adaptive corpus: entries loaded here seed the mutation bases
+     and the coverage baseline; mutants the guided run promotes are
+     persisted back and feed the following batches.  A malformed entry
+     fails the load with a typed error rather than being skipped. *)
+  match
+    match corpus with None -> Ok [] | Some dir -> Corpus.load ~dir
+  with
+  | Error why -> `Error (false, Printf.sprintf "corpus: %s" why)
+  | Ok initial_entries ->
+      let entries = ref initial_entries in
+      let run_batch ~trials ~seed =
+        let r =
+          Fuzzer.run ~trials ~seed ~mutations ?domains ~corpus:!entries
+            ~coverage ()
         in
-        go 0 []
-  in
-  List.iter (fun r -> Covirt_sim.Table.print (Fuzzer.table r)) results;
-  let crashes =
-    List.fold_left
-      (fun acc (r : Fuzzer.result) ->
-        List.fold_left
-          (fun acc (f : Fuzzer.finding) ->
-            if List.exists (fun f' -> f'.Fuzzer.digest = f.Fuzzer.digest) acc
-            then acc
-            else acc @ [ f ])
-          acc r.Fuzzer.crashes)
-      [] results
-  in
-  let divergences =
-    List.fold_left (fun a (r : Fuzzer.result) -> a + r.Fuzzer.divergences) 0
-      results
-  in
-  (match corpus with
-  | Some dir ->
-      mkdir_p dir;
-      List.iter
-        (fun (f : Fuzzer.finding) ->
-          let path =
-            Filename.concat dir ("crash-" ^ String.sub f.Fuzzer.digest 0 16
-                                 ^ ".trace")
+        if coverage && r.Fuzzer.promoted <> [] then begin
+          (match corpus with
+          | Some dir ->
+              List.iter
+                (fun e -> ignore (Corpus.save ~dir e : string))
+                r.Fuzzer.promoted
+          | None -> ());
+          entries := !entries @ r.Fuzzer.promoted
+        end;
+        r
+      in
+      let results =
+        match seconds with
+        | None -> [ run_batch ~trials ~seed ]
+        | Some budget ->
+            (* Time-boxed mode for CI: fixed-size batches, each
+               internally deterministic (batch seeds derive from the
+               base seed), run until the wall-clock budget is spent. *)
+            let deadline = Unix.gettimeofday () +. float_of_int budget in
+            let batch = max 1 (min trials 24) in
+            let rec go i acc =
+              if Unix.gettimeofday () >= deadline && acc <> [] then
+                List.rev acc
+              else
+                let r =
+                  run_batch ~trials:batch
+                    ~seed:(Covirt_sim.Rng.split_seed ~seed ~index:i)
+                in
+                if Unix.gettimeofday () >= deadline then List.rev (r :: acc)
+                else go (i + 1) (r :: acc)
+            in
+            go 0 []
+      in
+      List.iter (fun r -> Covirt_sim.Table.print (Fuzzer.table r)) results;
+      (* Time-boxed summary: one row per batch with its mutant and
+         exec counts (and, guided, its coverage growth), so a CI log
+         shows where the budget went shard by shard. *)
+      (match seconds with
+      | None -> ()
+      | Some _ ->
+          let t =
+            Covirt_sim.Table.create
+              ~columns:
+                [
+                  "batch"; "seed"; "mutants"; "execs"; "execs/shard";
+                  "new edges"; "corpus";
+                ]
           in
-          Trace.to_file f.Fuzzer.trace ~path;
-          Format.printf "corpus: %s (%s)@." path f.Fuzzer.exn)
-        crashes
-  | None -> ());
-  let fresh =
-    List.filter
-      (fun (f : Fuzzer.finding) -> not (List.mem f.Fuzzer.exn known_signatures))
-      crashes
-  in
-  if divergences > 0 then
-    `Error (false, "replay divergence detected: determinism bug")
-  else if fresh <> [] && known <> None then
-    `Error
-      ( false,
-        Printf.sprintf
-          "%d new crash reproducer(s) not in the known set — minimize and \
-           check them in"
-          (List.length fresh) )
-  else `Ok ()
+          List.iteri
+            (fun i (r : Fuzzer.result) ->
+              let lo, hi = exec_spread r.Fuzzer.execs_per_shard in
+              Covirt_sim.Table.add_row t
+                [
+                  string_of_int i;
+                  string_of_int r.Fuzzer.seed;
+                  string_of_int r.Fuzzer.trials;
+                  string_of_int r.Fuzzer.execs;
+                  Printf.sprintf "%d..%d" lo hi;
+                  string_of_int r.Fuzzer.new_edges;
+                  string_of_int r.Fuzzer.corpus_size;
+                ])
+            results;
+          Covirt_sim.Table.print t);
+      let crashes =
+        List.fold_left
+          (fun acc (r : Fuzzer.result) ->
+            List.fold_left
+              (fun acc (f : Fuzzer.finding) ->
+                if
+                  List.exists
+                    (fun f' -> f'.Fuzzer.digest = f.Fuzzer.digest)
+                    acc
+                then acc
+                else acc @ [ f ])
+              acc r.Fuzzer.crashes)
+          [] results
+      in
+      let divergences =
+        List.fold_left
+          (fun a (r : Fuzzer.result) -> a + r.Fuzzer.divergences)
+          0 results
+      in
+      (match corpus with
+      | Some dir ->
+          mkdir_p dir;
+          List.iter
+            (fun (f : Fuzzer.finding) ->
+              let path =
+                Filename.concat dir
+                  ("crash-" ^ String.sub f.Fuzzer.digest 0 16 ^ ".trace")
+              in
+              Trace.to_file f.Fuzzer.trace ~path;
+              Format.printf "corpus: %s (%s)@." path f.Fuzzer.exn)
+            crashes
+      | None -> ());
+      (* The coverage-summary artifact CI uploads next to the corpus. *)
+      (match coverage_json with
+      | None -> ()
+      | Some path ->
+          let final_cov =
+            List.fold_left
+              (fun acc (r : Fuzzer.result) ->
+                match r.Fuzzer.coverage with
+                | Some c -> Coverage.union acc c
+                | None -> acc)
+              Coverage.empty results
+          in
+          let promoted =
+            List.fold_left
+              (fun a (r : Fuzzer.result) -> a + List.length r.Fuzzer.promoted)
+              0 results
+          in
+          let execs =
+            List.fold_left
+              (fun a (r : Fuzzer.result) -> a + r.Fuzzer.execs)
+              0 results
+          in
+          let oc = open_out path in
+          Printf.fprintf oc
+            "{\"edges\":%d,\"edges_total\":%d,\"corpus_size\":%d,\n\
+            \ \"promoted\":%d,\"execs\":%d,\"batches\":%d}\n"
+            (Coverage.count final_cov) Coverage.total (List.length !entries)
+            promoted execs (List.length results);
+          close_out oc;
+          Format.printf "coverage summary written to %s@." path);
+      let fresh =
+        List.filter
+          (fun (f : Fuzzer.finding) ->
+            not (List.mem f.Fuzzer.exn known_signatures))
+          crashes
+      in
+      if divergences > 0 then
+        `Error (false, "replay divergence detected: determinism bug")
+      else if fresh <> [] && known <> None then
+        `Error
+          ( false,
+            Printf.sprintf
+              "%d new crash reproducer(s) not in the known set — minimize \
+               and check them in"
+              (List.length fresh) )
+      else `Ok ()
 
 let record_cmd =
   let config =
@@ -1003,12 +1118,20 @@ let replay_cmd =
     in
     Arg.(value & flag & info [ "verify" ] ~doc)
   in
+  let preserve_cov =
+    let doc =
+      "With --minimize: measure the coverage edges the full trace reaches \
+       and reject any reduction that stops covering them."
+    in
+    Arg.(value & flag & info [ "preserve-coverage" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "replay"
        ~doc:
          "Re-execute a recorded trace bit-identically, with the crash, \
           sanitizer and verifier oracles armed")
-    Term.(ret (const run_replay $ trace $ minimize $ out $ verify))
+    Term.(
+      ret (const run_replay $ trace $ minimize $ out $ verify $ preserve_cov))
 
 let fuzz_cmd =
   let trials =
@@ -1031,7 +1154,12 @@ let fuzz_cmd =
     Arg.(value & opt (some int) None & info [ "seconds" ] ~doc)
   in
   let corpus =
-    let doc = "Write minimized crash reproducers into this directory." in
+    let doc =
+      "The adaptive corpus directory: coverage-earning entries are loaded \
+       as mutation bases, mutants that reach new coverage are promoted \
+       back into it (with --coverage), and minimized crash reproducers \
+       are written next to them."
+    in
     Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR" ~doc)
   in
   let known =
@@ -1041,16 +1169,35 @@ let fuzz_cmd =
     in
     Arg.(value & opt (some string) None & info [ "known" ] ~docv:"DIR" ~doc)
   in
+  let coverage =
+    let doc =
+      "Coverage-guided mode: arm the coverage taps, promote mutants that \
+       reach new edges into the corpus, and report edge totals in the \
+       summary table."
+    in
+    Arg.(value & flag & info [ "coverage" ] ~doc)
+  in
+  let coverage_json =
+    let doc =
+      "Write a JSON coverage summary (edges found, corpus size, execs) \
+       here — the CI artifact.  Implies --coverage."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "coverage-json" ] ~docv:"FILE" ~doc)
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
          "Mutate recorded traces (exit dup/reorder/truncation, fault and \
-          register-field mutation, corruption planting) and replay them \
-          under the sanitizer oracles, sharded across domains")
+          register-field mutation, corruption planting, XEMEM and spawn \
+          interleavings) and replay them under the sanitizer oracles, \
+          sharded across domains, optionally coverage-guided")
     Term.(
       ret
         (const run_fuzz $ trials $ seed $ mutations $ domains $ seconds
-       $ corpus $ known))
+       $ corpus $ known $ coverage $ coverage_json))
 
 (* --- top level --- *)
 

@@ -95,6 +95,23 @@ let note_exit t reason =
   | Cpuid | Xsetbv -> s.exits_emul <- s.exits_emul + 1
   | Abort _ -> s.exits_abort <- s.exits_abort + 1
 
+(* Dense arm index for the coverage map — one code per constructor, in
+   declaration order, so the replay layer's coverage bitset can key on
+   (arm x handler outcome) without depending on this type's shape. *)
+let exit_reason_code = function
+  | Ept_violation _ -> 0
+  | Icr_write _ -> 1
+  | Msr_access _ -> 2
+  | Io_access _ -> 3
+  | Cpuid -> 4
+  | Xsetbv -> 5
+  | Hlt -> 6
+  | External_interrupt _ -> 7
+  | Nmi_exit -> 8
+  | Abort _ -> 9
+
+let exit_reason_arms = 10
+
 let exit_reason_name = function
   | Ept_violation _ -> "ept-violation"
   | Icr_write _ -> "icr-write"

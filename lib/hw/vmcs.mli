@@ -88,6 +88,16 @@ val exit_reason_name : exit_reason -> string
     (["ept-violation"], ["icr-write"], ...) — the metric/trace label
     dimension used by the observability layer. *)
 
+val exit_reason_code : exit_reason -> int
+(** Dense arm index ([0 .. exit_reason_arms - 1]) in declaration
+    order — the coverage-map key the replay fuzzer's guidance uses.
+    Adding a constructor must extend this (the compiler enforces it)
+    and bump {!exit_reason_arms}. *)
+
+val exit_reason_arms : int
+(** Number of {!exit_reason} constructors (the coverage-map arm
+    dimension). *)
+
 val pp_exit_reason : Format.formatter -> exit_reason -> unit
 (** Full rendering including the reason's payload (faulting GPA, MSR
     number, vector, ...). *)

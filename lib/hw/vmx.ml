@@ -10,6 +10,14 @@ let tap_on = ref false
 let exit_tap : (Cpu.t -> Vmcs.t -> Vmcs.exit_reason -> unit) ref =
   ref (fun _ _ _ -> ())
 
+(* Coverage tap: the replay fuzzer's guidance observes every
+   (exit-reason arm, handler outcome) edge through this hook.  Same
+   zero-cost contract as [exit_tap]: one [!cov_on] branch when
+   disarmed, and the tap never charges simulated cycles or draws
+   randomness, so an armed run stays byte-identical. *)
+let cov_on = ref false
+let cov_exit_tap : (int -> int -> unit) ref = ref (fun _ _ -> ())
+
 let vmlaunch ~model cpu vmcs =
   if Cpu.in_guest cpu then invalid_arg "Vmx.vmlaunch: already in guest mode";
   Cpu.charge cpu Cost_model.(model.vmcs_load + model.vmlaunch);
@@ -31,6 +39,15 @@ let deliver_exit ~model cpu vmcs reason =
         (* No hypervisor: nothing can make progress safely. *)
         Vmcs.Kill { reason = "no exit handler installed" }
   in
+  (* Coverage edge: reason arm x what the handler decided.  Observed
+     before acting so killed exits contribute their edge too. *)
+  if !cov_on then
+    !cov_exit_tap
+      (Vmcs.exit_reason_code reason)
+      (match action with
+      | Vmcs.Resume -> 0
+      | Vmcs.Skip -> 1
+      | Vmcs.Kill _ -> 2);
   (* Record before acting so killed exits are attributed too.  Guarded
      observation only: no simulated cycles move here. *)
   if !Covirt_obs.Metrics.on || !Covirt_obs.Exporter.on then

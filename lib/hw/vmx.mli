@@ -25,6 +25,18 @@ val exit_tap : (Cpu.t -> Vmcs.t -> Vmcs.exit_reason -> unit) ref
     from any RNG: recording armed is byte-identical to recording
     off. *)
 
+val cov_on : bool ref
+(** Arms {!cov_exit_tap}.  Do not flip directly — the
+    [covirt.replay] coverage collector owns it, reference-counted
+    across domains.  One branch per delivered exit when off. *)
+
+val cov_exit_tap : (int -> int -> unit) ref
+(** Called while [cov_on] with ({!Vmcs.exit_reason_code},
+    handler-outcome code: 0 resume, 1 skip, 2 kill) for every
+    delivered exit — the (arm x outcome) coverage edge.  Must never
+    charge simulated cycles or draw randomness: collection armed is
+    byte-identical to collection off. *)
+
 val vmlaunch : model:Cost_model.t -> Cpu.t -> Vmcs.t -> unit
 (** Load the VMCS onto the core and enter the guest: flips the core to
     [Guest_mode], charges [vmcs_load + vmlaunch], marks the VMCS

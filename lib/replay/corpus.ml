@@ -1,0 +1,142 @@
+(* The on-disk fuzz corpus: traces that earned their keep by covering
+   an edge nothing else had, each stored next to the coverage map its
+   replay produced.
+
+   Entry wire format (magic "CVCS", version 1): magic, varint version,
+   varint coverage-map length + raw map bytes, then the trace in the
+   Trace wire format.  Decode is total like Trace.decode — every
+   malformed or truncated file maps to a typed Error, so a corpus
+   directory that picked up garbage is a safe input.  The map length
+   is checked against the current layout, so a coverage-layout change
+   invalidates stale entries loudly instead of mis-attributing bits.
+
+   Filenames are content-addressed ([<digest>.cvcs]); loading sorts by
+   digest, so every shard and every host sees the same entry order —
+   part of the fuzzer's determinism argument. *)
+
+let magic = "CVCS"
+let version = 1
+let extension = ".cvcs"
+
+type entry = { trace : Trace.t; coverage : Coverage.t }
+
+let digest e = Trace.digest e.trace
+
+let encode e =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  let rec varint n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      varint (n lsr 7)
+    end
+  in
+  varint version;
+  let cov = Coverage.to_bytes e.coverage in
+  varint (String.length cov);
+  Buffer.add_string buf cov;
+  Buffer.add_string buf (Trace.encode e.trace);
+  Buffer.contents buf
+
+exception Malformed of string
+
+let decode s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let byte () =
+    if !pos >= n then raise (Malformed "unexpected end of corpus entry");
+    let c = Char.code s.[!pos] in
+    incr pos;
+    c
+  in
+  let get_varint () =
+    let rec go shift acc =
+      if shift > 62 then raise (Malformed "varint overflow");
+      let b = byte () in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+  in
+  match
+    if n < 4 || String.sub s 0 4 <> magic then
+      raise (Malformed "bad magic (not a corpus entry)");
+    pos := 4;
+    let v = get_varint () in
+    if v <> version then
+      raise (Malformed (Printf.sprintf "unsupported corpus version %d" v));
+    let cov_len = get_varint () in
+    if !pos + cov_len > n then
+      raise (Malformed "coverage map overruns entry");
+    let cov_bytes = String.sub s !pos cov_len in
+    pos := !pos + cov_len;
+    let coverage =
+      match Coverage.of_bytes cov_bytes with
+      | Ok c -> c
+      | Error why -> raise (Malformed why)
+    in
+    let trace =
+      match Trace.decode (String.sub s !pos (n - !pos)) with
+      | Ok t -> t
+      | Error why -> raise (Malformed ("embedded trace: " ^ why))
+    in
+    { trace; coverage }
+  with
+  | e -> Ok e
+  | exception Malformed why -> Error why
+
+let to_file e ~path =
+  let oc = open_out_bin path in
+  output_string oc (encode e);
+  close_out oc
+
+let of_file ~path =
+  match open_in_bin path with
+  | exception Sys_error why -> Error why
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      decode s
+
+(* --- directories ----------------------------------------------------- *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    (* A concurrent shard may have won the race; that is fine. *)
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let load ~dir =
+  if not (Sys.file_exists dir) then Ok []
+  else if not (Sys.is_directory dir) then
+    Error (Printf.sprintf "%s: not a directory" dir)
+  else
+    let files =
+      List.sort compare
+        (List.filter
+           (fun f -> Filename.check_suffix f extension)
+           (Array.to_list (Sys.readdir dir)))
+    in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | f :: rest -> (
+          match of_file ~path:(Filename.concat dir f) with
+          | Ok e -> go (e :: acc) rest
+          | Error why -> Error (Printf.sprintf "%s: %s" f why))
+    in
+    go [] files
+
+let save ~dir e =
+  mkdir_p dir;
+  let path = Filename.concat dir (digest e ^ extension) in
+  to_file e ~path;
+  path
+
+let union_coverage entries =
+  List.fold_left
+    (fun acc e -> Coverage.union acc e.coverage)
+    Coverage.empty entries

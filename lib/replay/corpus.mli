@@ -1,0 +1,52 @@
+(** The on-disk fuzz corpus.
+
+    A corpus is a directory of content-addressed entries
+    ([<digest>.cvcs]), each a trace paired with the coverage map its
+    replay produced.  The fuzzer promotes a mutant here when its map
+    contains an edge the accumulated corpus coverage lacks; later runs
+    seed their mutation bases from these entries, which is what makes
+    the guidance adaptive.
+
+    Entry wire format (magic ["CVCS"], version 1): magic, varint
+    version, varint-length coverage map, then the embedded trace in
+    the {!Trace} wire format.  {!decode} is total — truncated or
+    corrupted files yield a typed [Error], never an exception — and a
+    stale coverage layout (different map size) is rejected loudly.
+
+    Loading sorts entries by digest, so every fleet shard and host
+    observes the same order: base selection from a corpus stays
+    deterministic at any [--domains]. *)
+
+val magic : string
+(** First four bytes of every entry file: ["CVCS"]. *)
+
+val version : int
+(** Current entry format version (1).  {!decode} rejects any other. *)
+
+val extension : string
+(** Entry filename suffix: [".cvcs"]. *)
+
+type entry = { trace : Trace.t; coverage : Coverage.t }
+
+val digest : entry -> string
+(** {!Trace.digest} of the embedded trace — the entry's filename
+    stem. *)
+
+val encode : entry -> string
+val decode : string -> (entry, string) result
+
+val to_file : entry -> path:string -> unit
+val of_file : path:string -> (entry, string) result
+
+val load : dir:string -> (entry list, string) result
+(** Every [.cvcs] entry in [dir], digest-sorted.  A missing directory
+    is an empty corpus ([Ok []]); a malformed entry fails the whole
+    load with the offending filename in the error. *)
+
+val save : dir:string -> entry -> string
+(** Write the entry as [<digest>.cvcs] under [dir] (created if
+    needed); returns the path.  Content-addressing makes concurrent
+    saves of the same entry idempotent. *)
+
+val union_coverage : entry list -> Coverage.t
+(** The corpus's accumulated coverage — the promotion baseline. *)

@@ -1,6 +1,8 @@
 module Trace = Trace
+module Coverage = Coverage
 module Recorder = Recorder
 module Scenario = Scenario
 module Replayer = Replayer
+module Corpus = Corpus
 module Minimizer = Minimizer
 module Fuzzer = Fuzzer

@@ -83,9 +83,10 @@ let shrink_event ev =
       List.map
         (fun reason -> Trace.Inject_exit { slot; reason })
         (shrink_exit reason)
-  | Trace.Corrupt _ | Trace.Exit _ -> []
+  | Trace.Corrupt _ | Trace.Exit _ | Trace.Xemem_op _ | Trace.Spawn _ -> []
 
-let minimize ?(keep = default_keep) ?(max_probes = 400) (trace : Trace.t) =
+let minimize ?(keep = default_keep) ?preserve_edges ?(max_probes = 400)
+    (trace : Trace.t) =
   (match trace.Trace.scenario with
   | Trace.Trial_batch _ -> ()
   | Trace.Soak_shard _ ->
@@ -97,10 +98,25 @@ let minimize ?(keep = default_keep) ?(max_probes = 400) (trace : Trace.t) =
   in
   let probes = ref 0 in
   let budget () = !probes < max_probes in
-  let check ~trials events =
+  (* One validated probe: the candidate passes [keep], and — when
+     [preserve_edges] is given — its replay still covers every
+     preserved edge.  Probing with edges armed clears this domain's
+     in-progress coverage map (the fuzzer captures its mutant's map
+     before minimizing, so nothing is lost). *)
+  let probe t =
     incr probes;
-    keep (Replayer.run (rebuild ~base:trace ~trials events))
+    match preserve_edges with
+    | None -> keep (Replayer.run t)
+    | Some edges ->
+        let was = Coverage.collecting () in
+        if not was then Coverage.arm ();
+        ignore (Coverage.capture () : Coverage.t);
+        let r = Replayer.run t in
+        let cov = Coverage.capture () in
+        if not was then Coverage.disarm ();
+        keep r && Coverage.subset edges ~of_:cov
   in
+  let check ~trials events = probe (rebuild ~base:trace ~trials events) in
   let inputs = Trace.inputs trace in
   if not (check ~trials:original_trials inputs) then
     (* The failure does not reproduce from inputs alone (or at all) —
@@ -156,6 +172,24 @@ let minimize ?(keep = default_keep) ?(max_probes = 400) (trace : Trace.t) =
       !current
     in
     let current = ref (ddmin inputs) in
+    (* -- cross-trial pass: drop every input of one slot at once.
+       ddmin partitions by position, so inputs of the same trial can
+       land in different chunks and survive individually; removing the
+       whole trial's inputs in one probe catches reductions the
+       positional partition misses (and empties slots so truncation
+       below bites). -- *)
+    let slot_drop () =
+      List.iter
+        (fun s ->
+          if budget () && List.exists (fun ev -> Trace.slot_of ev = s) !current
+          then
+            let candidate =
+              List.filter (fun ev -> Trace.slot_of ev <> s) !current
+            in
+            if check ~trials:!trials candidate then current := candidate)
+        (List.sort_uniq compare (List.map Trace.slot_of !current))
+    in
+    slot_drop ();
     (* -- pass 2: truncate trials to the last slot that matters -- *)
     let needed_slots =
       let input_max =
@@ -205,8 +239,7 @@ let minimize ?(keep = default_keep) ?(max_probes = 400) (trace : Trace.t) =
           !current
       in
       if trace.Trace.schedule_json <> "" && budget () then begin
-        incr probes;
-        if keep (Replayer.run bare) then bare
+        if probe bare then bare
         else rebuild ~base:trace ~trials:!trials !current
       end
       else if trace.Trace.schedule_json = "" then bare

@@ -13,6 +13,7 @@ module Soak = Covirt_resilience.Soak
 let replay_soak ~seed ~lo ~hi ~sanitize =
   let was_recording = Recorder.recording () in
   Recorder.arm ();
+  Coverage.hit_soak ();
   let crash = ref None in
   (try
      ignore
@@ -21,6 +22,7 @@ let replay_soak ~seed ~lo ~hi ~sanitize =
          : Soak.result)
    with e when not (Scenario.simulated_exn e) ->
      crash := Some (Printexc.to_string e));
+  if !crash <> None then Coverage.hit_crash ();
   let events, dropped = Recorder.capture () in
   if not was_recording then Recorder.disarm ();
   let trace =

@@ -184,6 +184,53 @@ let one_trial ~config ~slot ~trial_seed ~mode =
      let victim, victim_kitten = launch "victim" [ 3 ] 1 in
      let ctx = Kitten.context attacker_kitten ~core:1 in
      let injector = Fault_injector.create ~seed:trial_seed () in
+     (* Multi-enclave surface: cores the fuzzer's [Spawn] inputs may
+        still claim (host 0, attacker 1, victim 3 are taken), and the
+        lazily-exported victim segment [Xemem_op] inputs target. *)
+     let free_cores = ref [ (0, 2); (1, 4); (1, 5) ] in
+     let exported = ref false in
+     let xemem_seg = "fuzz-seg" in
+     let apply_xemem attach =
+       let xemem = Covirt_hobbes.Hobbes.xemem hobbes in
+       if attach then begin
+         (if not !exported then
+            match Kitten.kalloc victim_kitten ~bytes:(4 * mib) with
+            | Error _ -> ()
+            | Ok base -> (
+                match
+                  Covirt_xemem.Xemem.export xemem
+                    ~exporter:
+                      (Covirt_xemem.Name_service.Enclave_export
+                         victim.Enclave.id)
+                    ~name:xemem_seg
+                    ~pages:[ Region.make ~base ~len:(4 * mib) ]
+                with
+                | Ok _ -> exported := true
+                | Error _ -> ()));
+         match Covirt_xemem.Xemem.attach xemem attacker ~name:xemem_seg with
+         | Ok _ -> Coverage.hit_xemem ~attach:true ~ok:true
+         | Error _ -> Coverage.hit_xemem ~attach:true ~ok:false
+       end
+       else
+         match Covirt_xemem.Xemem.detach xemem attacker ~name:xemem_seg with
+         | Ok () -> Coverage.hit_xemem ~attach:false ~ok:true
+         | Error _ -> Coverage.hit_xemem ~attach:false ~ok:false
+     in
+     let apply_spawn zone =
+       match List.find_opt (fun (z, _) -> z = zone) !free_cores with
+       | None -> Coverage.hit_spawn ~ok:false
+       | Some (_, core) -> (
+           free_cores := List.filter (fun (_, c) -> c <> core) !free_cores;
+           match
+             Covirt_hobbes.Hobbes.launch_enclave hobbes
+               ~name:(Printf.sprintf "extra-%d" core)
+               ~cores:[ core ]
+               ~mem:[ (zone, 128 * mib) ]
+               ()
+           with
+           | Ok _ -> Coverage.hit_spawn ~ok:true
+           | Error _ -> Coverage.hit_spawn ~ok:false)
+     in
      (* Apply one input under crash guard; a node panic stops applying
         (the machine is gone) but later inputs are still noted so the
         re-captured trace carries them — replaying the capture skips
@@ -240,6 +287,12 @@ let one_trial ~config ~slot ~trial_seed ~mode =
                  if not !node_down then
                    apply_corruption ~machine ~hobbes ~ctrl ~attacker ~victim
                      ~attacker_kitten cls
+             | Trace.Xemem_op { attach; _ } ->
+                 Recorder.note ev;
+                 guarded (fun () -> apply_xemem attach)
+             | Trace.Spawn { zone; _ } ->
+                 Recorder.note ev;
+                 guarded (fun () -> apply_spawn zone)
              | Trace.Exit _ -> ())
            inputs);
      if (not !node_down) && Machine.panicked machine <> None then
@@ -270,12 +323,24 @@ let one_trial ~config ~slot ~trial_seed ~mode =
            (List.sort_uniq compare !planted)
      end
    with e when not (simulated_exn e) -> crash := Some (Printexc.to_string e));
+  let outcome =
+    if !node_down then Node_down
+    else if !collateral then Collateral
+    else Survived
+  in
+  (* Verdict edges the hw taps cannot see — no-ops unless this
+     domain's coverage collection is armed. *)
+  Coverage.hit_outcome
+    (match outcome with
+    | Survived -> `Survived
+    | Node_down -> `Node_down
+    | Collateral -> `Collateral);
+  if !crash <> None then Coverage.hit_crash ();
+  List.iter Coverage.hit_planted (List.sort_uniq compare !planted);
+  List.iter Coverage.hit_detected !detected;
   {
     slot;
-    outcome =
-      (if !node_down then Node_down
-       else if !collateral then Collateral
-       else Survived);
+    outcome;
     crash = !crash;
     sanitizer_delta = Sanitize.violation_count () - sanitize_before;
     verifier_violations = !verifier_violations;

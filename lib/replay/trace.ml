@@ -42,6 +42,8 @@ type event =
   | Fault of { slot : int; fault : fault_payload }
   | Inject_exit of { slot : int; reason : exit_payload }
   | Corrupt of { slot : int; cls : corruption }
+  | Xemem_op of { slot : int; attach : bool }
+  | Spawn of { slot : int; zone : int }
 
 type scenario =
   | Trial_batch of { config : string; seed : int; trials : int }
@@ -59,7 +61,7 @@ let make ?(schedule_json = "") ?(dropped = 0) ~scenario events =
 
 let is_input = function
   | Exit _ -> false
-  | Fault _ | Inject_exit _ | Corrupt _ -> true
+  | Fault _ | Inject_exit _ | Corrupt _ | Xemem_op _ | Spawn _ -> true
 
 let inputs t = List.filter is_input t.events
 let observed t = List.filter (fun e -> not (is_input e)) t.events
@@ -68,7 +70,9 @@ let slot_of = function
   | Exit { slot; _ }
   | Fault { slot; _ }
   | Inject_exit { slot; _ }
-  | Corrupt { slot; _ } ->
+  | Corrupt { slot; _ }
+  | Xemem_op { slot; _ }
+  | Spawn { slot; _ } ->
       slot
 
 let corruption_name = function
@@ -183,6 +187,14 @@ let put_event buf = function
       put_varint buf 3;
       put_varint buf slot;
       put_varint buf (corruption_code cls)
+  | Xemem_op { slot; attach } ->
+      put_varint buf 4;
+      put_varint buf slot;
+      put_bool buf attach
+  | Spawn { slot; zone } ->
+      put_varint buf 5;
+      put_varint buf slot;
+      put_varint buf zone
 
 let put_scenario buf = function
   | Trial_batch { config; seed; trials } ->
@@ -321,6 +333,14 @@ let decode s =
                   raise
                     (Malformed (Printf.sprintf "unknown corruption code %d" c)));
           }
+    | 4 ->
+        let slot = get_varint () in
+        Xemem_op { slot; attach = get_bool () }
+    | 5 ->
+        let slot = get_varint () in
+        let zone = get_varint () in
+        if zone > 1 then raise (Malformed "bad spawn zone");
+        Spawn { slot; zone }
     | c -> raise (Malformed (Printf.sprintf "unknown event tag %d" c))
   in
   match
@@ -418,6 +438,11 @@ let pp_event ppf = function
       Format.fprintf ppf "[%d] inject-exit %a" slot pp_exit_payload reason
   | Corrupt { slot; cls } ->
       Format.fprintf ppf "[%d] corrupt %s" slot (corruption_name cls)
+  | Xemem_op { slot; attach } ->
+      Format.fprintf ppf "[%d] xemem-%s" slot
+        (if attach then "attach" else "detach")
+  | Spawn { slot; zone } ->
+      Format.fprintf ppf "[%d] spawn-enclave zone%d" slot zone
 
 let pp_scenario ppf = function
   | Trial_batch { config; seed; trials } ->
@@ -432,7 +457,8 @@ let pp_summary ppf t =
   Format.fprintf ppf
     "@[<v>scenario: %a@,\
      version %d, %d bytes, digest %s@,\
-     events: %d exits, %d faults, %d injected exits, %d corruptions%s@]"
+     events: %d exits, %d faults, %d injected exits, %d corruptions, %d \
+     xemem ops, %d spawns%s@]"
     pp_scenario t.scenario version
     (String.length (encode t))
     (digest t)
@@ -440,6 +466,8 @@ let pp_summary ppf t =
     (count (function Fault _ -> true | _ -> false))
     (count (function Inject_exit _ -> true | _ -> false))
     (count (function Corrupt _ -> true | _ -> false))
+    (count (function Xemem_op _ -> true | _ -> false))
+    (count (function Spawn _ -> true | _ -> false))
     (if t.dropped > 0 then
        Printf.sprintf " (+%d dropped: trailing window only)" t.dropped
      else "")

@@ -75,6 +75,16 @@ type event =
   | Corrupt of { slot : int; cls : corruption }
       (** {e input}: a planted state corruption, applied at the start
           of this slot. *)
+  | Xemem_op of { slot : int; attach : bool }
+      (** {e input}: an XEMEM attach ([true]) or detach ([false]) the
+          attacker performs against the victim's shared segment at the
+          start of this slot — the fuzzer interleaves these to stress
+          the name service and grant lifecycle. *)
+  | Spawn of { slot : int; zone : int }
+      (** {e input}: launch an extra enclave in NUMA zone [zone]
+          (0 or 1) at the start of this slot, widening the run to a
+          multi-enclave scenario.  A no-op when the zone has no free
+          core left. *)
 
 (** What kind of run the trace captures — enough to rebuild the run
     from scratch. *)
@@ -104,9 +114,9 @@ val make :
     [0]). *)
 
 val is_input : event -> bool
-(** Inputs ([Fault], [Inject_exit], [Corrupt]) are what replay feeds
-    back in; [Exit] events are observations used only for
-    verification. *)
+(** Inputs ([Fault], [Inject_exit], [Corrupt], [Xemem_op], [Spawn])
+    are what replay feeds back in; [Exit] events are observations used
+    only for verification. *)
 
 val inputs : t -> event list
 val observed : t -> event list

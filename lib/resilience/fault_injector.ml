@@ -115,9 +115,25 @@ let due t ~target ~trial ~now =
 let tap_on = ref false
 let inject_tap : (fault -> unit) ref = ref (fun _ -> ())
 
+(* Coverage tap (the replay fuzzer's guidance): dense fault-class
+   codes in declaration order.  Same zero-cost contract as
+   [inject_tap]. *)
+let cov_on = ref false
+let cov_tap : (int -> unit) ref = ref (fun _ -> ())
+
+let fault_code = function
+  | Wild_write _ -> 0
+  | Phantom_touch _ -> 1
+  | Errant_ipi _ -> 2
+  | Msr_write -> 3
+  | Port_reset -> 4
+  | Double_fault -> 5
+  | Wedge _ -> 6
+
 let inject t (ctx : Kitten.context) fault =
   t.applied <- t.applied + 1;
   if !tap_on then !inject_tap fault;
+  if !cov_on then !cov_tap (fault_code fault);
   match fault with
   | Wild_write addr -> Kitten.store_addr ctx addr
   | Phantom_touch addr ->

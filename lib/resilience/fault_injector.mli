@@ -109,6 +109,19 @@ val inject_tap : (fault -> unit) ref
     enclave are recorded too.  Must not charge cycles or draw
     randomness. *)
 
+val cov_on : bool ref
+(** Arms {!cov_tap}.  Do not flip directly — the [covirt.replay]
+    coverage collector owns it, reference-counted across domains.  One
+    branch per {!inject} when off. *)
+
+val cov_tap : (int -> unit) ref
+(** Called while [cov_on] with {!fault_code} of every applied fault.
+    Same zero-cost contract as {!inject_tap}. *)
+
+val fault_code : fault -> int
+(** Dense fault-class index ([0 .. 6]) in declaration order — the
+    coverage-map key for injected faults. *)
+
 val inject : t -> Kitten.context -> fault -> unit
 (** Apply the fault on the given execution context and count it.  May
     raise whatever the fault raises (e.g. {!Covirt_hw.Vmx.Vm_terminated}

@@ -86,6 +86,10 @@ let all_events =
     Trace.Corrupt { slot = 1; cls = Trace.Free_map };
     Trace.Corrupt { slot = 2; cls = Trace.Stale_grant };
     Trace.Corrupt { slot = 3; cls = Trace.Freed_access };
+    Trace.Xemem_op { slot = 0; attach = true };
+    Trace.Xemem_op { slot = 1; attach = false };
+    Trace.Spawn { slot = 2; zone = 0 };
+    Trace.Spawn { slot = 3; zone = 1 };
   ]
 
 let full_trace =
@@ -188,6 +192,8 @@ let event_gen =
         (fun slot cls -> Trace.Corrupt { slot; cls })
         slot
         (oneofl Trace.corruptions);
+      map2 (fun slot attach -> Trace.Xemem_op { slot; attach }) slot bool;
+      map2 (fun slot zone -> Trace.Spawn { slot; zone }) slot (int_bound 1);
     ]
 
 let qcheck_codec =
@@ -389,6 +395,24 @@ let test_fuzz_identical_across_domains () =
     (render (run 7));
   Alcotest.(check int) "no replay divergences" 0 r1.Fuzzer.divergences
 
+let test_guided_fuzz_identical_across_domains () =
+  (* The guided variant: the coverage map, promoted entries and every
+     other result field must not depend on the domain count either.
+     Structural equality covers the Coverage.t inside (immutable
+     string snapshots). *)
+  with_sanitizer_restored @@ fun () ->
+  let run domains = Fuzzer.run ~trials:6 ~seed:11 ~domains ~coverage:true () in
+  let r1 = run 1 in
+  Alcotest.(check bool) "domains 2 = domains 1" true (run 2 = r1);
+  Alcotest.(check bool) "domains 7 = domains 1" true (run 7 = r1);
+  Alcotest.(check bool)
+    "guided run filled the coverage field" true
+    (r1.Fuzzer.coverage <> None);
+  Alcotest.(check string)
+    "rendered table identical"
+    (Covirt_sim.Table.render (Fuzzer.table r1))
+    (Covirt_sim.Table.render (Fuzzer.table (run 7)))
+
 (* --- supervisor capture hook ----------------------------------------- *)
 
 let test_soak_shard_replay_identical () =
@@ -506,6 +530,8 @@ let () =
         [
           Alcotest.test_case "byte-identical at domains 1/2/7" `Slow
             test_fuzz_identical_across_domains;
+          Alcotest.test_case "guided fuzz byte-identical at domains 1/2/7"
+            `Slow test_guided_fuzz_identical_across_domains;
         ] );
       ( "capture",
         [
