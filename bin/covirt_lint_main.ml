@@ -1,0 +1,65 @@
+(* covirt-lint: thin CLI over the covirt.lint AST analysis engine.
+
+   Usage: covirt-lint [ROOT] [--json FILE] [--dot FILE] [--list] [--quiet]
+
+   ROOT defaults to "." and must contain lib/.  Exit codes: 0 clean,
+   1 findings, 2 tool error (unparseable file, bad usage, missing
+   tree).  --json and --dot write their artifacts before the exit
+   status is decided, so CI can upload them from a failing gate. *)
+
+let usage () =
+  prerr_endline
+    "usage: covirt-lint [ROOT] [--json FILE] [--dot FILE] [--list] [--quiet]";
+  exit 2
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let () =
+  let root = ref "." in
+  let json_out = ref None in
+  let dot_out = ref None in
+  let quiet = ref false in
+  let list_checks = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: file :: rest ->
+        json_out := Some file;
+        parse rest
+    | "--dot" :: file :: rest ->
+        dot_out := Some file;
+        parse rest
+    | "--quiet" :: rest ->
+        quiet := true;
+        parse rest
+    | "--list" :: rest ->
+        list_checks := true;
+        parse rest
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
+    | arg :: rest ->
+        root := arg;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !list_checks then begin
+    List.iter
+      (fun (id, descr) -> Printf.printf "%-20s %s\n" id descr)
+      Covirt_lint.Checks.catalogue;
+    exit 0
+  end;
+  match Covirt_lint.Engine.run ~root:!root with
+  | exception Covirt_lint.Engine.No_tree msg ->
+      Printf.eprintf "lint: %s\n" msg;
+      exit 2
+  | result ->
+      Option.iter
+        (fun file -> write_file file (Covirt_lint.Engine.to_json result))
+        !json_out;
+      Option.iter
+        (fun file -> write_file file (Covirt_lint.Engine.dot result))
+        !dot_out;
+      if not !quiet then
+        Covirt_lint.Engine.pp_table Format.std_formatter result;
+      exit (Covirt_lint.Engine.exit_code result)

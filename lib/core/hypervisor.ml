@@ -66,14 +66,15 @@ let m_shootdown = lazy (Covirt_obs.Metrics.counter "hv.tlb_shootdown")
 let m_emul = lazy (Covirt_obs.Metrics.counter "hv.emulation")
 
 let obs_incr t fam dim =
-  Covirt_obs.Metrics.add
-    (Covirt_obs.Metrics.cell (Lazy.force fam)
-       {
-         Covirt_obs.Metrics.enclave = t.vmcs.Vmcs.enclave;
-         cpu = t.cpu.Cpu.id;
-         dim;
-       })
-    1
+  if !Covirt_obs.Metrics.on then
+    Covirt_obs.Metrics.add
+      (Covirt_obs.Metrics.cell (Lazy.force fam)
+         {
+           Covirt_obs.Metrics.enclave = t.vmcs.Vmcs.enclave;
+           cpu = t.cpu.Cpu.id;
+           dim;
+         })
+      1
 
 (* Drain the command queue: the controller already rewrote the
    hardware structures; we only activate/invalidate local state. *)

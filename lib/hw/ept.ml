@@ -311,6 +311,10 @@ let find_leaf t addr =
           | None ->
               if !cov_on then !cov_tap 4;
               let r = pt_lookup node addr in
+              (* lint: allow warm-alloc — pt-slot cold fill: the boxed
+                 answer is stored and handed back unwrapped on later
+                 hits, so the [Some] is paid once per slot, not per
+                 translate. *)
               slots.(i) <- Some r;
               r))
 

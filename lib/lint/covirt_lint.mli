@@ -1,0 +1,11 @@
+(** covirt.lint — AST-level static analysis of the repo's protection
+    contracts: zero-cost taps, warm-region allocation, layer
+    confinement and determinism, plus the ported source conventions.
+    See docs/LINTING.md for the check catalogue. *)
+
+module Finding = Finding
+module Source = Source
+module Ast_scan = Ast_scan
+module Layer = Layer
+module Checks = Checks
+module Engine = Engine

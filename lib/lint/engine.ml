@@ -1,0 +1,148 @@
+(* The analysis driver: walk the tree, parse every source, run the
+   checks, account suppressions, and render.  Exit-code contract
+   (consumed by bin/covirt_lint and CI): 0 clean, 1 findings, 2 tool
+   error (unparseable file or missing tree). *)
+
+type result = {
+  root : string;
+  files : int;  (* sources analyzed *)
+  findings : Finding.t list;  (* unsuppressed, sorted *)
+  suppressed : Finding.t list;  (* matched by a (* lint: allow *) comment *)
+  parse_errors : (string * string) list;  (* rel path, message *)
+  graph : Layer.graph;
+}
+
+(* --- filesystem walk (stdlib only, sorted for determinism) --- *)
+
+let rec walk dir rel_prefix acc =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> acc
+  | entries ->
+      Array.sort compare entries;
+      Array.fold_left
+        (fun acc e ->
+          let path = Filename.concat dir e in
+          let rel = if rel_prefix = "" then e else rel_prefix ^ "/" ^ e in
+          if Sys.is_directory path then
+            if e = "_build" || e = ".git" then acc else walk path rel acc
+          else if
+            Filename.check_suffix e ".ml" || Filename.check_suffix e ".mli"
+          then rel :: acc
+          else acc)
+        acc entries
+
+let tree_files root =
+  let lib = walk (Filename.concat root "lib") "lib" [] in
+  let bin = walk (Filename.concat root "bin") "bin" [] in
+  List.sort String.compare (lib @ bin)
+
+(* --- per-source analysis (fixture entry point) --- *)
+
+(* Split raw findings into (kept, suppressed) using the source's
+   suppression comments. *)
+let account (src : Source.t) findings =
+  List.partition (fun f -> not (Source.suppresses src f)) findings
+
+let analyze_source ?graph (src : Source.t) =
+  account src (Checks.file_checks ?graph src)
+
+let analyze_string ~path ~text =
+  let src = Source.of_string ~path text in
+  let findings, suppressed = analyze_source src in
+  let parse_error =
+    match src.Source.ast with Source.Parse_error m -> Some m | _ -> None
+  in
+  (findings, suppressed, parse_error)
+
+(* --- the tree run --- *)
+
+exception No_tree of string
+
+let run ~root =
+  if not (Sys.file_exists (Filename.concat root "lib")) then
+    raise (No_tree (Printf.sprintf "no lib/ under %s" root));
+  let rels = tree_files root in
+  let graph = Layer.create () in
+  let findings = ref [] in
+  let suppressed = ref [] in
+  let parse_errors = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun rel ->
+      let src = Source.load ~root ~rel in
+      incr count;
+      (match src.Source.ast with
+      | Source.Parse_error msg -> parse_errors := (rel, msg) :: !parse_errors
+      | _ -> ());
+      let keep, supp = analyze_source ~graph src in
+      findings := keep :: !findings;
+      suppressed := supp :: !suppressed)
+    rels;
+  let tree_findings = Checks.check_mli_presence rels in
+  {
+    root;
+    files = !count;
+    findings = List.sort Finding.compare (tree_findings @ List.concat !findings);
+    suppressed = List.sort Finding.compare (List.concat !suppressed);
+    parse_errors = List.rev !parse_errors;
+    graph;
+  }
+
+let exit_code r =
+  if r.parse_errors <> [] then 2 else if r.findings <> [] then 1 else 0
+
+(* --- renderers --- *)
+
+let pp_table ppf r =
+  List.iter
+    (fun (rel, msg) ->
+      Format.fprintf ppf "lint: %s: parse error: %s@." rel msg)
+    r.parse_errors;
+  List.iter (fun f -> Format.fprintf ppf "lint: %a@." Finding.pp f) r.findings;
+  let n = List.length r.findings
+  and s = List.length r.suppressed
+  and p = List.length r.parse_errors in
+  if p > 0 then
+    Format.fprintf ppf "lint: tool error: %d unparseable file(s)@." p
+  else if n > 0 then
+    Format.fprintf ppf "lint: %d finding(s) in %d file(s), %d suppressed@." n
+      r.files s
+  else
+    Format.fprintf ppf "lint: clean (%d files, %d suppressed finding(s))@."
+      r.files s
+
+let to_json r =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"root\": \"%s\",\n" (Finding.json_escape r.root));
+  Buffer.add_string buf (Printf.sprintf "  \"files\": %d,\n" r.files);
+  let arr name items render =
+    Buffer.add_string buf (Printf.sprintf "  \"%s\": [" name);
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string buf ", ";
+        Buffer.add_string buf (render x))
+      items;
+    Buffer.add_string buf "]"
+  in
+  arr "findings" r.findings Finding.to_json;
+  Buffer.add_string buf ",\n";
+  arr "suppressed" r.suppressed Finding.to_json;
+  Buffer.add_string buf ",\n";
+  arr "parse_errors" r.parse_errors (fun (rel, msg) ->
+      Printf.sprintf "{\"file\":\"%s\",\"message\":\"%s\"}"
+        (Finding.json_escape rel) (Finding.json_escape msg));
+  Buffer.add_string buf ",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"summary\": {\"findings\": %d, \"suppressed\": %d, \
+        \"parse_errors\": %d, \"exit_code\": %d}\n"
+       (List.length r.findings)
+       (List.length r.suppressed)
+       (List.length r.parse_errors)
+       (exit_code r));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let dot r = Layer.dot r.graph

@@ -1,0 +1,59 @@
+(* A typed lint finding: one violation of one check at one source
+   location.  Findings are value types — checks build them, the engine
+   sorts/filters/suppresses them, and the renderers (table, JSON) are
+   the only places that turn them into text. *)
+
+type severity = Error | Warning
+
+type t = {
+  file : string;  (* repo-relative, '/'-separated *)
+  line : int;  (* 1-based *)
+  col : int;  (* 0-based, as the compiler reports *)
+  check : string;  (* check id, e.g. "warm-alloc" *)
+  severity : severity;
+  message : string;
+}
+
+let v ?(severity = Error) ~check ~file ~line ~col message =
+  { file; line; col; check; severity; message }
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.check b.check
+
+let pp ppf t =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" t.file t.line t.col t.check t.message
+
+(* JSON rendering is hand-rolled (the repo takes no JSON dependency);
+   the escaper covers the control characters findings can realistically
+   carry. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  Printf.sprintf
+    "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"check\":\"%s\",\"severity\":\"%s\",\"message\":\"%s\"}"
+    (json_escape t.file) t.line t.col (json_escape t.check)
+    (severity_name t.severity)
+    (json_escape t.message)

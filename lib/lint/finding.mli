@@ -1,0 +1,35 @@
+(** Typed lint findings: file/location/check-id/severity/message. *)
+
+type severity = Error | Warning
+
+type t = {
+  file : string;  (** repo-relative, '/'-separated *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based *)
+  check : string;  (** check id, e.g. ["warm-alloc"] *)
+  severity : severity;
+  message : string;
+}
+
+val v :
+  ?severity:severity ->
+  check:string ->
+  file:string ->
+  line:int ->
+  col:int ->
+  string ->
+  t
+
+val severity_name : severity -> string
+
+(** Total order: file, then line, then column, then check id. *)
+val compare : t -> t -> int
+
+(** [file:line:col: [check] message] — the table renderer's row shape. *)
+val pp : Format.formatter -> t -> unit
+
+(** Escape a string for embedding in a JSON double-quoted literal. *)
+val json_escape : string -> string
+
+(** One finding as a self-contained JSON object. *)
+val to_json : t -> string

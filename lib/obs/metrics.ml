@@ -225,6 +225,11 @@ let intern_series ~count_drop fs label =
         cs
       end
 
+(* warm-end *)
+
+(* [cell] and the inspection helpers below are cold interning — the
+   returned handle is what callers hold statically; only [resolve] and
+   the record mutators run per record. *)
 let cell f label =
   ignore (intern_series ~count_drop:true (fstate f) label : cellstate);
   { fam = f; label }
@@ -236,6 +241,7 @@ let series_count f = Hashtbl.length (fstate f).series
 (* Resolve a cell in the *current* domain: a statically-interned cell
    handle recorded into from a fleet shard lands in that domain's
    registry, not the interning domain's. *)
+(* warm-begin: per-record cell resolution and the record mutators *)
 let resolve (c : cell) = intern_series ~count_drop:false (fstate c.fam) c.label
 
 let add c n = match resolve c with C r -> r.c <- r.c + n | _ -> ()

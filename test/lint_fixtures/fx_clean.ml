@@ -1,0 +1,5 @@
+let hits = Covirt_obs.Metrics.counter "fx.hits"
+
+let tick n = if !Covirt_obs.Metrics.on then Covirt_obs.Metrics.add hits n
+
+let translate base off = base + off

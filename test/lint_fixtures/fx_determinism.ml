@@ -1,0 +1,3 @@
+let seed () = Random.self_init ()
+let now () = Unix.gettimeofday ()
+let merge h = Hashtbl.fold (fun k v acc -> max acc (k + v)) h 0

@@ -1,0 +1,1 @@
+let vendor () = Covirt_hw.Machine.vendor

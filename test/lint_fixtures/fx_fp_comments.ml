@@ -1,0 +1,11 @@
+(* The trace header begins with CVRT; see lib/replay/trace.ml.  A cold
+   fill may read [List.map (fun x -> Some x)] without tripping the
+   warm-alloc analysis, because comments are not code. *)
+let add a b = a + b
+
+(* warm-begin *)
+(* Printf.sprintf "%d", [ 1; 2 ], (x, y) — all inert in comments, even
+   one quoting a string: "Domain.spawn".  (* Nested: Unix.gettimeofday
+   stays inert too. *) *)
+let double x = x + x
+(* warm-end *)

@@ -1,0 +1,6 @@
+(* warm-begin: strings are data, not code — every banned token below
+   lives inside a literal and must stay inert *)
+let tokens = "List.map (fun x -> x + 1) [| 0 |] (* warm-end *) Printf.printf"
+let quoted = {fx|Some (x, y) :: rest — Format.printf "%a"|fx}
+let pattern t = String.length t
+(* warm-end *)

@@ -1,0 +1,2 @@
+let snapshot () = Covirt_obs.Exporter_state.snapshot ()
+let plan () = Covirt_fleet.Fleet.default_domains

@@ -1,0 +1,3 @@
+let greet n = Printf.printf "hello %d\n" n
+let warn () = prerr_endline "warning"
+let banner () = print_endline "covirt"

@@ -1,0 +1,3 @@
+let hits = Covirt_obs.Metrics.counter "fx.hits"
+let tick n = Covirt_obs.Metrics.add hits n
+let mark () = Covirt_obs.Span.instant ~name:"fx" 0

@@ -1,0 +1,3 @@
+let load path = Covirt_replay.Trace.read path
+
+let magic = "CVRT"

@@ -1,0 +1,7 @@
+let probe uid = Covirt_hw.Sanitize.access ~mem_uid:uid
+
+let edge_tap = ref (fun _ -> ())
+let note i = !edge_tap i
+
+let guarded_tap_on = ref false
+let guarded i = if !guarded_tap_on then !edge_tap i

@@ -1,0 +1,4 @@
+(* lint: allow no-print — fixture exercises suppression accounting *)
+let shout () = print_endline "fx"
+
+let loud () = print_string "fx"

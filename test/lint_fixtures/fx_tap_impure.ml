@@ -1,0 +1,5 @@
+let hits = Covirt_obs.Metrics.counter "fx.hits"
+let enabled () = true
+
+let tick n =
+  if !Covirt_obs.Metrics.on && enabled () then Covirt_obs.Metrics.add hits n

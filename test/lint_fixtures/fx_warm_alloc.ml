@@ -1,0 +1,24 @@
+type r = { mutable v : int }
+
+let stats_on = ref false
+
+(* warm-begin: fixture hot region — each [ignore] line below is one
+   banned allocation shape *)
+let hot xs x cell =
+  ignore (fun y -> y + x);
+  ignore (x, x);
+  ignore (x :: xs);
+  ignore [| x |];
+  ignore (Some x);
+  ignore { v = x };
+  ignore (List.length xs);
+  ignore (Printf.sprintf "%d" x);
+  cell.v <- x
+
+let miss tbl k =
+  match Hashtbl.find tbl k with
+  | v -> v
+  | exception Not_found -> Some k
+
+let maybe x = if !stats_on then ignore (Some x)
+(* warm-end *)
