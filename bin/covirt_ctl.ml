@@ -1199,6 +1199,94 @@ let fuzz_cmd =
         (const run_fuzz $ trials $ seed $ mutations $ domains $ seconds
        $ corpus $ known $ coverage $ coverage_json))
 
+(* --- loadgen --- *)
+
+let run_loadgen enclaves ops zipf seed shards domains max_in_flight bucket
+    refill config json_out =
+  let module L = Covirt_loadgen.Loadgen in
+  match
+    L.spec ~tenants:enclaves ~ops ~zipf_s:zipf ~seed ~shards ~config
+      ~max_in_flight ~bucket_capacity:bucket ~refill_cycles:refill ()
+  with
+  | exception Invalid_argument m -> `Error (false, m)
+  | spec -> (
+      let r = L.run ?domains spec in
+      print_string (L.transcript r);
+      (match json_out with
+      | Some file ->
+          let oc = open_out file in
+          output_string oc (L.to_json r);
+          output_char oc '\n';
+          close_out oc;
+          (* stderr, so stdout stays byte-comparable across runs whose
+             only difference is the output filename *)
+          Printf.eprintf "json written to %s\n" file
+      | None -> ());
+      if L.ok r then `Ok ()
+      else
+        `Error
+          ( false,
+            "loadgen audit failed: leaked state, verifier violations or \
+             admission bound exceeded" ))
+
+let loadgen_cmd =
+  let enclaves =
+    let doc = "Tenant enclaves across all shards." in
+    Arg.(value & opt int 64 & info [ "enclaves"; "n" ] ~docv:"N" ~doc)
+  in
+  let ops =
+    let doc = "Control-plane operations across all shards." in
+    Arg.(value & opt int 512 & info [ "ops" ] ~docv:"N" ~doc)
+  in
+  let zipf =
+    let doc = "Zipf exponent of the tenant traffic skew (0 = uniform)." in
+    Arg.(value & opt float 1.1 & info [ "zipf" ] ~docv:"S" ~doc)
+  in
+  let seed =
+    let doc = "Experiment seed (identity; same seed, same bytes)." in
+    Arg.(value & opt int 9 & info [ "seed"; "s" ] ~docv:"SEED" ~doc)
+  in
+  let shards =
+    let doc =
+      "Shard count — one independent node per shard; part of the \
+       experiment identity (unlike --domains)."
+    in
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let max_in_flight =
+    let doc = "Admission bound on concurrent unsettled boots, per shard." in
+    Arg.(value & opt int 8 & info [ "max-in-flight" ] ~docv:"N" ~doc)
+  in
+  let bucket =
+    let doc = "Per-tenant token-bucket capacity." in
+    Arg.(value & opt int 8 & info [ "bucket" ] ~docv:"N" ~doc)
+  in
+  let refill =
+    let doc =
+      "Cycles per token refill on the tenant's own clock (0 disables \
+       rate limiting)."
+    in
+    Arg.(value & opt int 0 & info [ "refill" ] ~docv:"CYCLES" ~doc)
+  in
+  let json_out =
+    let doc =
+      "Write the machine-readable report (per-tenant p50/p95/p99 ns, \
+       admission and leak audit) here — the CI artifact."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive Zipf-distributed create/boot/export/attach/grant/destroy \
+          churn against a dense multi-tenant node under admission control, \
+          then audit it: no leaks, verifier clean, in-flight bound held. \
+          Nonzero exit when the audit fails.")
+    Term.(
+      ret
+        (const run_loadgen $ enclaves $ ops $ zipf $ seed $ shards $ domains
+       $ max_in_flight $ bucket $ refill $ config $ json_out))
+
 (* --- top level --- *)
 
 let () =
@@ -1209,5 +1297,5 @@ let () =
        (Cmd.group info
           [
             experiment_cmd; demo_cmd; faults_cmd; analyze_cmd; supervise_cmd;
-            stats_cmd; record_cmd; replay_cmd; fuzz_cmd;
+            stats_cmd; record_cmd; replay_cmd; fuzz_cmd; loadgen_cmd;
           ]))

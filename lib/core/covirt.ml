@@ -8,6 +8,7 @@ module Ept_manager = Ept_manager
 module Vmcs_builder = Vmcs_builder
 module Hypervisor = Hypervisor
 module Controller = Controller
+module Admission = Admission
 
 let enable pisces ~config = Controller.attach pisces ~config
 let disable controller = Controller.detach controller

@@ -26,6 +26,7 @@ module Ept_manager = Ept_manager
 module Vmcs_builder = Vmcs_builder
 module Hypervisor = Hypervisor
 module Controller = Controller
+module Admission = Admission
 
 val enable : Pisces.t -> config:Config.t -> Controller.t
 (** Attach the controller module to the co-kernel framework.  Applies

@@ -121,6 +121,17 @@ let table =
       constrained = [];
     };
     {
+      (* The load generator drives control paths only: it may not name
+         lib/hw — hardware is reachable solely through the Pisces/
+         Hobbes control plane it is exercising. *)
+      dir = "loadgen";
+      root_module = "Covirt_loadgen";
+      allowed =
+        [ "sim"; "obs"; "pisces"; "kitten"; "xemem"; "hobbes"; "core";
+          "fleet"; "analysis"; "resilience" ];
+      constrained = [];
+    };
+    {
       dir = "replay";
       root_module = "Covirt_replay";
       allowed =

@@ -1,0 +1,794 @@
+open Covirt_pisces
+module Rng = Covirt_sim.Rng
+module Units = Covirt_sim.Units
+module Table = Covirt_sim.Table
+module Metrics = Covirt_obs.Metrics
+module Fleet = Covirt_fleet.Fleet
+module Hobbes = Covirt_hobbes.Hobbes
+module Kitten = Covirt_kitten.Kitten
+module Xemem = Covirt_xemem.Xemem
+module Name_service = Covirt_xemem.Name_service
+module Supervisor = Covirt_resilience.Supervisor
+module Verifier = Covirt_analysis.Verifier
+module Admission = Covirt.Admission
+
+type fault_plan = { tenant : int; after_op : int }
+
+type spec = {
+  tenants : int;
+  ops : int;
+  zipf_s : float;
+  seed : int;
+  shards : int;
+  config : Covirt.Config.t;
+  max_in_flight : int;
+  bucket_capacity : int;
+  refill_cycles : int;
+  settle_ops : int;
+  tenant_mib : int;
+  fault : fault_plan option;
+}
+
+let spec ?(tenants = 64) ?(ops = 512) ?(zipf_s = 1.1) ?(seed = 9) ?(shards = 4)
+    ?(config = Covirt.Config.full) ?(max_in_flight = 8) ?(bucket_capacity = 8)
+    ?(refill_cycles = 0) ?(settle_ops = 4) ?(tenant_mib = 24) ?fault () =
+  {
+    tenants;
+    ops;
+    zipf_s;
+    seed;
+    shards;
+    config;
+    max_in_flight;
+    bucket_capacity;
+    refill_cycles;
+    settle_ops;
+    tenant_mib;
+    fault;
+  }
+
+let validate spec =
+  if spec.tenants <= 0 then invalid_arg "Loadgen: tenants must be positive";
+  if spec.ops < 0 then invalid_arg "Loadgen: ops must be non-negative";
+  if spec.shards <= 0 then invalid_arg "Loadgen: shards must be positive";
+  if spec.shards > spec.tenants then
+    invalid_arg "Loadgen: shards must not exceed tenants";
+  if spec.tenant_mib < 18 then
+    (* Kitten reserves a 16 MiB kernel head of the first region; the
+       heap needs at least one 2M-aligned chunk beyond it. *)
+    invalid_arg "Loadgen: tenant_mib must be at least 18";
+  if spec.settle_ops < 0 then
+    invalid_arg "Loadgen: settle_ops must be non-negative"
+
+type counters = {
+  creates : int;
+  works : int;
+  exports : int;
+  attaches : int;
+  detaches : int;
+  grants : int;
+  revokes : int;
+  destroys : int;
+  op_errors : int;
+  rejected_boot_limit : int;
+  rejected_rate_limited : int;
+  faults_injected : int;
+  recoveries : int;
+}
+
+type leak_report = {
+  tenant_slots : int;
+  live_tenants : int;
+  live_enclaves : int;
+  kernel_entries : int;
+  controller_instances : int;
+  live_exports : int;
+  segments : int;
+  vectors_outstanding : int;
+  vectors_expected : int;
+  vectors_lost : int;
+  unclaimed_acks : int;
+  admission_tenants : int;
+}
+
+let leak_free l =
+  l.live_enclaves = l.live_tenants
+  && l.kernel_entries = l.live_tenants
+  && l.controller_instances = l.live_tenants
+  && l.segments = l.live_exports
+  && l.vectors_outstanding = l.vectors_expected
+  && l.vectors_lost = 0 && l.unclaimed_acks = 0
+  && l.admission_tenants <= l.tenant_slots
+
+type shard_report = {
+  shard : int;
+  sc : counters;
+  admitted : int;
+  peak_in_flight : int;
+  leaks : leak_report;
+  enclaves_checked : int;
+  leaves_checked : int;
+  grants_checked : int;
+  violations : int;
+  ghz : float;
+  metrics : Metrics.snapshot;
+}
+
+type report = {
+  spec : spec;
+  shards : shard_report array;
+  merged : Metrics.snapshot;
+}
+
+(* ------------------------------------------------------------------ *)
+(* One shard = one node.                                               *)
+
+type tenant = {
+  g : int;  (* global tenant id *)
+  local : int;
+  core : int;
+  zone : int;
+  t_rng : Rng.t;  (* this tenant's private op stream *)
+  mutable enclave : Enclave.t option;
+  mutable kitten : Kitten.t option;
+  mutable heap : int option;
+  mutable export_name : string option;
+  mutable export_gen : int;
+  mutable attached : string option;
+  mutable grant : (int * int * int) option;  (* va, vb, peer enclave id *)
+}
+
+type mut_counters = {
+  mutable m_creates : int;
+  mutable m_works : int;
+  mutable m_exports : int;
+  mutable m_attaches : int;
+  mutable m_detaches : int;
+  mutable m_grants : int;
+  mutable m_revokes : int;
+  mutable m_destroys : int;
+  mutable m_op_errors : int;
+  mutable m_rej_boot : int;
+  mutable m_rej_rate : int;
+  mutable m_injected : int;
+  mutable m_recovered : int;
+}
+
+let hist_family () = Metrics.histogram ~max_series:65536 "loadgen.op.cycles"
+let ops_family () = Metrics.counter ~max_series:64 "loadgen.ops"
+
+let reject_family () =
+  Metrics.counter ~max_series:64 "loadgen.admission.rejected"
+
+let tenant_name g = Printf.sprintf "lg-%d" g
+
+let run_shard spec ~shard_seed ~index =
+  let mib = Units.mib in
+  let lo, hi = Fleet.slice ~n:spec.tenants ~shards:spec.shards index in
+  let nlocal = hi - lo in
+  let olo, ohi = Fleet.slice ~n:spec.ops ~shards:spec.shards index in
+  let zones = 2 in
+  let cores_per_zone = max 1 ((nlocal + 1 + zones - 1) / zones) in
+  let mem_mib_per_zone = 128 + (cores_per_zone * (spec.tenant_mib + 2)) + 64 in
+  let h =
+    Hobbes.create_node ~seed:shard_seed ~zones ~cores_per_zone
+      ~mem_mib_per_zone ()
+  in
+  let ps = Hobbes.pisces h in
+  let xem = Hobbes.xemem h in
+  let controller = Covirt.enable ps ~config:spec.config in
+  let ghz = Pisces.tsc_ghz ps in
+  let vector_space = Hobbes.free_vector_count h in
+  let adm =
+    Admission.create ~bucket_capacity:spec.bucket_capacity
+      ~refill_cycles:spec.refill_cycles ~max_in_flight:spec.max_in_flight ()
+  in
+  let before = Metrics.snapshot () in
+  let hist = hist_family () in
+  let ops_ctr = ops_family () in
+  let rej_ctr = reject_family () in
+  let shard_rng = Rng.create ~seed:(Rng.split_seed ~seed:shard_seed ~index:0) in
+  let zipf = Zipf.create ~n:nlocal ~s:spec.zipf_s in
+  let tenants =
+    Array.init nlocal (fun i ->
+        let core = 1 + i in
+        {
+          g = lo + i;
+          local = i;
+          core;
+          zone = core / cores_per_zone;
+          t_rng = Rng.create ~seed:(Rng.split_seed ~seed:shard_seed ~index:(i + 1));
+          enclave = None;
+          kitten = None;
+          heap = None;
+          export_name = None;
+          export_gen = 0;
+          attached = None;
+          grant = None;
+        })
+  in
+  let victim_local =
+    match spec.fault with
+    | Some f when f.tenant >= lo && f.tenant < hi -> Some (f.tenant - lo)
+    | _ -> None
+  in
+  let sup =
+    match victim_local with
+    | Some _ ->
+        Some
+          (Supervisor.create
+             ~seed:(Rng.split_seed ~seed:shard_seed ~index:0x5afe)
+             controller)
+    | None -> None
+  in
+  let cnt =
+    {
+      m_creates = 0;
+      m_works = 0;
+      m_exports = 0;
+      m_attaches = 0;
+      m_detaches = 0;
+      m_grants = 0;
+      m_revokes = 0;
+      m_destroys = 0;
+      m_op_errors = 0;
+      m_rej_boot = 0;
+      m_rej_rate = 0;
+      m_injected = 0;
+      m_recovered = 0;
+    }
+  in
+  let pending = Queue.create () in
+  (* Latency = host control-core work plus the tenant's own core work
+     for the op; both are content-dependent cycle charges, so one
+     tenant's history (including a crash recovery) cannot move a
+     neighbour's numbers. *)
+  let measure tn kind f =
+    let h0 = Pisces.host_tsc ps and c0 = Pisces.core_tsc ps tn.core in
+    let r = f () in
+    let dt =
+      Pisces.host_tsc ps - h0 + (Pisces.core_tsc ps tn.core - c0)
+    in
+    if !Metrics.on then begin
+      Metrics.observe
+        (Metrics.cell hist { Metrics.enclave = tn.g; cpu = -1; dim = kind })
+        (float_of_int dt);
+      Metrics.add
+        (Metrics.cell ops_ctr { Metrics.enclave = -1; cpu = -1; dim = kind })
+        1
+    end;
+    r
+  in
+  let note_reject tn rej =
+    let dim =
+      match rej with
+      | Admission.Boot_limit _ ->
+          cnt.m_rej_boot <- cnt.m_rej_boot + 1;
+          "boot-limit"
+      | Admission.Rate_limited _ ->
+          cnt.m_rej_rate <- cnt.m_rej_rate + 1;
+          "rate-limited"
+    in
+    if !Metrics.on then
+      Metrics.add
+        (Metrics.cell rej_ctr { Metrics.enclave = tn.g; cpu = -1; dim })
+        1
+  in
+  let clear_tenant tn =
+    tn.enclave <- None;
+    tn.kitten <- None;
+    tn.heap <- None;
+    tn.export_name <- None;
+    tn.attached <- None;
+    tn.grant <- None
+  in
+  let launch tn () =
+    Hobbes.launch_enclave h ~name:(tenant_name tn.g) ~cores:[ tn.core ]
+      ~mem:[ (tn.zone, spec.tenant_mib * mib) ]
+      ()
+  in
+  let neighbour tn = tenants.((tn.local + 1) mod nlocal) in
+  let do_work tn =
+    match tn.kitten with
+    | None -> ()
+    | Some k ->
+        cnt.m_works <- cnt.m_works + 1;
+        measure tn "work" (fun () ->
+            let ctx = Kitten.context k ~core:tn.core in
+            Kitten.run_with_ticks ctx (fun () ->
+                Kitten.heartbeat ctx;
+                let heap =
+                  match tn.heap with
+                  | Some a -> a
+                  | None -> (
+                      match Kitten.kalloc k ~bytes:(64 * 1024) with
+                      | Ok a ->
+                          tn.heap <- Some a;
+                          a
+                      | Error e -> failwith ("loadgen: kalloc: " ^ e))
+                in
+                Kitten.store_addr ctx (heap + 128);
+                Kitten.load_addr ctx (heap + 128)))
+  in
+  let do_create tn ~opi =
+    match
+      Admission.admit_boot adm ~tenant:tn.g ~now:(Pisces.core_tsc ps tn.core)
+    with
+    | Error rej -> note_reject tn rej
+    | Ok token -> (
+        let res =
+          measure tn "create" (fun () ->
+              match (sup, victim_local) with
+              | Some s, Some v when v = tn.local ->
+                  Supervisor.manage s ~name:(tenant_name tn.g)
+                    ~launch:(launch tn)
+              | _ -> launch tn ())
+        in
+        match res with
+        | Ok (e, k) ->
+            tn.enclave <- Some e;
+            tn.kitten <- Some k;
+            cnt.m_creates <- cnt.m_creates + 1;
+            Queue.push (token, opi + spec.settle_ops) pending
+        | Error msg ->
+            Admission.settle adm token;
+            failwith ("loadgen: launch failed: " ^ msg))
+  in
+  let do_export tn =
+    match (tn.enclave, tn.export_name) with
+    | Some e, None ->
+        let name = Printf.sprintf "seg-%d-%d" tn.g tn.export_gen in
+        measure tn "export" (fun () ->
+            match
+              Hobbes.export_window h e ~name ~offset:(4 * mib) ~len:(2 * mib)
+            with
+            | Ok _segid ->
+                tn.export_name <- Some name;
+                tn.export_gen <- tn.export_gen + 1;
+                cnt.m_exports <- cnt.m_exports + 1
+            | Error _ -> cnt.m_op_errors <- cnt.m_op_errors + 1)
+    | _ -> do_work tn
+  in
+  let do_attach tn =
+    let nb = neighbour tn in
+    match (tn.enclave, tn.attached, nb.export_name) with
+    | Some e, None, Some name when nb.local <> tn.local ->
+        measure tn "attach" (fun () ->
+            match Xemem.attach xem e ~name with
+            | Ok (_addr, _len) ->
+                tn.attached <- Some name;
+                cnt.m_attaches <- cnt.m_attaches + 1
+            | Error _ -> cnt.m_op_errors <- cnt.m_op_errors + 1)
+    | _ -> do_work tn
+  in
+  let do_detach tn =
+    match (tn.enclave, tn.attached) with
+    | Some e, Some name ->
+        measure tn "detach" (fun () ->
+            (* The segment may be gone already: its exporter died and
+               the runtime reclaimed it, force-detaching us.  Either
+               way the attachment is over. *)
+            (match Xemem.detach xem e ~name with
+            | Ok () -> ()
+            | Error _ -> ());
+            tn.attached <- None;
+            cnt.m_detaches <- cnt.m_detaches + 1)
+    | _ -> do_work tn
+  in
+  let do_grant tn =
+    let nb = neighbour tn in
+    match (tn.enclave, tn.grant, nb.enclave) with
+    | Some e, None, Some ne when nb.local <> tn.local ->
+        measure tn "grant" (fun () ->
+            match Hobbes.grant_vector_pair h e ne with
+            | Ok (va, vb) ->
+                tn.grant <- Some (va, vb, ne.Enclave.id);
+                cnt.m_grants <- cnt.m_grants + 1
+            | Error _ ->
+                (* Vector space exhausted: a typed resource failure,
+                   not a bug — the pool is finite by design. *)
+                cnt.m_op_errors <- cnt.m_op_errors + 1)
+    | _ -> do_work tn
+  in
+  let do_revoke tn =
+    let nb = neighbour tn in
+    match (tn.enclave, tn.grant) with
+    | Some e, Some (va, vb, peer_id) ->
+        measure tn "revoke" (fun () ->
+            (match nb.enclave with
+            | Some ne when ne.Enclave.id = peer_id ->
+                (* Both incarnations still up: proper two-sided
+                   revocation, vectors back to the pool. *)
+                (match Pisces.revoke_ipi_vector ps e ~vector:va with
+                | Ok () | Error _ -> ());
+                (match Pisces.revoke_ipi_vector ps ne ~vector:vb with
+                | Ok () | Error _ -> ());
+                Hobbes.free_ipi_vector h va;
+                Hobbes.free_ipi_vector h vb
+            | _ ->
+                (* The peer died since the grant: the destroy-time
+                   scrub already revoked and freed both directions. *)
+                ());
+            tn.grant <- None;
+            cnt.m_revokes <- cnt.m_revokes + 1)
+    | _ -> do_work tn
+  in
+  let do_destroy tn =
+    match tn.enclave with
+    | Some e when victim_local <> Some tn.local ->
+        measure tn "destroy" (fun () ->
+            Pisces.destroy ps e;
+            clear_tenant tn;
+            cnt.m_destroys <- cnt.m_destroys + 1)
+    | _ -> do_work tn
+  in
+  let injected = ref false in
+  (* The injection is an extra action bolted onto an op slot: it draws
+     from no stream, so the schedule every other tenant sees is the
+     same as in a fault-free run. *)
+  let maybe_inject opi =
+    match (spec.fault, sup, victim_local) with
+    | Some f, Some s, Some v when (not !injected) && opi >= f.after_op -> (
+        let tn = tenants.(v) in
+        match tn.enclave with
+        | None -> ()  (* victim not booted yet; retry next op *)
+        | Some _ -> (
+            injected := true;
+            cnt.m_injected <- cnt.m_injected + 1;
+            let name = tenant_name tn.g in
+            match
+              Supervisor.run_protected s ~name (fun ctx ->
+                  (* Wild write into host-reserved memory: outside the
+                     victim's partition, contained by Covirt. *)
+                  Kitten.store_addr ctx 4096)
+            with
+            | `Ok -> ()
+            | `Recovered ->
+                cnt.m_recovered <- cnt.m_recovered + 1;
+                clear_tenant tn;
+                tn.enclave <- Supervisor.enclave s ~name;
+                tn.kitten <- Supervisor.kitten s ~name
+            | `Quarantined _ -> clear_tenant tn))
+    | _ -> ()
+  in
+  let run_op tn ~opi =
+    match tn.enclave with
+    | None -> do_create tn ~opi
+    | Some _ -> (
+        match
+          Admission.admit_op adm ~tenant:tn.g
+            ~now:(Pisces.core_tsc ps tn.core)
+        with
+        | Error rej -> note_reject tn rej
+        | Ok () ->
+            let d = Rng.int tn.t_rng ~bound:100 in
+            if d < 30 then do_work tn
+            else if d < 45 then do_export tn
+            else if d < 60 then do_attach tn
+            else if d < 70 then do_detach tn
+            else if d < 80 then do_grant tn
+            else if d < 88 then do_revoke tn
+            else do_destroy tn)
+  in
+  for opi = olo to ohi - 1 do
+    while
+      (not (Queue.is_empty pending)) && snd (Queue.peek pending) <= opi
+    do
+      Admission.settle adm (fst (Queue.pop pending))
+    done;
+    maybe_inject opi;
+    let rank = Zipf.sample zipf shard_rng in
+    run_op tenants.(rank) ~opi
+  done;
+  (* Quiesce: settle outstanding boots, drain every channel, then audit. *)
+  Queue.iter (fun (token, _) -> Admission.settle adm token) pending;
+  Queue.clear pending;
+  List.iter (fun e -> ignore (Pisces.service_channel ps e)) (Pisces.enclaves ps);
+  let live_list = Array.to_list tenants |> List.filter (fun t -> t.enclave <> None) in
+  let live = List.length live_list in
+  let live_exports =
+    List.length (List.filter (fun t -> t.export_name <> None) live_list)
+  in
+  let live_pairs =
+    Array.to_list tenants
+    |> List.filter (fun t ->
+           t.enclave <> None
+           &&
+           match t.grant with
+           | Some (_, _, peer_id) -> (
+               match (neighbour t).enclave with
+               | Some ne -> ne.Enclave.id = peer_id
+               | None -> false)
+           | None -> false)
+    |> List.length
+  in
+  let unclaimed_acks =
+    List.fold_left
+      (fun acc (e : Enclave.t) ->
+        acc + Ctrl_channel.pending_acks e.Enclave.channel)
+      0 (Pisces.enclaves ps)
+  in
+  let free_v = Hobbes.free_vector_count h in
+  let alloc_v = Hobbes.allocated_vector_count h in
+  let leaks =
+    {
+      tenant_slots = nlocal;
+      live_tenants = live;
+      live_enclaves = List.length (Pisces.enclaves ps);
+      kernel_entries = Hobbes.kernel_count h;
+      controller_instances = List.length (Covirt.Controller.instances controller);
+      live_exports;
+      segments = List.length (Name_service.segments (Xemem.registry xem));
+      vectors_outstanding = alloc_v;
+      vectors_expected = 2 * live_pairs;
+      vectors_lost = vector_space - free_v - alloc_v;
+      unclaimed_acks;
+      admission_tenants = Admission.tracked_tenants adm;
+    }
+  in
+  let vr = Verifier.run ~registry:(Xemem.registry xem) controller in
+  let sc =
+    {
+      creates = cnt.m_creates;
+      works = cnt.m_works;
+      exports = cnt.m_exports;
+      attaches = cnt.m_attaches;
+      detaches = cnt.m_detaches;
+      grants = cnt.m_grants;
+      revokes = cnt.m_revokes;
+      destroys = cnt.m_destroys;
+      op_errors = cnt.m_op_errors;
+      rejected_boot_limit = cnt.m_rej_boot;
+      rejected_rate_limited = cnt.m_rej_rate;
+      faults_injected = cnt.m_injected;
+      recoveries = cnt.m_recovered;
+    }
+  in
+  {
+    shard = index;
+    sc;
+    admitted = Admission.admitted adm;
+    peak_in_flight = Admission.peak_in_flight adm;
+    leaks;
+    enclaves_checked = vr.Verifier.enclaves_checked;
+    leaves_checked = vr.Verifier.leaves_checked;
+    grants_checked = vr.Verifier.grants_checked;
+    violations = List.length vr.Verifier.violations;
+    ghz;
+    metrics = Metrics.diff ~before ~after:(Metrics.snapshot ());
+  }
+
+let run ?domains spec =
+  validate spec;
+  let was = Metrics.enabled () in
+  Metrics.enable ();
+  let shards =
+    Fleet.map ?domains ~seed:spec.seed ~shards:spec.shards
+      (fun ~shard_seed ~index -> run_shard spec ~shard_seed ~index)
+  in
+  if not was then Metrics.disable ();
+  let merged =
+    Array.fold_left (fun acc s -> Metrics.merge acc s.metrics) Metrics.empty
+      shards
+  in
+  { spec; shards; merged }
+
+(* ------------------------------------------------------------------ *)
+(* Derived views.                                                      *)
+
+let totals r =
+  Array.fold_left
+    (fun a s ->
+      let c = s.sc in
+      {
+        creates = a.creates + c.creates;
+        works = a.works + c.works;
+        exports = a.exports + c.exports;
+        attaches = a.attaches + c.attaches;
+        detaches = a.detaches + c.detaches;
+        grants = a.grants + c.grants;
+        revokes = a.revokes + c.revokes;
+        destroys = a.destroys + c.destroys;
+        op_errors = a.op_errors + c.op_errors;
+        rejected_boot_limit = a.rejected_boot_limit + c.rejected_boot_limit;
+        rejected_rate_limited =
+          a.rejected_rate_limited + c.rejected_rate_limited;
+        faults_injected = a.faults_injected + c.faults_injected;
+        recoveries = a.recoveries + c.recoveries;
+      })
+    {
+      creates = 0;
+      works = 0;
+      exports = 0;
+      attaches = 0;
+      detaches = 0;
+      grants = 0;
+      revokes = 0;
+      destroys = 0;
+      op_errors = 0;
+      rejected_boot_limit = 0;
+      rejected_rate_limited = 0;
+      faults_injected = 0;
+      recoveries = 0;
+    }
+    r.shards
+
+let admitted r = Array.fold_left (fun a s -> a + s.admitted) 0 r.shards
+
+let peak_in_flight r =
+  Array.fold_left (fun a s -> max a s.peak_in_flight) 0 r.shards
+
+let violations r = Array.fold_left (fun a s -> a + s.violations) 0 r.shards
+
+let ok r =
+  Array.for_all
+    (fun s ->
+      leak_free s.leaks && s.violations = 0
+      && s.peak_in_flight <= r.spec.max_in_flight)
+    r.shards
+
+let ghz r = if Array.length r.shards = 0 then 1. else r.shards.(0).ghz
+
+let hist_series r =
+  match Metrics.find r.merged "loadgen.op.cycles" with
+  | series -> series
+  | exception Not_found -> []
+
+let overall_hist r =
+  List.fold_left
+    (fun acc (_, v) ->
+      match v with
+      | Metrics.Histogram h -> (
+          match acc with None -> Some h | Some a -> Some (Metrics.Hist.merge a h))
+      | _ -> acc)
+    None (hist_series r)
+  |> function
+  | Some h -> h
+  | None ->
+      { Metrics.Hist.base = 1.1; counts = [||]; n = 0; sum = 0.; max_v = 0. }
+
+let cycles_to_ns r c = c /. ghz r
+
+let quantile_ns r ~p =
+  cycles_to_ns r (Metrics.Hist.quantile (overall_hist r) ~p)
+
+let per_tenant r =
+  let by_tenant = Hashtbl.create 256 in
+  List.iter
+    (fun ((l : Metrics.label), v) ->
+      match v with
+      | Metrics.Histogram h when l.Metrics.enclave >= 0 ->
+          let cur =
+            match Hashtbl.find_opt by_tenant l.Metrics.enclave with
+            | Some a -> Metrics.Hist.merge a h
+            | None -> h
+          in
+          Hashtbl.replace by_tenant l.Metrics.enclave cur
+      | _ -> ())
+    (hist_series r);
+  Hashtbl.fold (fun g h acc -> (g, h) :: acc) by_tenant []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering.                                                          *)
+
+let transcript r =
+  let buf = Buffer.create 4096 in
+  let t = totals r in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "covirt loadgen: tenants=%d ops=%d zipf=%.2f seed=%d shards=%d \
+        max-in-flight=%d bucket=%d refill=%d\n"
+       r.spec.tenants r.spec.ops r.spec.zipf_s r.spec.seed r.spec.shards
+       r.spec.max_in_flight r.spec.bucket_capacity r.spec.refill_cycles);
+  let ops_tbl = Table.create ~columns:[ "op"; "count" ] in
+  List.iter
+    (fun (k, v) -> Table.add_row ops_tbl [ k; string_of_int v ])
+    [
+      ("create", t.creates);
+      ("work", t.works);
+      ("export", t.exports);
+      ("attach", t.attaches);
+      ("detach", t.detaches);
+      ("grant", t.grants);
+      ("revoke", t.revokes);
+      ("destroy", t.destroys);
+      ("errors", t.op_errors);
+    ];
+  Buffer.add_string buf (Table.render ops_tbl);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "admission: admitted=%d peak-in-flight=%d (bound %d) \
+        boot-limit-rejects=%d rate-rejects=%d\n"
+       (admitted r) (peak_in_flight r) r.spec.max_in_flight
+       t.rejected_boot_limit t.rejected_rate_limited);
+  if t.faults_injected > 0 || t.recoveries > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "faults: injected=%d recovered=%d\n" t.faults_injected
+         t.recoveries);
+  let lat_tbl =
+    Table.create ~columns:[ "tenant"; "ops"; "p50 ns"; "p95 ns"; "p99 ns" ]
+  in
+  List.iter
+    (fun (g, h) ->
+      let q p = cycles_to_ns r (Metrics.Hist.quantile h ~p) in
+      Table.add_row lat_tbl
+        [
+          string_of_int g;
+          string_of_int h.Metrics.Hist.n;
+          Printf.sprintf "%.0f" (q 50.);
+          Printf.sprintf "%.0f" (q 95.);
+          Printf.sprintf "%.0f" (q 99.);
+        ])
+    (per_tenant r);
+  Buffer.add_string buf (Table.render lat_tbl);
+  Buffer.add_string buf
+    (Printf.sprintf "overall latency ns: p50=%.0f p95=%.0f p99=%.0f\n"
+       (quantile_ns r ~p:50.) (quantile_ns r ~p:95.) (quantile_ns r ~p:99.));
+  Array.iter
+    (fun s ->
+      let l = s.leaks in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "shard %d: live=%d/%d enclaves=%d kernels=%d instances=%d \
+            segments=%d/%d vectors=%d/%d lost=%d acks=%d buckets=%d %s\n"
+           s.shard l.live_tenants l.tenant_slots l.live_enclaves
+           l.kernel_entries l.controller_instances l.segments l.live_exports
+           l.vectors_outstanding l.vectors_expected l.vectors_lost
+           l.unclaimed_acks l.admission_tenants
+           (if leak_free l then "leak-free" else "LEAKS")))
+    r.shards;
+  let enclaves_checked =
+    Array.fold_left (fun a s -> a + s.enclaves_checked) 0 r.shards
+  and leaves = Array.fold_left (fun a s -> a + s.leaves_checked) 0 r.shards
+  and grants = Array.fold_left (fun a s -> a + s.grants_checked) 0 r.shards in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "verifier: enclaves=%d leaves=%d grants=%d violations=%d\n"
+       enclaves_checked leaves grants (violations r));
+  Buffer.contents buf
+
+let to_json r =
+  let t = totals r in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{";
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|"schema":"covirt-loadgen/1","spec":{"tenants":%d,"ops":%d,"zipf_s":%.3f,"seed":%d,"shards":%d,"max_in_flight":%d,"bucket_capacity":%d,"refill_cycles":%d},|}
+       r.spec.tenants r.spec.ops r.spec.zipf_s r.spec.seed r.spec.shards
+       r.spec.max_in_flight r.spec.bucket_capacity r.spec.refill_cycles);
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|"counters":{"create":%d,"work":%d,"export":%d,"attach":%d,"detach":%d,"grant":%d,"revoke":%d,"destroy":%d,"errors":%d},|}
+       t.creates t.works t.exports t.attaches t.detaches t.grants t.revokes
+       t.destroys t.op_errors);
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|"admission":{"admitted":%d,"peak_in_flight":%d,"max_in_flight":%d,"rejected_boot_limit":%d,"rejected_rate_limited":%d},|}
+       (admitted r) (peak_in_flight r) r.spec.max_in_flight
+       t.rejected_boot_limit t.rejected_rate_limited);
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|"faults":{"injected":%d,"recovered":%d},|}
+       t.faults_injected t.recoveries);
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|"latency_ns":{"p50":%.1f,"p95":%.1f,"p99":%.1f},|}
+       (quantile_ns r ~p:50.) (quantile_ns r ~p:95.) (quantile_ns r ~p:99.));
+  Buffer.add_string buf {|"tenants":[|};
+  List.iteri
+    (fun i (g, h) ->
+      if i > 0 then Buffer.add_char buf ',';
+      let q p = cycles_to_ns r (Metrics.Hist.quantile h ~p) in
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|{"tenant":%d,"ops":%d,"p50_ns":%.1f,"p95_ns":%.1f,"p99_ns":%.1f}|}
+           g h.Metrics.Hist.n (q 50.) (q 95.) (q 99.)))
+    (per_tenant r);
+  Buffer.add_string buf "],";
+  let leaks_clean = Array.for_all (fun s -> leak_free s.leaks) r.shards in
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|"verifier":{"violations":%d},"leaks_clean":%b,"ok":%b}|}
+       (violations r) leaks_clean (ok r));
+  Buffer.contents buf

@@ -1,0 +1,41 @@
+module Rng = Covirt_sim.Rng
+
+type t = { n : int; s : float; cum : float array }
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if (not (Float.is_finite s)) || s < 0. then
+    invalid_arg "Zipf.create: s must be finite and non-negative";
+  let cum = Array.make n 0. in
+  let acc = ref 0. in
+  for k = 0 to n - 1 do
+    acc := !acc +. (1. /. Float.pow (float_of_int (k + 1)) s);
+    cum.(k) <- !acc
+  done;
+  let total = !acc in
+  for k = 0 to n - 1 do
+    cum.(k) <- cum.(k) /. total
+  done;
+  cum.(n - 1) <- 1.;
+  { n; s; cum }
+
+let n t = t.n
+let s t = t.s
+
+let sample t rng =
+  let u = Rng.float rng in
+  (* First rank whose cumulative probability exceeds [u]. *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cum.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let pmf t k =
+  if k < 0 || k >= t.n then invalid_arg "Zipf.pmf";
+  if k = 0 then t.cum.(0) else t.cum.(k) -. t.cum.(k - 1)
+
+let cdf t k =
+  if k < 0 || k >= t.n then invalid_arg "Zipf.cdf";
+  t.cum.(k)

@@ -1,0 +1,31 @@
+(** Zipf-distributed rank sampling.
+
+    Tenant traffic on a dense node is famously skewed: a handful of
+    hot tenants dominate the control channel while a long tail of cold
+    ones mostly sits idle.  The load generator models that with a
+    Zipf(s) distribution over tenant ranks — rank [k] (0-based) is
+    drawn with probability proportional to [1 / (k+1)^s].
+
+    The sampler is a precomputed CDF table walked by binary search:
+    creation is O(n), each draw is one [Rng.float] plus O(log n), and
+    equal seeds give equal rank sequences bit for bit — the property
+    the fleet-sharded load generator's determinism rests on. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** Distribution over ranks [0 .. n-1] with exponent [s >= 0.].
+    [s = 0.] is uniform.  [Invalid_argument] on [n <= 0], negative or
+    non-finite [s]. *)
+
+val n : t -> int
+val s : t -> float
+
+val sample : t -> Covirt_sim.Rng.t -> int
+(** Draw a rank in [0 .. n-1]. *)
+
+val pmf : t -> int -> float
+(** Exact probability of rank [k]. *)
+
+val cdf : t -> int -> float
+(** Cumulative probability of ranks [0 .. k]. *)

@@ -3,6 +3,12 @@ open Covirt_hw
 type t = {
   to_enclave : Message.host_to_enclave Queue.t;
   to_host : Message.enclave_to_host Queue.t;
+  acks : (int, (unit, string) result) Hashtbl.t;
+      (* seq -> Ok () for Ack, Error why for Nack.  Acks are routed
+         here at send time so [take_ack] is a constant-time lookup
+         instead of a scan of everything the enclave has pending —
+         under thousands of in-flight control operations the old
+         scan-and-requeue hunt was quadratic in channel depth. *)
   mutable sent : int;
   mutable to_host_count : int;
   mutable last_enclave_tsc : int;
@@ -12,6 +18,7 @@ let create () =
   {
     to_enclave = Queue.create ();
     to_host = Queue.create ();
+    acks = Hashtbl.create 4;
     sent = 0;
     to_host_count = 0;
     last_enclave_tsc = 0;
@@ -30,7 +37,13 @@ let send_to_host machine ~enclave_cpu t msg =
   t.sent <- t.sent + 1;
   t.to_host_count <- t.to_host_count + 1;
   t.last_enclave_tsc <- Cpu.rdtsc enclave_cpu;
-  Queue.push msg t.to_host
+  (* Acks and nacks answer a specific sequence number; they go to the
+     reply slot keyed by it.  Everything else (console, syscalls,
+     heartbeats, ready) stays in FIFO order for the drain paths. *)
+  match msg with
+  | Message.Ack { seq } -> Hashtbl.replace t.acks seq (Ok ())
+  | Message.Nack { seq; why } -> Hashtbl.replace t.acks seq (Error why)
+  | _ -> Queue.push msg t.to_host
 
 let drain q =
   let acc = ref [] in
@@ -41,28 +54,30 @@ let drain q =
 
 let drain_enclave_side t = drain t.to_enclave
 let drain_host_side t = drain t.to_host
+
+let drain_host_side_n t ~max =
+  if max < 0 then invalid_arg "Ctrl_channel.drain_host_side_n";
+  let rec go n acc =
+    if n = 0 then List.rev acc
+    else
+      match Queue.take_opt t.to_host with
+      | None -> List.rev acc
+      | Some m -> go (n - 1) (m :: acc)
+  in
+  go max []
+
 let peek_host_side t = Queue.peek_opt t.to_host
 
 let take_ack t ~seq =
-  (* Scan for the matching Ack/Nack, preserving other messages
-     (e.g. interleaved console output or syscall requests). *)
-  let others = Queue.create () in
-  let rec hunt () =
-    match Queue.take_opt t.to_host with
-    | None -> Error (Printf.sprintf "no ack for seq %d" seq)
-    | Some (Message.Ack { seq = s }) when s = seq -> Ok ()
-    | Some (Message.Nack { seq = s; why }) when s = seq -> Error why
-    | Some other ->
-        Queue.push other others;
-        hunt ()
-  in
-  let result = hunt () in
-  (* Put unrelated messages back in order, in front of the rest. *)
-  Queue.transfer t.to_host others;
-  Queue.transfer others t.to_host;
-  result
+  match Hashtbl.find_opt t.acks seq with
+  | Some result ->
+      Hashtbl.remove t.acks seq;
+      result
+  | None -> Error (Printf.sprintf "no ack for seq %d" seq)
 
 let pending_to_enclave t = Queue.length t.to_enclave
+let pending_host_side t = Queue.length t.to_host
+let pending_acks t = Hashtbl.length t.acks
 let messages_sent t = t.sent
 let enclave_messages_sent t = t.to_host_count
 let last_enclave_activity t = t.last_enclave_tsc

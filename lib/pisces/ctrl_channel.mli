@@ -5,7 +5,13 @@
     core the channel-message cost; delivery is by explicit drain (the
     receiving kernel polls it from its message loop) or, for the
     synchronous host-side operations, by the framework running the
-    enclave's registered handler inline. *)
+    enclave's registered handler inline.
+
+    Ack/Nack replies are kept in a per-sequence reply slot rather than
+    the FIFO, so {!take_ack} is O(1) whatever the channel depth, and a
+    batched drain ({!drain_host_side_n}) never has to step over
+    replies to reach serviceable traffic.  Per-enclave FIFO order of
+    the non-reply messages is preserved exactly. *)
 
 open Covirt_hw
 
@@ -23,16 +29,33 @@ val drain_enclave_side : t -> Message.host_to_enclave list
 (** All pending host-to-enclave messages, in order. *)
 
 val drain_host_side : t -> Message.enclave_to_host list
+(** All pending non-reply enclave-to-host messages, in order.
+    Ack/Nack replies never appear here; they are consumed through
+    {!take_ack}. *)
+
+val drain_host_side_n : t -> max:int -> Message.enclave_to_host list
+(** Like {!drain_host_side} but at most [max] messages — the batched
+    poll the dense control plane uses to bound per-poll work while
+    keeping FIFO order.  [Invalid_argument] on negative [max]. *)
 
 val peek_host_side : t -> Message.enclave_to_host option
 (** Without removing. *)
 
 val take_ack : t -> seq:int -> (unit, string) result
-(** Remove the Ack/Nack for [seq] from the host-side queue; an error
-    if the next ackable message is a [Nack] or no reply is pending
-    (the co-kernel never answered — a protocol bug). *)
+(** Remove the Ack/Nack for [seq] from the reply slot; an error if the
+    reply is a [Nack] or no reply is pending (the co-kernel never
+    answered — a protocol bug).  O(1), independent of how much other
+    traffic is pending. *)
 
 val pending_to_enclave : t -> int
+
+val pending_host_side : t -> int
+(** Non-reply messages awaiting a host-side drain. *)
+
+val pending_acks : t -> int
+(** Unclaimed Ack/Nack replies.  A quiesced enclave should have none;
+    a monotonic count here is a leaked-transaction bug. *)
+
 val messages_sent : t -> int
 
 val enclave_messages_sent : t -> int

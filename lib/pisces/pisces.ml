@@ -31,6 +31,9 @@ let create machine ~host_core =
 
 let machine t = t.machine
 let host_cpu t = Machine.cpu t.machine t.host_core
+let host_tsc t = Cpu.rdtsc (host_cpu t)
+let core_tsc t core = Cpu.rdtsc (Machine.cpu t.machine core)
+let tsc_ghz t = t.machine.Machine.model.Cost_model.ghz
 let hooks t = t.hooks
 let enclaves t = t.enclaves
 let find_enclave t id = List.find_opt (fun e -> e.Enclave.id = id) t.enclaves
@@ -365,8 +368,12 @@ let revoke_ipi_vector ?peer_core t enclave ~vector =
 
 let set_syscall_handler t handler = t.syscall_handler <- Some handler
 
-let service_channel t enclave =
-  let messages = Ctrl_channel.drain_host_side enclave.Enclave.channel in
+let service_channel ?max t enclave =
+  let messages =
+    match max with
+    | None -> Ctrl_channel.drain_host_side enclave.Enclave.channel
+    | Some n -> Ctrl_channel.drain_host_side_n enclave.Enclave.channel ~max:n
+  in
   let serviced = ref 0 in
   List.iter
     (fun msg ->
@@ -421,6 +428,15 @@ let release_resources t enclave =
       Apic.set_timer_hz cpu.Cpu.apic 0.0)
     enclave.Enclave.cores
 
+(* The registry must hold live enclaves only: with thousands of
+   tenants cycling through create/destroy, a grow-only list makes
+   [find_enclave] O(everything that ever existed) and is itself a
+   monotonic leak.  The caller's [Enclave.t] record stays valid (state
+   records the outcome); it just no longer appears in [enclaves]. *)
+let forget t enclave =
+  t.enclaves <-
+    List.filter (fun e -> e.Enclave.id <> enclave.Enclave.id) t.enclaves
+
 let destroy t enclave =
   (if Enclave.is_running enclave then
      let seq = Enclave.next_seq enclave in
@@ -428,12 +444,14 @@ let destroy t enclave =
   Hooks.fire t.hooks.Hooks.on_enclave_destroyed enclave;
   release_resources t enclave;
   enclave.Enclave.state <- Enclave.Stopped;
+  forget t enclave;
   trace t "enclave %d destroyed" enclave.Enclave.id
 
 let reclaim_crashed t enclave ~reason =
   Hooks.fire t.hooks.Hooks.on_enclave_destroyed enclave;
   release_resources t enclave;
   enclave.Enclave.state <- Enclave.Crashed reason;
+  forget t enclave;
   trace t "enclave %d reclaimed after crash: %s" enclave.Enclave.id reason
 
 let run_guarded t f =

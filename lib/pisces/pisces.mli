@@ -29,9 +29,28 @@ val create : Machine.t -> host_core:int -> t
 
 val machine : t -> Machine.t
 val host_cpu : t -> Cpu.t
+
+val host_tsc : t -> int
+(** Current TSC of the host control core — exposed so layers above the
+    hardware boundary (e.g. the load generator) can timestamp control
+    operations without reaching into [lib/hw]. *)
+
+val core_tsc : t -> int -> int
+(** Current TSC of an arbitrary core, by id. *)
+
+val tsc_ghz : t -> float
+(** The machine cost model's TSC frequency in GHz — for converting
+    measured cycles to wall units above the hardware boundary. *)
+
 val hooks : t -> Hooks.t
+
 val enclaves : t -> Enclave.t list
+(** The {e live} enclaves (newest first).  Destroyed and reclaimed
+    enclaves are removed from the registry — a dense node cycling
+    thousands of tenants must not grow this list monotonically. *)
+
 val find_enclave : t -> int -> Enclave.t option
+(** Live enclaves only; [None] once destroyed or reclaimed. *)
 
 val create_enclave :
   t ->
@@ -99,9 +118,12 @@ val revoke_ipi_vector :
 val set_syscall_handler : t -> (number:int -> arg:int -> int) -> unit
 (** Host-side servicing of forwarded system calls. *)
 
-val service_channel : t -> Enclave.t -> int
+val service_channel : ?max:int -> t -> Enclave.t -> int
 (** Process pending enclave-to-host messages (syscall requests,
-    console output); returns the number serviced. *)
+    console output); returns the number serviced.  [max] bounds how
+    many messages one poll drains (all by default) — the batched mode
+    the dense control plane uses to keep per-poll work amortised O(1)
+    per message while preserving per-enclave FIFO order. *)
 
 val run_guarded : t -> (unit -> 'a) -> ('a, crash) result
 (** Run enclave code, converting a {!Vmx.Vm_terminated} (Covirt
@@ -111,10 +133,11 @@ val run_guarded : t -> (unit -> 'a) -> ('a, crash) result
 
 val destroy : t -> Enclave.t -> unit
 (** Graceful shutdown: notify the kernel, run destroy hooks, reclaim
-    cores and memory. *)
+    cores and memory, and drop the enclave from the live registry. *)
 
 val reclaim_crashed : t -> Enclave.t -> reason:string -> unit
 (** Post-crash reclamation (what the master control process does after
-    the hypervisor reports a termination). *)
+    the hypervisor reports a termination).  Also drops the enclave
+    from the live registry. *)
 
 val pp_crash : Format.formatter -> crash -> unit

@@ -1,0 +1,8 @@
+(* Regenerate the committed dense-churn snapshot:
+     dune exec test/golden/gen_loadgen.exe > test/golden/loadgen.expected
+   The capture is the default load-generator spec (64 enclaves, 512
+   Zipf ops, seed 9) run single-domain; only legitimate when a change
+   intentionally alters control-path behaviour under churn. *)
+let () =
+  print_string
+    Covirt_loadgen.Loadgen.(transcript (run ~domains:1 (spec ())))

@@ -1,0 +1,299 @@
+(* The dense-node control plane: Zipf sampler properties, admission
+   invariants, batched command-queue FIFO ordering, churn leak
+   regression, and byte-identity of the load generator across domain
+   placements.  See lib/loadgen and DESIGN.md §15. *)
+
+open Covirt_hw
+module Rng = Covirt_sim.Rng
+module Zipf = Covirt_loadgen.Zipf
+module L = Covirt_loadgen.Loadgen
+module Admission = Covirt.Admission
+module Ctrl_channel = Covirt_pisces.Ctrl_channel
+module Message = Covirt_pisces.Message
+module Hist = Covirt_obs.Metrics.Hist
+
+let qtest = Covirt_test_util.Helpers.qtest
+
+(* --- Zipf sampler --- *)
+
+let zipf_gen =
+  QCheck2.Gen.(
+    triple (int_range 1 200) (float_range 0.0 3.0) (int_range 0 1_000_000))
+
+(* Rank-frequency monotonicity: the pmf never increases with rank, so
+   rank 0 is the hottest tenant by construction. *)
+let test_zipf_rank_monotone =
+  qtest "zipf pmf monotone in rank" zipf_gen (fun (n, s, _) ->
+      let z = Zipf.create ~n ~s in
+      let ok = ref true in
+      for k = 0 to n - 2 do
+        if Zipf.pmf z k < Zipf.pmf z (k + 1) -. 1e-12 then ok := false
+      done;
+      !ok)
+
+let test_zipf_cdf_normalised =
+  qtest "zipf cdf ends at 1 and pmf sums to 1" zipf_gen (fun (n, s, _) ->
+      let z = Zipf.create ~n ~s in
+      let sum = ref 0. in
+      for k = 0 to n - 1 do
+        sum := !sum +. Zipf.pmf z k
+      done;
+      Float.abs (Zipf.cdf z (n - 1) -. 1.) < 1e-9
+      && Float.abs (!sum -. 1.) < 1e-9)
+
+let test_zipf_sample_range =
+  qtest "zipf samples stay in [0, n)" zipf_gen (fun (n, s, seed) ->
+      let z = Zipf.create ~n ~s in
+      let rng = Rng.create ~seed in
+      let ok = ref true in
+      for _ = 1 to 200 do
+        let k = Zipf.sample z rng in
+        if k < 0 || k >= n then ok := false
+      done;
+      !ok)
+
+(* Seed determinism: equal seeds give equal rank sequences, bit for
+   bit; different split indices give distinct derived seeds. *)
+let test_zipf_seed_determinism =
+  qtest "zipf sampling is seed-deterministic" zipf_gen (fun (n, s, seed) ->
+      let z = Zipf.create ~n ~s in
+      let draw () =
+        let rng = Rng.create ~seed in
+        List.init 100 (fun _ -> Zipf.sample z rng)
+      in
+      draw () = draw ())
+
+let test_split_streams_distinct =
+  qtest "split_seed streams do not collide"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let seeds = List.init 64 (fun i -> Rng.split_seed ~seed ~index:i) in
+      List.length (List.sort_uniq compare seeds) = 64)
+
+(* --- Admission controller --- *)
+
+(* Drive a random admit/settle schedule against a model; the in-flight
+   bound must hold at every step and the peak must record it. *)
+let test_admission_bound_held =
+  qtest "admission never exceeds max_in_flight"
+    QCheck2.Gen.(
+      pair (int_range 1 6) (list_size (int_range 1 200) (int_range 0 9)))
+    (fun (limit, script) ->
+      let adm = Admission.create ~max_in_flight:limit () in
+      let tokens = Queue.create () in
+      let ok = ref true in
+      List.iter
+        (fun step ->
+          if step < 7 then (
+            (match Admission.admit_boot adm ~tenant:step ~now:0 with
+            | Ok tok -> Queue.push tok tokens
+            | Error (Admission.Boot_limit { in_flight; _ }) ->
+                if in_flight < limit then ok := false
+            | Error _ -> ());
+            if Admission.in_flight adm > limit then ok := false)
+          else if not (Queue.is_empty tokens) then
+            Admission.settle adm (Queue.pop tokens))
+        script;
+      !ok && Admission.peak_in_flight adm <= limit)
+
+let test_admission_settle_idempotent () =
+  let adm = Admission.create ~max_in_flight:2 () in
+  match Admission.admit_boot adm ~tenant:1 ~now:0 with
+  | Error _ -> Alcotest.fail "first boot rejected"
+  | Ok tok ->
+      Admission.settle adm tok;
+      Admission.settle adm tok;
+      Alcotest.(check int) "double settle stays at zero" 0
+        (Admission.in_flight adm)
+
+let test_admission_rate_limit () =
+  let adm =
+    Admission.create ~bucket_capacity:2 ~refill_cycles:1000 ~max_in_flight:8 ()
+  in
+  let admit now = Admission.admit_op adm ~tenant:7 ~now in
+  Alcotest.(check bool) "token 1" true (Result.is_ok (admit 0));
+  Alcotest.(check bool) "token 2" true (Result.is_ok (admit 10));
+  Alcotest.(check bool) "bucket empty" true (Result.is_error (admit 20));
+  Alcotest.(check bool) "refilled after a full period" true
+    (Result.is_ok (admit 1020));
+  Alcotest.(check int) "rate rejections counted" 1
+    (Admission.rejected_rate_limited adm)
+
+(* Rejected boots leave no partial state: a loadgen run squeezed
+   through a tiny in-flight bound must reject visibly yet still pass
+   the leak audit and the static verifier. *)
+let test_admission_rejects_leave_no_state () =
+  let r =
+    L.run ~domains:1
+      (L.spec ~tenants:12 ~ops:150 ~shards:2 ~max_in_flight:1 ~settle_ops:9 ())
+  in
+  let t = L.totals r in
+  Alcotest.(check bool) "some boots rejected" true (t.L.rejected_boot_limit > 0);
+  Alcotest.(check bool) "audit clean despite rejections" true (L.ok r);
+  Alcotest.(check bool) "bound held" true (L.peak_in_flight r <= 1)
+
+let test_rate_limited_run_stays_clean () =
+  let r =
+    L.run ~domains:1
+      (L.spec ~tenants:12 ~ops:150 ~shards:2 ~bucket_capacity:1
+         ~refill_cycles:1_000_000 ())
+  in
+  let t = L.totals r in
+  Alcotest.(check bool) "some ops rate-limited" true
+    (t.L.rejected_rate_limited > 0);
+  Alcotest.(check bool) "audit clean under rate limiting" true (L.ok r)
+
+(* --- Batched command-queue drain --- *)
+
+let test_batch_drain_fifo () =
+  let machine = Covirt_test_util.Helpers.small_machine () in
+  let cpu = Machine.cpu machine 1 in
+  let ch = Ctrl_channel.create () in
+  let send m = Ctrl_channel.send_to_host machine ~enclave_cpu:cpu ch m in
+  for i = 0 to 9 do
+    send (Message.Console (Printf.sprintf "m%d" i));
+    (* Replies interleave with the FIFO but are routed to the O(1) ack
+       side-table, never reordering the queue. *)
+    send (Message.Ack { seq = 100 + i })
+  done;
+  Alcotest.(check int) "acks parked in the side table" 10
+    (Ctrl_channel.pending_acks ch);
+  let batch1 = Ctrl_channel.drain_host_side_n ch ~max:4 in
+  let batch2 = Ctrl_channel.drain_host_side_n ch ~max:4 in
+  let rest = Ctrl_channel.drain_host_side_n ch ~max:100 in
+  let text =
+    List.map
+      (function Message.Console s -> s | _ -> Alcotest.fail "non-console")
+      (batch1 @ batch2 @ rest)
+  in
+  Alcotest.(check (list string)) "per-enclave FIFO preserved across batches"
+    (List.init 10 (Printf.sprintf "m%d"))
+    text;
+  Alcotest.(check int) "first batch bounded" 4 (List.length batch1);
+  List.iteri
+    (fun i _ ->
+      Alcotest.(check bool)
+        (Printf.sprintf "ack %d claimable" i)
+        true
+        (Result.is_ok (Ctrl_channel.take_ack ch ~seq:(100 + i))))
+    (List.init 10 Fun.id);
+  Alcotest.(check int) "ack table drained" 0 (Ctrl_channel.pending_acks ch)
+
+let test_batched_service_matches_full_drain () =
+  (* Same ops, serviced in batches of 1 vs a full drain: the kernel's
+     replies and the host's bookkeeping must agree. *)
+  let r1 = L.run ~domains:1 (L.spec ~tenants:8 ~ops:120 ~shards:2 ()) in
+  Alcotest.(check bool) "batched servicing leaves no backlog" true
+    (Array.for_all (fun s -> s.L.leaks.L.unclaimed_acks = 0) r1.L.shards)
+
+(* --- Determinism across domain placements --- *)
+
+let test_domains_byte_identical () =
+  let spec = L.spec ~tenants:14 ~ops:180 ~shards:7 () in
+  let t1 = L.transcript (L.run ~domains:1 spec) in
+  let t2 = L.transcript (L.run ~domains:2 spec) in
+  let t7 = L.transcript (L.run ~domains:7 spec) in
+  Alcotest.(check string) "domains 1 = 2" t1 t2;
+  Alcotest.(check string) "domains 1 = 7" t1 t7
+
+let test_json_deterministic () =
+  let spec = L.spec ~tenants:8 ~ops:100 ~shards:2 () in
+  Alcotest.(check string) "json byte-identical across domains"
+    (L.to_json (L.run ~domains:1 spec))
+    (L.to_json (L.run ~domains:2 spec))
+
+(* --- Churn leak regression --- *)
+
+(* The 1k-op churn loop: every registry must end exactly at the live
+   population — a single stale kernel entry, vector, segment, bucket
+   or ack means monotonic growth under density. *)
+let test_churn_leaves_nothing () =
+  let r = L.run ~domains:1 (L.spec ~tenants:10 ~ops:1000 ~shards:2 ()) in
+  let t = L.totals r in
+  Alcotest.(check bool) "churn actually destroyed enclaves" true
+    (t.L.destroys > 20);
+  Array.iter
+    (fun s ->
+      let l = s.L.leaks in
+      Alcotest.(check int) "enclave registry pruned" l.L.live_tenants
+        l.L.live_enclaves;
+      Alcotest.(check int) "kernel registry pruned" l.L.live_tenants
+        l.L.kernel_entries;
+      Alcotest.(check int) "controller instances pruned" l.L.live_tenants
+        l.L.controller_instances;
+      Alcotest.(check int) "segments match live exports" l.L.live_exports
+        l.L.segments;
+      Alcotest.(check int) "vectors match live grants" l.L.vectors_expected
+        l.L.vectors_outstanding;
+      Alcotest.(check int) "vector space conserved" 0 l.L.vectors_lost;
+      Alcotest.(check int) "no orphaned acks" 0 l.L.unclaimed_acks;
+      Alcotest.(check int) "verifier clean at quiesce" 0 s.L.violations)
+    r.L.shards
+
+(* --- Golden gate: fixed-seed dense churn --- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_golden_dense_churn () =
+  let expected = read_file "golden/loadgen.expected" in
+  let actual = L.transcript (L.run ~domains:1 (L.spec ())) in
+  if not (String.equal expected actual) then
+    Alcotest.failf
+      "dense-churn transcript diverged from golden/loadgen.expected \
+       (regenerate with dune exec test/golden/gen_loadgen.exe only for an \
+       intentional semantic change); got:\n%s"
+      actual
+
+let () =
+  Alcotest.run "loadgen"
+    [
+      ( "zipf",
+        [
+          test_zipf_rank_monotone;
+          test_zipf_cdf_normalised;
+          test_zipf_sample_range;
+          test_zipf_seed_determinism;
+          test_split_streams_distinct;
+        ] );
+      ( "admission",
+        [
+          test_admission_bound_held;
+          Alcotest.test_case "settle is idempotent" `Quick
+            test_admission_settle_idempotent;
+          Alcotest.test_case "token bucket refills on tenant clock" `Quick
+            test_admission_rate_limit;
+          Alcotest.test_case "rejected boots leave no state" `Quick
+            test_admission_rejects_leave_no_state;
+          Alcotest.test_case "rate-limited run stays clean" `Quick
+            test_rate_limited_run_stays_clean;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "drain_n keeps FIFO order" `Quick
+            test_batch_drain_fifo;
+          Alcotest.test_case "batched servicing leaves no backlog" `Quick
+            test_batched_service_matches_full_drain;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "byte-identical at domains 1/2/7" `Quick
+            test_domains_byte_identical;
+          Alcotest.test_case "json deterministic" `Quick
+            test_json_deterministic;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "1k-op churn leaves nothing behind" `Quick
+            test_churn_leaves_nothing;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "fixed-seed dense churn matches snapshot" `Quick
+            test_golden_dense_churn;
+        ] );
+    ]

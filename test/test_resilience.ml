@@ -462,6 +462,55 @@ let test_supervised_soak () =
   Alcotest.(check (float 0.0)) "soak residual deterministic"
     r.Soak.sibling_residual r2.Soak.sibling_residual
 
+(* Dense-node blast radius: inject a wild write into the Zipf-hottest
+   tenant mid-churn and compare against the identical clean run.  The
+   injection is an *extra* action on its op slot (it consumes no rng
+   draws), so every tenant outside the victim's warm set — the victim
+   plus its export/attach ring neighbours — must see a byte-identical
+   latency histogram: p99 delta exactly zero, not merely small. *)
+let test_hot_tenant_fault_blast_radius () =
+  let module L = Covirt_loadgen.Loadgen in
+  let base = L.spec ~tenants:16 ~ops:300 ~shards:2 () in
+  let clean = L.run ~domains:1 base in
+  let faulted =
+    L.run ~domains:1
+      { base with L.fault = Some { L.tenant = 0; after_op = 100 } }
+  in
+  let t = L.totals faulted in
+  Alcotest.(check int) "fault injected" 1 t.L.faults_injected;
+  Alcotest.(check int) "victim recovered" 1 t.L.recoveries;
+  Alcotest.(check bool) "faulted run audit clean" true (L.ok faulted);
+  Array.iter
+    (fun (s : L.shard_report) ->
+      Alcotest.(check int) "no violations mid-churn fault" 0 s.L.violations)
+    faulted.L.shards;
+  (* Tenant 0 lives on shard 0 (8 tenants per shard); its ring
+     neighbours there are tenant 1 (outgoing export) and tenant 7
+     (incoming).  Everyone else is cold and must be untouched. *)
+  let warm = [ 0; 1; 7 ] in
+  let cold_hists r =
+    List.filter (fun (g, _) -> not (List.mem g warm)) (L.per_tenant r)
+  in
+  let clean_cold = cold_hists clean and faulted_cold = cold_hists faulted in
+  Alcotest.(check int) "same cold tenant population"
+    (List.length clean_cold) (List.length faulted_cold);
+  List.iter2
+    (fun (g, (h1 : Covirt_obs.Metrics.Hist.t)) (g', h2) ->
+      Alcotest.(check int) "tenant ids align" g g';
+      let same =
+        h1.Covirt_obs.Metrics.Hist.n = h2.Covirt_obs.Metrics.Hist.n
+        && h1.Covirt_obs.Metrics.Hist.sum = h2.Covirt_obs.Metrics.Hist.sum
+        && h1.Covirt_obs.Metrics.Hist.counts = h2.Covirt_obs.Metrics.Hist.counts
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "cold tenant %d latency histogram untouched" g)
+        true same;
+      let p99 h = Covirt_obs.Metrics.Hist.quantile h ~p:99. in
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "cold tenant %d p99 delta is zero" g)
+        (p99 h1) (p99 h2))
+    clean_cold faulted_cold
+
 let () =
   Alcotest.run "resilience"
     [
@@ -491,6 +540,8 @@ let () =
         [
           Alcotest.test_case "healthy sibling untouched" `Quick
             test_sibling_untouched;
+          Alcotest.test_case "hot-tenant fault mid-churn spares cold tenants"
+            `Quick test_hot_tenant_fault_blast_radius;
         ] );
       ( "controller",
         [
